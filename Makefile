@@ -1,0 +1,18 @@
+.PHONY: install test bench examples report lint-docs all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+report:
+	python -m repro.cli report --out STUDY_REPORT.md
+
+all: test bench examples report

@@ -1,0 +1,24 @@
+"""Reporting helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.core.series import MeasurementSeries
+from repro.core.summary import summarize
+
+
+def report_series(title: str, series_map: dict[str, MeasurementSeries]) -> None:
+    """Print the per-series rows the paper quotes for a figure."""
+    print(f"\n=== {title} ===")
+    for label, series in series_map.items():
+        summary = summarize(series)
+        print(
+            f"  {label:<10s} n={summary.n_windows:<5d} mean={summary.mean:8.4f} "
+            f"std={summary.std:7.4f} min={summary.minimum:8.4f} "
+            f"max={summary.maximum:8.4f}"
+        )
+
+
+def report_notes(notes: dict[str, float]) -> None:
+    """Print a figure's named scalar statistics."""
+    for key, value in sorted(notes.items()):
+        print(f"  note {key} = {value:.4f}")

@@ -1,0 +1,95 @@
+"""Ablation — calibration sensitivity.
+
+The substitution argument (DESIGN.md §2) rests on the claim that the
+paper's *shape* results are driven by the broad pool-share structure, not
+by fine-tuned constants.  This bench perturbs the Bitcoin scenario —
+different seed, stronger share jitter, heavier singleton tail — and checks
+that the shape conclusions survive every variant.
+"""
+
+import numpy as np
+
+from repro.core.engine import MeasurementEngine
+from repro.simulation.miners import TailConfig
+from repro.simulation.params import SimulationParams
+from repro.simulation.powsim import ChainSimulator
+from repro.simulation.scenarios import bitcoin_2019_params
+
+
+def build_variants():
+    variants = {}
+    variants["baseline"] = bitcoin_2019_params(seed=2019)
+    variants["other-seed"] = bitcoin_2019_params(seed=4242)
+    jittery = bitcoin_2019_params(seed=2019)
+    variants["2x-jitter"] = SimulationParams(
+        spec=jittery.spec,
+        registry=jittery.registry,
+        tail=jittery.tail,
+        seed=jittery.seed,
+        jitter_sigma=jittery.jitter_sigma * 2,
+        jitter_phi=jittery.jitter_phi,
+        multi_coinbase_events=jittery.multi_coinbase_events,
+        share_spikes=jittery.share_spikes,
+    )
+    tailed = bitcoin_2019_params(seed=2019)
+    variants["heavier-tail"] = SimulationParams(
+        spec=tailed.spec,
+        registry=tailed.registry,
+        tail=TailConfig(
+            persistent_count=tailed.tail.persistent_count * 2,
+            persistent_share=tailed.tail.persistent_share * 1.5,
+            singleton_rate_early=tailed.tail.singleton_rate_early * 1.5,
+            singleton_rate_late=tailed.tail.singleton_rate_late * 1.5,
+            early_period_end=tailed.tail.early_period_end,
+        ),
+        seed=tailed.seed,
+        jitter_sigma=tailed.jitter_sigma,
+        jitter_phi=tailed.jitter_phi,
+        multi_coinbase_events=tailed.multi_coinbase_events,
+        share_spikes=tailed.share_spikes,
+    )
+    return variants
+
+
+def measure_variants():
+    results = {}
+    for name, params in build_variants().items():
+        engine = MeasurementEngine.from_chain(ChainSimulator(params).run())
+        results[name] = {
+            "gini_means": [
+                engine.measure_calendar("gini", g).mean()
+                for g in ("day", "week", "month")
+            ],
+            "nakamoto_mid_mode": _mode(
+                engine.measure_calendar("nakamoto", "day").slice(100, 260).values
+            ),
+            "entropy_day14_pct": _percentile_of_day14(engine),
+        }
+    return results
+
+
+def _mode(values):
+    uniques, counts = np.unique(values, return_counts=True)
+    return float(uniques[counts.argmax()])
+
+
+def _percentile_of_day14(engine):
+    entropy = engine.measure_calendar("entropy", "day")
+    return float((entropy.values < entropy.values[13]).mean())
+
+
+def test_ablation_calibration_sensitivity(benchmark):
+    results = benchmark.pedantic(measure_variants, rounds=1, iterations=1)
+    print("\n=== calibration sensitivity (BTC) ===")
+    for name, shape in results.items():
+        ginis = " ".join(f"{g:.3f}" for g in shape["gini_means"])
+        print(
+            f"  {name:<13s} gini(d/w/m)={ginis} "
+            f"nakamoto-mode={shape['nakamoto_mid_mode']:.0f} "
+            f"day14-entropy-pct={shape['entropy_day14_pct']:.3f}"
+        )
+    for name, shape in results.items():
+        day, week, month = shape["gini_means"]
+        assert day < week < month, name           # granularity ordering
+        assert shape["nakamoto_mid_mode"] in (4.0, 5.0), name
+        assert shape["entropy_day14_pct"] > 0.97, name  # day-14 stays extreme

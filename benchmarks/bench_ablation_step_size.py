@@ -1,0 +1,55 @@
+"""Ablation — sliding-window step size M.
+
+The paper fixes M = N/2.  This ablation sweeps M over N, N/2, N/4 and N/8
+on the Bitcoin one-day windows: the measured series mean is insensitive to
+M (it is a resampling of the same process), while the number of points —
+and the number of anomaly windows detected — grows as M shrinks, at
+linearly growing cost.
+"""
+
+import pytest
+
+from repro.core.anomaly import iqr_anomalies
+from repro.windows.sliding import sliding_window_count
+
+
+def sweep_steps(btc):
+    size = 144
+    results = {}
+    for divisor in (1, 2, 4, 8):
+        step = size // divisor
+        series = btc.measure_sliding("entropy", size, step)
+        results[step] = series
+    return results
+
+
+def test_ablation_step_size(benchmark, btc):
+    results = benchmark.pedantic(sweep_steps, args=(btc,), rounds=1, iterations=1)
+
+    print("\n=== step-size ablation (BTC entropy, N=144) ===")
+    n_blocks = btc.credits.n_blocks
+    for step, series in results.items():
+        anomalies = iqr_anomalies(series).count
+        print(
+            f"  M={step:<4d} points={len(series):<5d} mean={series.mean():.4f} "
+            f"anomalous_windows={anomalies}"
+        )
+        assert len(series) == sliding_window_count(n_blocks, 144, step)
+
+    means = [series.mean() for series in results.values()]
+    assert max(means) - min(means) < 0.05  # mean insensitive to M
+
+    counts = [len(series) for series in results.values()]
+    assert counts == sorted(counts)  # smaller M -> more points
+    assert counts[-1] > 7 * counts[0] - 16  # M=N/8 -> ~8x the points
+
+    anomaly_counts = [iqr_anomalies(s).count for s in results.values()]
+    assert anomaly_counts[-1] >= anomaly_counts[0]
+
+
+def test_ablation_m_equals_n_matches_count_partition(benchmark, btc):
+    """M = N degenerates to non-overlapping count windows."""
+    series = benchmark(btc.measure_sliding, "gini", 144, 144)
+    assert len(series) == btc.credits.n_blocks // 144
+    fixed_daily = btc.measure_calendar("gini", "day")
+    assert series.mean() == pytest.approx(fixed_daily.mean(), abs=0.05)

@@ -1,0 +1,39 @@
+"""§II-A — dataset shapes.
+
+Paper: 54,231 Bitcoin blocks from height 556,459 and 2,204,650 Ethereum
+blocks from height 6,988,615, all produced in 2019.  This bench times the
+full dataset generation (simulation + attribution) and asserts the exact
+counts.
+"""
+
+from repro.core.engine import MeasurementEngine
+from repro.simulation.scenarios import simulate_bitcoin_2019
+from repro.util.timeutils import day_index
+
+
+def build_bitcoin_dataset():
+    chain = simulate_bitcoin_2019(seed=2019)
+    return chain, MeasurementEngine.from_chain(chain)
+
+
+def test_dataset_shape_bitcoin(benchmark):
+    chain, _engine = benchmark.pedantic(build_bitcoin_dataset, rounds=1, iterations=1)
+    print(f"\n=== Bitcoin dataset === {chain!r}")
+    assert chain.n_blocks == 54_231
+    assert chain.start_height == 556_459
+    assert day_index(int(chain.timestamps[0])) == 0
+    assert day_index(int(chain.timestamps[-1])) == 364
+
+
+def test_dataset_shape_ethereum(benchmark, study):
+    chain = study.chain("eth")
+    # Time the attribution pass over the 2.2M-block chain.
+    benchmark.pedantic(
+        MeasurementEngine.from_chain, args=(chain,), rounds=1, iterations=1
+    )
+    print(f"\n=== Ethereum dataset === {chain!r}")
+    assert chain.n_blocks == 2_204_650
+    assert chain.start_height == 6_988_615
+    assert chain.n_credits == chain.n_blocks  # one miner per ETH block
+    assert day_index(int(chain.timestamps[0])) == 0
+    assert day_index(int(chain.timestamps[-1])) == 364

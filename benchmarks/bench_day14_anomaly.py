@@ -1,0 +1,40 @@
+"""§II-C1d — the day-14 (Jan 14, 2019) Bitcoin anomaly.
+
+Paper claims: two blocks (558,473 / 558,545) carry more than 80 and more
+than 90 coinbase addresses; the day has ~148 blocks but a very large
+producer set, giving a very small daily Gini (0.34) and a very large
+daily Shannon entropy (6.2).
+"""
+
+import pytest
+
+from repro.util.timeutils import day_index
+
+
+def measure_day14(btc):
+    gini = btc.measure_calendar("gini", "day")
+    entropy = btc.measure_calendar("entropy", "day")
+    return gini, entropy
+
+
+def test_day14_anomaly(benchmark, btc, study):
+    gini, entropy = benchmark(measure_day14, btc)
+
+    chain = study.chain("btc")
+    day14_blocks = [
+        b for b in chain.anomalous_blocks(threshold=80)
+        if day_index(b.timestamp) == 13
+    ]
+    counts = sorted(b.producer_count for b in day14_blocks)
+    print(f"\n=== day-14 anomaly ===")
+    print(f"  anomalous blocks: "
+          f"{[(b.height, b.producer_count) for b in day14_blocks]}")
+    print(f"  daily gini[13]    = {gini.values[13]:.4f} (paper: 0.34)")
+    print(f"  daily entropy[13] = {entropy.values[13]:.4f} (paper: 6.2)")
+
+    assert len(day14_blocks) == 2
+    assert counts[0] > 80 and counts[1] > 90
+    assert gini.values[13] == pytest.approx(0.34, abs=0.06)
+    assert gini.values[13] < gini.quantile(0.02)
+    assert entropy.values[13] > 6.0
+    assert entropy.values[13] > entropy.quantile(0.98)

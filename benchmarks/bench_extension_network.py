@@ -1,0 +1,65 @@
+"""Extension bench — network-layer decentralization (related work [5]).
+
+Gencer et al. compared Bitcoin's and Ethereum's *networks*: Bitcoin had
+a higher-capacity, more datacenter-clustered network; both chains' mining
+was "fairly centralized".  This bench builds Bitcoin-like and
+Ethereum-like topologies, measures the network-layer metrics and checks
+the qualitative shape: relay traffic concentrates far harder than
+connectivity, the network Nakamoto coefficient dwarfs the consensus one,
+and Ethereum's short block interval pays a much higher stale rate for the
+same network.
+"""
+
+from repro.chain.pools import bitcoin_pools_2019, ethereum_pools_2019
+from repro.network import (
+    NetworkParams,
+    betweenness_concentration,
+    degree_gini,
+    generate_network,
+    network_nakamoto,
+    relay_dominance,
+    stale_rate,
+)
+
+
+def build_and_measure():
+    results = {}
+    for label, pools_fn, n_nodes, interval in (
+        ("btc", bitcoin_pools_2019, 1_200, 600.0),
+        ("eth", ethereum_pools_2019, 900, 13.2),
+    ):
+        pools = tuple(p.name for p in pools_fn().pools)
+        network = generate_network(
+            NetworkParams(n_nodes=n_nodes, pools=pools, seed=2019)
+        )
+        results[label] = {
+            "degree_gini": degree_gini(network),
+            "betweenness_gini": betweenness_concentration(network, sample=120),
+            "relay_top20": relay_dominance(network, top_k=20, sample=120),
+            "network_nakamoto": network_nakamoto(network, sample=120),
+            "stale_rate": stale_rate(network, interval),
+        }
+    return results
+
+
+def test_extension_network_layer(benchmark, btc):
+    results = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    print("\n=== network-layer decentralization ===")
+    for label, metrics in results.items():
+        line = "  ".join(f"{k}={v:.4f}" for k, v in metrics.items())
+        print(f"  {label}: {line}")
+
+    for label in ("btc", "eth"):
+        metrics = results[label]
+        # Relay traffic concentrates harder than connectivity.
+        assert metrics["betweenness_gini"] > metrics["degree_gini"]
+        # A small backbone carries a disproportionate share of relay...
+        assert metrics["relay_top20"] > 0.1
+        # ...but censoring a relay majority still takes far more entities
+        # than the consensus-layer Nakamoto coefficient (4-5 / 2-3).
+        assert metrics["network_nakamoto"] > 20
+    # Ethereum's 13 s blocks pay a much higher stale rate than Bitcoin's
+    # 600 s blocks on a comparable network.
+    assert results["eth"]["stale_rate"] > 10 * results["btc"]["stale_rate"]
+    consensus_nakamoto = btc.measure_calendar("nakamoto", "day").mean()
+    assert results["btc"]["network_nakamoto"] > 4 * consensus_nakamoto

@@ -1,0 +1,22 @@
+"""Fig. 1 — Gini coefficient measured in Bitcoin using fixed windows.
+
+Paper claims: monthly > weekly > daily everywhere; monthly values close to
+0.90 during the first three months; daily values mostly within 0.45–0.60
+with early-year extremes near 0.25–0.35.
+"""
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_1
+
+
+def test_fig01_btc_gini_fixed(benchmark, btc):
+    figure = benchmark(figure_1, btc)
+    report_series(figure.title, figure.series)
+
+    day = figure.series["day"]
+    week = figure.series["week"]
+    month = figure.series["month"]
+    assert day.mean() < week.mean() < month.mean()
+    assert month.slice(0, 3).max() > 0.80
+    assert day.fraction_in_range(0.45, 0.60) > 0.6
+    assert day.slice(0, 90).min() < 0.40

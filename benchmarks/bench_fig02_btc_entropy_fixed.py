@@ -1,0 +1,21 @@
+"""Fig. 2 — Shannon entropy measured in Bitcoin using fixed windows.
+
+Paper claims: the daily/weekly/monthly patterns are close; values are
+higher during the first two months; daily values sit in 3.5–4.0 with
+extremes above 5.5.
+"""
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_2
+
+
+def test_fig02_btc_entropy_fixed(benchmark, btc):
+    figure = benchmark(figure_2, btc)
+    report_series(figure.title, figure.series)
+
+    day = figure.series["day"]
+    means = [figure.series[g].mean() for g in ("day", "week", "month")]
+    assert max(means) - min(means) < 0.5  # granularities are close
+    assert day.fraction_in_range(3.5, 4.0) > 0.5
+    assert day.max() > 5.5
+    assert day.slice(0, 60).mean() > day.slice(150, 250).mean()

@@ -1,0 +1,24 @@
+"""Fig. 3 — Nakamoto coefficient measured in Bitcoin using fixed windows.
+
+Paper claims: relatively stable at 4 from day 100 to day 260 for all three
+granularities; oscillates between 4 and 5 outside that range; the highest
+daily values in the first 50 days exceed 35.
+"""
+
+import numpy as np
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_3
+
+
+def test_fig03_btc_nakamoto_fixed(benchmark, btc):
+    figure = benchmark(figure_3, btc)
+    report_series(figure.title, figure.series)
+
+    day = figure.series["day"]
+    mid = day.slice(100, 260)
+    values, counts = np.unique(mid.values, return_counts=True)
+    assert values[counts.argmax()] == 4.0  # mid-year mode is 4
+    assert day.fraction_in_range(4, 5) > 0.8
+    assert day.slice(0, 50).max() > 35
+    assert day.slice(50, 365).max() < 35

@@ -1,0 +1,19 @@
+"""Fig. 5 — Shannon entropy measured in Ethereum using fixed windows.
+
+Paper claims: trends at all granularities are roughly the same; most
+values lie within 3.3–3.5; no abnormal values across the year.
+"""
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_5
+
+
+def test_fig05_eth_entropy_fixed(benchmark, eth):
+    figure = benchmark(figure_5, eth)
+    report_series(figure.title, figure.series)
+
+    day = figure.series["day"]
+    means = [figure.series[g].mean() for g in ("day", "week", "month")]
+    assert max(means) - min(means) < 0.1
+    assert day.fraction_in_range(3.3, 3.6) > 0.8
+    assert day.max() - day.min() < 0.6  # no abnormal values

@@ -1,0 +1,21 @@
+"""Fig. 6 — Nakamoto coefficient measured in Ethereum using fixed windows.
+
+Paper claims: quite stable at every granularity, fluctuating only between
+2 and 3.
+"""
+
+import numpy as np
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_6
+
+
+def test_fig06_eth_nakamoto_fixed(benchmark, eth):
+    figure = benchmark(figure_6, eth)
+    report_series(figure.title, figure.series)
+
+    for label in ("day", "week", "month"):
+        series = figure.series[label]
+        assert set(np.unique(series.values)) <= {2.0, 3.0}, label
+    day = figure.series["day"]
+    assert {2.0, 3.0} <= set(np.unique(day.values))

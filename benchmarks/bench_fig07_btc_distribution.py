@@ -1,0 +1,28 @@
+"""Fig. 7 — Distribution of blocks produced in Bitcoin within a day and a month.
+
+Paper claims (explaining the Gini/entropy divergence across
+granularities): between the day 2019-12-07 and the month of December 2019,
+the block-share ratios of the *top* miners change little, while the
+population of *bottom* miners grows substantially.
+"""
+
+from _bench_util import report_notes
+from repro.analysis.figures import figure_7
+
+
+def test_fig07_btc_distribution(benchmark, btc):
+    figure = benchmark(figure_7, btc)
+    day, month = figure.distributions
+
+    print(f"\n=== {figure.title} ===")
+    for piece in (day, month):
+        print(f"  window {piece.window_label}: {piece.n_producers} producers")
+        for name, share in piece.top:
+            print(f"    {name:<24s} {share:7.2%}")
+        print(f"    {'<other>':<24s} {piece.other_share:7.2%}")
+    report_notes(figure.notes)
+
+    top_day = sum(share for _, share in day.top)
+    top_month = sum(share for _, share in month.top)
+    assert abs(top_day - top_month) < 0.10   # top miners barely move
+    assert month.n_producers > 1.5 * day.n_producers  # bottom grows

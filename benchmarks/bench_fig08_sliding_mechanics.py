@@ -1,0 +1,25 @@
+"""Fig. 8 — Sliding-window mechanics (Eq. 5).
+
+Verifies ``L = (S - N) / M + 1`` and the ``N - M`` overlap for all six
+(chain, window-size) families the paper uses, with M = N/2.
+"""
+
+from _bench_util import report_notes
+from repro.analysis.figures import figure_8
+
+
+def test_fig08_sliding_mechanics(benchmark, btc, eth):
+    figure = benchmark(figure_8, btc, eth)
+    print(f"\n=== {figure.title} ===")
+    report_notes(figure.notes)
+
+    s_btc = btc.credits.n_blocks
+    s_eth = eth.credits.n_blocks
+    for size in (144, 1008, 4320):
+        assert figure.notes[f"btc_L_N={size}"] == (s_btc - size) // (size // 2) + 1
+        assert figure.notes[f"btc_overlap_N={size}"] == size / 2
+    for size in (6000, 42000, 180000):
+        assert figure.notes[f"eth_L_N={size}"] == (s_eth - size) // (size // 2) + 1
+        assert figure.notes[f"eth_overlap_N={size}"] == size / 2
+    # The paper's §III-B count: ~700 one-day windows vs 365 fixed days.
+    assert 700 <= figure.notes["btc_L_N=144"] <= 760

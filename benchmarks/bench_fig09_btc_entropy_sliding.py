@@ -1,0 +1,30 @@
+"""Fig. 9 — Shannon entropy measured in Bitcoin using sliding windows.
+
+Paper claims: means ≈ 3.810 / 4.002 / 4.091 for N = 144 / 1008 / 4320
+(M = N/2); about twice as many points as fixed windows; more extreme
+values (> 5.0) than the fixed-window series; abnormal changes magnified.
+"""
+
+import pytest
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_9
+
+
+def test_fig09_btc_entropy_sliding(benchmark, btc):
+    figure = benchmark(figure_9, btc)
+    report_series(figure.title, figure.series)
+
+    means = {size: figure.series[f"N={size}"].mean() for size in (144, 1008, 4320)}
+    assert means[144] == pytest.approx(3.810, abs=0.25)
+    assert means[1008] == pytest.approx(4.002, abs=0.25)
+    assert means[4320] == pytest.approx(4.091, abs=0.25)
+    assert means[144] < means[1008] < means[4320]
+
+    daily = figure.series["N=144"]
+    assert len(daily) == pytest.approx(2 * 365, abs=40)  # ~doubled points
+    assert daily.count_extremes(high=5.0) >= 2
+
+    fixed_daily = btc.measure_calendar("entropy", "day")
+    assert daily.mean() == pytest.approx(fixed_daily.mean(), abs=0.1)
+    assert daily.count_extremes(high=5.0) >= fixed_daily.count_extremes(high=5.0)

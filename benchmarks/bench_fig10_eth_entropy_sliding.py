@@ -1,0 +1,33 @@
+"""Fig. 10 — Shannon entropy measured in Ethereum using sliding windows.
+
+Paper claims: means ≈ 3.420 / 3.433 / 3.445 for N = 6,000 / 42,000 /
+180,000; results close to the fixed-window ones; stable trend with most
+values between 3.3 and 3.5; Ethereum more stable but less decentralized
+than Bitcoin.
+"""
+
+import pytest
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_10
+
+
+def test_fig10_eth_entropy_sliding(benchmark, btc, eth):
+    figure = benchmark.pedantic(figure_10, args=(eth,), rounds=1, iterations=1)
+    report_series(figure.title, figure.series)
+
+    means = {
+        size: figure.series[f"N={size}"].mean() for size in (6000, 42000, 180000)
+    }
+    assert means[6000] == pytest.approx(3.420, abs=0.15)
+    assert means[42000] == pytest.approx(3.433, abs=0.15)
+    assert means[180000] == pytest.approx(3.445, abs=0.15)
+
+    daily = figure.series["N=6000"]
+    assert daily.fraction_in_range(3.3, 3.6) > 0.8
+    assert daily.mean() == pytest.approx(
+        eth.measure_calendar("entropy", "day").mean(), abs=0.05
+    )
+    btc_daily = btc.measure_sliding("entropy", 144)
+    assert daily.mean() < btc_daily.mean()  # less decentralized
+    assert daily.std() < btc_daily.std()    # more stable

@@ -1,0 +1,29 @@
+"""Fig. 12 — Gini coefficient measured in Ethereum using sliding windows.
+
+Paper claims: means ≈ 0.837 / 0.878 / 0.916 for N = 6,000 / 42,000 /
+180,000; values quite stable; Ethereum significantly less decentralized
+than Bitcoin under the Gini metric.
+"""
+
+import pytest
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_12
+
+
+def test_fig12_eth_gini_sliding(benchmark, btc, eth):
+    figure = benchmark.pedantic(figure_12, args=(eth,), rounds=1, iterations=1)
+    report_series(figure.title, figure.series)
+
+    means = {
+        size: figure.series[f"N={size}"].mean() for size in (6000, 42000, 180000)
+    }
+    assert means[6000] == pytest.approx(0.837, abs=0.05)
+    assert means[42000] == pytest.approx(0.878, abs=0.05)
+    assert means[180000] == pytest.approx(0.916, abs=0.05)
+    assert means[6000] < means[42000] < means[180000]
+
+    daily = figure.series["N=6000"]
+    btc_daily = btc.measure_sliding("gini", 144)
+    assert daily.mean() > btc_daily.mean()  # less decentralized than BTC
+    assert daily.std() < btc_daily.std()    # but more stable

@@ -1,0 +1,23 @@
+"""Fig. 14 — Nakamoto coefficient measured in Ethereum using sliding windows.
+
+Paper claims: the majority of values lie between 2 and 3 — most of
+Ethereum's mining power is controlled by a few entities — and Ethereum is
+less decentralized than Bitcoin under this metric too.
+"""
+
+import numpy as np
+
+from _bench_util import report_series
+from repro.analysis.figures import figure_14
+
+
+def test_fig14_eth_nakamoto_sliding(benchmark, btc, eth):
+    figure = benchmark.pedantic(figure_14, args=(eth,), rounds=1, iterations=1)
+    report_series(figure.title, figure.series)
+
+    daily = figure.series["N=6000"]
+    assert set(np.unique(daily.values)) <= {2.0, 3.0}
+    assert daily.fraction_in_range(2, 3) == 1.0
+
+    btc_daily = btc.measure_sliding("nakamoto", 144)
+    assert daily.mean() < btc_daily.mean()

@@ -1,0 +1,52 @@
+"""Performance — metric kernels on realistic distribution sizes.
+
+Distribution sizes: ~90 entities is a typical Ethereum day; ~2,200 is the
+full Bitcoin-2019 entity population; 50,000 stresses the O(n log n) paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.entropy import shannon_entropy
+from repro.metrics.gini import gini_coefficient
+from repro.metrics.hhi import herfindahl_hirschman_index
+from repro.metrics.nakamoto import nakamoto_coefficient
+from repro.metrics.theil import theil_index
+
+SIZES = (90, 2_200, 50_000)
+
+
+def make_distribution(size: int) -> np.ndarray:
+    rng = np.random.default_rng(size)
+    return rng.pareto(1.2, size=size) + 0.01
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_perf_gini(benchmark, size):
+    values = make_distribution(size)
+    result = benchmark(gini_coefficient, values)
+    assert 0.0 <= result < 1.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_perf_entropy(benchmark, size):
+    values = make_distribution(size)
+    result = benchmark(shannon_entropy, values)
+    assert result > 0.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_perf_nakamoto(benchmark, size):
+    values = make_distribution(size)
+    result = benchmark(nakamoto_coefficient, values)
+    assert 1 <= result <= size
+
+
+def test_perf_hhi(benchmark):
+    values = make_distribution(2_200)
+    assert 0.0 < benchmark(herfindahl_hirschman_index, values) <= 1.0
+
+
+def test_perf_theil(benchmark):
+    values = make_distribution(2_200)
+    assert benchmark(theil_index, values) >= 0.0

@@ -1,0 +1,32 @@
+"""Performance — chain persistence (save / load / partition pruning)."""
+
+from repro.data.store import ChainStore
+
+
+def test_perf_store_save(benchmark, study, tmp_path_factory):
+    chain = study.chain("btc")
+    store = ChainStore(tmp_path_factory.mktemp("save"))
+
+    counter = {"n": 0}
+
+    def save():
+        counter["n"] += 1
+        return store.save(f"btc-{counter['n']}", chain)
+
+    benchmark.pedantic(save, rounds=3, iterations=1)
+
+
+def test_perf_store_load(benchmark, study, tmp_path_factory):
+    chain = study.chain("btc")
+    store = ChainStore(tmp_path_factory.mktemp("load"))
+    store.save("btc", chain)
+    loaded = benchmark(store.load, "btc")
+    assert loaded.n_blocks == chain.n_blocks
+
+
+def test_perf_store_partition_pruned_load(benchmark, study, tmp_path_factory):
+    chain = study.chain("btc")
+    store = ChainStore(tmp_path_factory.mktemp("prune"))
+    store.save("btc", chain)
+    december = benchmark(store.load_months, "btc", [11])
+    assert 0 < december.n_blocks < chain.n_blocks / 10

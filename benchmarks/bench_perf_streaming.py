@@ -1,0 +1,42 @@
+"""Performance — streaming monitor ingestion throughput.
+
+A monitoring deployment must keep up with block arrival trivially; this
+bench measures pushes/second through a Bitcoin-sized window (144/72) and a
+day of Ethereum-scale feed (6,000 blocks, window 6,000 / stride 3,000).
+"""
+
+import numpy as np
+
+from repro.core.streaming import StreamingMonitor, ThresholdRule
+
+
+def make_feed(n_blocks: int, n_producers: int, seed: int) -> list[list[str]]:
+    rng = np.random.default_rng(seed)
+    names = [f"p{i}" for i in range(n_producers)]
+    shares = rng.dirichlet(np.full(n_producers, 0.5))
+    picks = rng.choice(n_producers, size=n_blocks, p=shares)
+    return [[names[p]] for p in picks]
+
+
+def test_perf_streaming_bitcoin_scale(benchmark):
+    feed = make_feed(2_000, 25, seed=1)
+
+    def run():
+        monitor = StreamingMonitor(window_size=144, stride=72)
+        monitor.add_rule(ThresholdRule("nakamoto", below=3))
+        return monitor.push_many(feed)
+
+    benchmark(run)
+
+
+def test_perf_streaming_ethereum_scale(benchmark):
+    feed = make_feed(12_000, 70, seed=2)
+
+    def run():
+        monitor = StreamingMonitor(
+            window_size=6_000, stride=3_000, metrics=("gini", "entropy")
+        )
+        return monitor.push_many(feed)
+
+    result = benchmark(run)
+    assert result == []  # quiet feed, no rules

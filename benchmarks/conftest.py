@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figNN_*.py`` regenerates the data behind one figure of the
+paper, prints the same rows/series the paper reports (means, ranges,
+window counts) and asserts the figure's *shape* claims.  Timings come from
+pytest-benchmark; run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.study import DecentralizationStudy
+from repro.core.engine import MeasurementEngine
+
+
+@pytest.fixture(scope="session")
+def study() -> DecentralizationStudy:
+    return DecentralizationStudy(seed=2019)
+
+
+@pytest.fixture(scope="session")
+def btc(study) -> MeasurementEngine:
+    return study.engine("btc")
+
+
+@pytest.fixture(scope="session")
+def eth(study) -> MeasurementEngine:
+    return study.engine("eth")

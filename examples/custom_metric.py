@@ -1,0 +1,62 @@
+"""Extending the library with a custom decentralization metric.
+
+Registers two metrics the paper does not use:
+
+* ``nakamoto-90`` — entities needed to reach 90% of mining power (a
+  "long-tail" variant of Eq. 4), and
+* ``max-share`` — the single largest producer's share.
+
+Both plug into the same measurement engine, window families and anomaly
+detectors as the built-in metrics.
+
+Run with::
+
+    python examples/custom_metric.py
+"""
+
+import numpy as np
+
+from repro import MeasurementEngine, simulate_ethereum_2019, summarize
+from repro.metrics import FunctionMetric, nakamoto_coefficient, register_metric
+
+
+def max_share(values: np.ndarray) -> float:
+    """Share of the largest producer, in (0, 1]."""
+    values = np.asarray(values, dtype=np.float64)
+    return float(values.max() / values.sum())
+
+
+def main() -> None:
+    register_metric(FunctionMetric("max-share", max_share), overwrite=True)
+    register_metric(
+        FunctionMetric(
+            "nakamoto-90",
+            lambda values: nakamoto_coefficient(values, threshold=0.90),
+        ),
+        overwrite=True,
+    )
+
+    chain = simulate_ethereum_2019(seed=2019)
+    engine = MeasurementEngine.from_chain(chain)
+
+    for metric in ("max-share", "nakamoto-90"):
+        series = engine.measure_calendar(metric, "week")
+        print(summarize(series))
+
+    weekly = engine.measure_calendar("max-share", "week")
+    print(
+        f"\nEthermine-scale dominance: the largest producer held "
+        f"{weekly.mean():.1%} of weekly blocks on average "
+        f"(max {weekly.max():.1%}) — compare the paper's observation that "
+        f"a few entities dominate Ethereum mining."
+    )
+    n90 = engine.measure_calendar("nakamoto-90", "week")
+    print(
+        f"Reaching 90% of Ethereum's 2019 mining power takes "
+        f"{n90.min():.0f}-{n90.max():.0f} entities per week "
+        f"(vs 2-3 for the 51% threshold): the tail is long but powerless."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Extension: PoW vs DPoS decentralization under the paper's metrics.
+
+The paper's related work ([11]) compares DPoS and PoW chains.  This
+example measures a Steem-like 2019 DPoS chain (21 elected producers,
+12-second slots, weekly elections) with the same three metrics and shows
+the caveat the comparison surfaces: *within a window* DPoS looks extremely
+decentralized — near-zero Gini, entropy = log2(21), Nakamoto = 11 — because
+the metrics measure equality among active producers, not openness of the
+producer set.  Only windows long enough to span elections (months) reveal
+that the committee is a small, slowly-churning club.
+
+Run with::
+
+    python examples/dpos_vs_pow.py
+"""
+
+import numpy as np
+
+from repro import MeasurementEngine, simulate_bitcoin_2019
+from repro.simulation import simulate_dpos_2019
+
+
+def main() -> None:
+    chains = {
+        "bitcoin (PoW)": MeasurementEngine.from_chain(simulate_bitcoin_2019()),
+        "steem-like (DPoS)": MeasurementEngine.from_chain(simulate_dpos_2019()),
+    }
+
+    print(f"{'chain':<20s} {'metric':<10s} {'daily':>8s} {'monthly':>8s}")
+    for name, engine in chains.items():
+        for metric in ("gini", "entropy", "nakamoto"):
+            daily = engine.measure_calendar(metric, "day").mean()
+            monthly = engine.measure_calendar(metric, "month").mean()
+            print(f"{name:<20s} {metric:<10s} {daily:8.3f} {monthly:8.3f}")
+
+    dpos = chains["steem-like (DPoS)"]
+    day_producers = dpos.measure_calendar("effective-producers", "day")
+    print(
+        f"\nDPoS effective producers per day: {day_producers.mean():.1f} "
+        f"(committee size 21) — equality is perfect, but the set is closed."
+    )
+    print(
+        "Takeaway: by the paper's per-window metrics the DPoS chain looks "
+        "MORE decentralized than Bitcoin (entropy "
+        f"{dpos.measure_calendar('entropy', 'day').mean():.2f} vs "
+        f"{chains['bitcoin (PoW)'].measure_calendar('entropy', 'day').mean():.2f} "
+        "bits; Nakamoto 11 vs ~4.6), yet its producer set is 21 elected "
+        "entities. Decentralization metrics need the openness dimension too."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Streaming monitoring: catching the day-14 anomaly "in a timely manner".
+
+The paper's closing argument for sliding windows is timeliness.  This
+example replays the first quarter of simulated Bitcoin 2019 block by
+block through a :class:`~repro.core.streaming.StreamingMonitor`
+(window = 144 blocks, stride = 72, the paper's N and M) with alert rules
+on all three metrics, and prints the alert log an operator would have
+seen — the Jan 14 multi-coinbase anomaly fires within half a day of
+blocks instead of waiting for a week- or month-end batch measurement.
+
+Run with::
+
+    python examples/live_monitoring.py
+"""
+
+from repro import simulate_bitcoin_2019
+from repro.core import StreamingMonitor, ThresholdRule
+from repro.util.timeutils import day_index
+from repro.viz import sparkline
+
+
+def main() -> None:
+    chain = simulate_bitcoin_2019(seed=2019)
+    quarter = chain.slice_by_time(
+        int(chain.timestamps[0]), int(chain.timestamps[0]) + 90 * 86_400
+    )
+    monitor = StreamingMonitor(window_size=144, stride=72)
+    monitor.add_rule(ThresholdRule("entropy", above=5.0))
+    monitor.add_rule(ThresholdRule("gini", below=0.40))
+    monitor.add_rule(ThresholdRule("nakamoto", below=3, above=20))
+
+    print(f"replaying {quarter.n_blocks} blocks (Q1 2019) ...")
+    alert_log = []
+    for i in range(quarter.n_blocks):
+        start, stop = quarter.offsets[i], quarter.offsets[i + 1]
+        producers = [
+            quarter.producer_names[pid] for pid in quarter.producer_ids[start:stop]
+        ]
+        for alert in monitor.push(producers):
+            day = day_index(int(quarter.timestamps[i]))
+            alert_log.append((day, alert))
+
+    print(f"\n{len(alert_log)} alerts fired:")
+    last_day = None
+    for day, alert in alert_log:
+        marker = f"day {day + 1:>3d}" if day != last_day else "       "
+        print(f"  {marker}  {alert}  (rule: {alert.rule.metric} "
+              f"below={alert.rule.below} above={alert.rule.above})")
+        last_day = day
+
+    entropy_history = [v for _, v in monitor.history("entropy")]
+    print(f"\nentropy over Q1 (one point per 72 blocks): "
+          f"{sparkline(entropy_history, width=60)}")
+    day14_alerts = [a for d, a in alert_log if d == 13]
+    print(
+        f"\nthe paper's day-14 anomaly produced {len(day14_alerts)} alert(s) "
+        "while the day was still in progress — that is the timeliness the "
+        "sliding-window methodology buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Study orchestration: the paper's figures and findings as library calls.
+
+:class:`DecentralizationStudy` owns the two simulated 2019 chains and
+produces every figure of the paper as a :class:`FigureResult` (data series,
+not pixels), plus the headline comparative findings of §II-C3.
+"""
+
+from repro.analysis.correlation import (
+    ConsistencyReport,
+    SlidingAgreement,
+    fixed_vs_sliding_agreement,
+    granularity_consistency,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.analysis.distribution import DistributionSlice, producer_shares
+from repro.analysis.events import Event, coincident_events, event_timeline
+from repro.analysis.figures import FIGURE_IDS, FigureResult
+from repro.analysis.multichain import MetricRanking, MultiChainComparison
+from repro.analysis.report import generate_report
+from repro.analysis.stability import StabilityReport, stability_report
+from repro.analysis.study import DecentralizationStudy, StudyFindings
+
+__all__ = [
+    "ConsistencyReport",
+    "DecentralizationStudy",
+    "Event",
+    "MetricRanking",
+    "MultiChainComparison",
+    "coincident_events",
+    "event_timeline",
+    "SlidingAgreement",
+    "fixed_vs_sliding_agreement",
+    "generate_report",
+    "granularity_consistency",
+    "pearson_correlation",
+    "spearman_correlation",
+    "DistributionSlice",
+    "FIGURE_IDS",
+    "FigureResult",
+    "StabilityReport",
+    "StudyFindings",
+    "producer_shares",
+    "stability_report",
+]

@@ -1,0 +1,49 @@
+"""Stability analysis — the paper's "Ethereum is more stable" claim.
+
+For each metric we compare the coefficient of variation of the Bitcoin and
+Ethereum daily series; the chain with the lower CV is the more stable one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.comparison import StabilityComparison, compare_stability
+from repro.core.engine import MeasurementEngine
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Per-metric stability comparisons plus the overall verdict."""
+
+    comparisons: tuple[StabilityComparison, ...]
+
+    @property
+    def overall_winner(self) -> str:
+        """The chain winning the majority of per-metric comparisons."""
+        wins: dict[str, int] = {}
+        for comparison in self.comparisons:
+            wins[comparison.winner] = wins.get(comparison.winner, 0) + 1
+        return max(wins, key=lambda chain: wins[chain])
+
+    def winner_for(self, metric_name: str) -> str:
+        """The more-stable chain under ``metric_name``."""
+        for comparison in self.comparisons:
+            if comparison.metric_name == metric_name:
+                return comparison.winner
+        raise KeyError(f"no stability comparison for metric {metric_name!r}")
+
+
+def stability_report(
+    btc: MeasurementEngine,
+    eth: MeasurementEngine,
+    metrics: tuple[str, ...] = ("gini", "entropy", "nakamoto"),
+    granularity: str = "day",
+) -> StabilityReport:
+    """Compare per-metric stability of the two chains at ``granularity``."""
+    comparisons = []
+    for metric in metrics:
+        series_btc = btc.measure_calendar(metric, granularity)
+        series_eth = eth.measure_calendar(metric, granularity)
+        comparisons.append(compare_stability(series_btc, series_eth))
+    return StabilityReport(comparisons=tuple(comparisons))

@@ -1,0 +1,144 @@
+"""The full comparison study (the paper, end to end).
+
+:class:`DecentralizationStudy` lazily simulates (or accepts) the two 2019
+chains, caches their measurement engines, generates any figure by id and
+derives the paper's headline findings:
+
+* Bitcoin is **more decentralized** (lower Gini, higher entropy, higher
+  Nakamoto coefficient), and
+* Ethereum is **more stable** (lower coefficient of variation), under
+  every metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.figures import FIGURE_IDS, FigureResult
+from repro.analysis.stability import StabilityReport, stability_report
+from repro.chain.chain import Chain
+from repro.core.comparison import LevelComparison, compare_level
+from repro.core.engine import MeasurementEngine
+from repro.core.summary import summarize
+from repro.errors import MeasurementError
+from repro.simulation.scenarios import simulate_bitcoin_2019, simulate_ethereum_2019
+from repro.table import Table, concat
+
+#: Whether a higher value of each paper metric means *more* decentralized.
+HIGHER_IS_MORE_DECENTRALIZED = {
+    "gini": False,
+    "entropy": True,
+    "nakamoto": True,
+}
+
+
+@dataclass(frozen=True)
+class StudyFindings:
+    """The paper's two headline claims, evaluated on the simulated data."""
+
+    level: tuple[LevelComparison, ...]
+    stability: StabilityReport
+
+    @property
+    def more_decentralized(self) -> str:
+        """Chain winning the majority of per-metric level comparisons."""
+        wins: dict[str, int] = {}
+        for comparison in self.level:
+            wins[comparison.winner] = wins.get(comparison.winner, 0) + 1
+        return max(wins, key=lambda chain: wins[chain])
+
+    @property
+    def more_stable(self) -> str:
+        """Chain winning the majority of stability comparisons."""
+        return self.stability.overall_winner
+
+
+class DecentralizationStudy:
+    """Owns the datasets and produces every figure and finding."""
+
+    def __init__(
+        self,
+        bitcoin: Chain | None = None,
+        ethereum: Chain | None = None,
+        seed: int = 2019,
+        policy: str = "per-address",
+    ) -> None:
+        self._seed = seed
+        self._policy = policy
+        self._chains: dict[str, Chain | None] = {"btc": bitcoin, "eth": ethereum}
+        self._engines: dict[str, MeasurementEngine] = {}
+
+    # -- data access -----------------------------------------------------------
+
+    def chain(self, which: str) -> Chain:
+        """The Bitcoin (``"btc"``) or Ethereum (``"eth"``) dataset."""
+        if which not in self._chains:
+            raise MeasurementError(f"unknown chain {which!r}; use 'btc' or 'eth'")
+        if self._chains[which] is None:
+            if which == "btc":
+                self._chains[which] = simulate_bitcoin_2019(seed=self._seed)
+            else:
+                self._chains[which] = simulate_ethereum_2019(seed=self._seed)
+        return self._chains[which]
+
+    def engine(self, which: str) -> MeasurementEngine:
+        """A cached measurement engine for one chain."""
+        if which not in self._engines:
+            self._engines[which] = MeasurementEngine.from_chain(
+                self.chain(which), policy=self._policy
+            )
+        return self._engines[which]
+
+    # -- figures ------------------------------------------------------------------
+
+    def figure(self, figure_id: int | str) -> FigureResult:
+        """Generate one figure by id (``9`` or ``"fig9"``)."""
+        key = f"fig{figure_id}" if isinstance(figure_id, int) else figure_id
+        if key not in FIGURE_IDS:
+            raise MeasurementError(
+                f"unknown figure {figure_id!r}; available: {sorted(FIGURE_IDS)}"
+            )
+        generator, needs = FIGURE_IDS[key]
+        engines = [self.engine(which) for which in needs]
+        return generator(*engines)
+
+    def all_figures(self) -> list[FigureResult]:
+        """Every figure of the paper, in order."""
+        return [self.figure(key) for key in FIGURE_IDS]
+
+    # -- findings ------------------------------------------------------------------
+
+    def findings(self, granularity: str = "day") -> StudyFindings:
+        """Evaluate the paper's headline claims at ``granularity``."""
+        level = []
+        for metric, higher in HIGHER_IS_MORE_DECENTRALIZED.items():
+            series_btc = self.engine("btc").measure_calendar(metric, granularity)
+            series_eth = self.engine("eth").measure_calendar(metric, granularity)
+            level.append(compare_level(series_btc, series_eth, higher))
+        stability = stability_report(
+            self.engine("btc"), self.engine("eth"), granularity=granularity
+        )
+        return StudyFindings(level=tuple(level), stability=stability)
+
+    def summary_table(self) -> Table:
+        """One row per (chain, metric, window family) with summary stats."""
+        rows = []
+        for which in ("btc", "eth"):
+            engine = self.engine(which)
+            sizes = (
+                (144, 1008, 4320) if which == "btc" else (6000, 42000, 180000)
+            )
+            for metric in HIGHER_IS_MORE_DECENTRALIZED:
+                for granularity in ("day", "week", "month"):
+                    rows.append(
+                        _summary_row(engine.measure_calendar(metric, granularity))
+                    )
+                for size in sizes:
+                    rows.append(_summary_row(engine.measure_sliding(metric, size)))
+        return concat(rows)
+
+
+def _summary_row(series) -> Table:
+    summary = summarize(series)
+    record = summary.as_dict()
+    return Table({key: [value] for key, value in record.items()})

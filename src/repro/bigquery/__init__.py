@@ -1,0 +1,20 @@
+"""A local stand-in for the Google BigQuery client the paper used.
+
+The paper (§II-A) collected its datasets from BigQuery's public blockchain
+tables.  :class:`BigQueryClient` mirrors that workflow offline: the public
+datasets ``crypto_bitcoin`` and ``crypto_ethereum`` exist with ``blocks``
+and ``credits`` tables, queries are standard SQL (including BigQuery-style
+backtick-quoted, dataset-qualified table names), and results come back as
+jobs whose ``result()`` is a table:
+
+>>> from repro.bigquery import BigQueryClient
+>>> client = BigQueryClient()                                # doctest: +SKIP
+>>> job = client.query(
+...     "SELECT COUNT(*) AS n FROM `crypto_bitcoin.blocks`")  # doctest: +SKIP
+>>> job.result().row(0)["n"]                                  # doctest: +SKIP
+54231
+"""
+
+from repro.bigquery.client import BigQueryClient, QueryJob
+
+__all__ = ["BigQueryClient", "QueryJob"]

@@ -1,0 +1,34 @@
+"""Blockchain data model: blocks, chains, producer attribution, pool registry.
+
+This package holds the substrate the measurements run on: a compact columnar
+:class:`Chain` (heights, timestamps and per-block producer lists in CSR
+layout), the attribution policies that turn blocks into per-entity block
+credits (the paper credits every coinbase output address with the block),
+and a registry of the 2019 mining pools for both chains.
+"""
+
+from repro.chain.attribution import (
+    ATTRIBUTION_POLICIES,
+    Credits,
+    attribute,
+)
+from repro.chain.block import Block
+from repro.chain.chain import Chain
+from repro.chain.pools import PoolRegistry, bitcoin_pools_2019, ethereum_pools_2019
+from repro.chain.specs import BITCOIN, ETHEREUM, ChainSpec
+from repro.chain.tags import extract_pool_tag
+
+__all__ = [
+    "ATTRIBUTION_POLICIES",
+    "BITCOIN",
+    "Block",
+    "Chain",
+    "ChainSpec",
+    "Credits",
+    "ETHEREUM",
+    "PoolRegistry",
+    "attribute",
+    "bitcoin_pools_2019",
+    "ethereum_pools_2019",
+    "extract_pool_tag",
+]

@@ -1,0 +1,54 @@
+"""A single block, as the study sees it.
+
+The measurements only need three facts per block: its height, its timestamp
+and its *producers* — the coinbase output addresses for Bitcoin (usually
+one, occasionally many; the paper found 2019 blocks with more than 80) or
+the single miner address for Ethereum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ChainError
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block record.
+
+    ``producers`` is the ordered tuple of coinbase output addresses (Bitcoin)
+    or the one-element tuple of the miner address (Ethereum).  ``tag`` holds
+    the pool tag parsed from the coinbase text, when known.
+    """
+
+    height: int
+    timestamp: int
+    producers: tuple[str, ...]
+    tag: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ChainError(f"block height must be non-negative, got {self.height}")
+        if not self.producers:
+            raise ChainError(f"block {self.height} has no producers")
+        if any(not p for p in self.producers):
+            raise ChainError(f"block {self.height} has an empty producer address")
+
+    @property
+    def primary_producer(self) -> str:
+        """The first (payout) producer address."""
+        return self.producers[0]
+
+    @property
+    def producer_count(self) -> int:
+        """How many distinct addresses are credited with this block."""
+        return len(self.producers)
+
+    def is_anomalous(self, threshold: int = 10) -> bool:
+        """True if this block credits at least ``threshold`` addresses.
+
+        The paper calls out Bitcoin blocks 558,473 and 558,545, which list
+        more than 80 and more than 90 coinbase addresses respectively.
+        """
+        return len(self.producers) >= threshold

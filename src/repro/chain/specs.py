@@ -1,0 +1,93 @@
+"""Per-chain constants used throughout the study.
+
+The paper's §II-A fixes the exact 2019 datasets:
+
+* Bitcoin — 54,231 blocks starting at height 556,459.
+* Ethereum — 2,204,650 blocks starting at height 6,988,615.
+
+(The paper states the ranges as "from block 556,459 to block 610,690" and
+"from 6,988,615 to 9,193,265", which are each one off from the stated
+counts; we honor the *counts* and the start heights, see EXPERIMENTS.md.)
+
+Sliding-window sizes come from §III-A: Bitcoin 144 / 1,008 / 4,320 blocks
+(day / week / month at ~10 minutes per block), Ethereum 6,000 / 42,000 /
+180,000 blocks (~6,000 blocks per day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Static parameters of a measured blockchain."""
+
+    name: str
+    #: First 2019 block height.
+    start_height: int
+    #: Number of blocks produced in 2019.
+    block_count: int
+    #: Target seconds between blocks.
+    target_interval: float
+    #: Approximate blocks per day (used to size sliding windows).
+    blocks_per_day: int
+    #: Sliding-window sizes (day, week, month) in blocks, from the paper.
+    window_day: int
+    window_week: int
+    window_month: int
+
+    def __post_init__(self) -> None:
+        if self.block_count <= 0:
+            raise ValidationError(f"block_count must be positive, got {self.block_count}")
+        if self.target_interval <= 0:
+            raise ValidationError("target_interval must be positive")
+        for field_name in ("window_day", "window_week", "window_month"):
+            if getattr(self, field_name) <= 0:
+                raise ValidationError(f"{field_name} must be positive")
+
+    @property
+    def end_height(self) -> int:
+        """Last 2019 block height (inclusive)."""
+        return self.start_height + self.block_count - 1
+
+    def window_size(self, granularity: str) -> int:
+        """Return the sliding-window size in blocks for a named granularity."""
+        sizes = {
+            "day": self.window_day,
+            "week": self.window_week,
+            "month": self.window_month,
+        }
+        try:
+            return sizes[granularity]
+        except KeyError:
+            raise ValidationError(
+                f"granularity must be one of {sorted(sizes)}, got {granularity!r}"
+            ) from None
+
+
+#: Bitcoin's 2019 dataset parameters (paper §II-A, §III-A).
+BITCOIN = ChainSpec(
+    name="bitcoin",
+    start_height=556_459,
+    block_count=54_231,
+    target_interval=600.0,
+    blocks_per_day=144,
+    window_day=144,
+    window_week=1_008,
+    window_month=4_320,
+)
+
+#: Ethereum's 2019 dataset parameters (paper §II-A, §III-A).
+ETHEREUM = ChainSpec(
+    name="ethereum",
+    start_height=6_988_615,
+    block_count=2_204_650,
+    target_interval=13.2,
+    blocks_per_day=6_000,
+    window_day=6_000,
+    window_week=42_000,
+    window_month=180_000,
+)

@@ -1,0 +1,64 @@
+"""Coinbase tag parsing.
+
+Bitcoin mining pools embed an identifying tag in the coinbase input script
+("/F2Pool/", "/ViaBTC/Mined by .../", "/BTC.COM/", ...).  The study's
+pool-level attribution uses these tags as the ground truth for mapping
+payout addresses to pools; this module extracts them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Final
+
+#: Known 2019 Bitcoin coinbase tag fragments → canonical pool name.
+KNOWN_TAG_PATTERNS: Final[tuple[tuple[str, str], ...]] = (
+    ("btc.com", "BTC.com"),
+    ("f2pool", "F2Pool"),
+    ("poolin", "Poolin"),
+    ("antpool", "AntPool"),
+    ("slush", "SlushPool"),
+    ("viabtc", "ViaBTC"),
+    ("btc.top", "BTC.TOP"),
+    ("huobi", "Huobi.pool"),
+    ("58coin", "58COIN"),
+    ("bitfury", "BitFury"),
+    ("bitcoin.com", "Bitcoin.com"),
+    ("dpool", "DPOOL"),
+    ("bytepool", "BytePool"),
+    ("spiderpool", "SpiderPool"),
+    ("okex", "OKExPool"),
+    ("novablock", "NovaBlock"),
+)
+
+_SLASH_TAG = re.compile(r"/([^/]{2,40})/")
+
+
+def extract_pool_tag(coinbase_text: str) -> str | None:
+    """Extract a canonical pool name from coinbase ``coinbase_text``.
+
+    Returns the canonical name for known pools, the raw slash-delimited tag
+    for unknown-but-tagged coinbases, or ``None`` when no tag is present.
+
+    >>> extract_pool_tag("/F2Pool/mined by user xyz")
+    'F2Pool'
+    >>> extract_pool_tag("/UnknownPool/")
+    'UnknownPool'
+    >>> extract_pool_tag("no tag here") is None
+    True
+    """
+    lowered = coinbase_text.lower()
+    for fragment, canonical in KNOWN_TAG_PATTERNS:
+        if fragment in lowered:
+            return canonical
+    match = _SLASH_TAG.search(coinbase_text)
+    if match:
+        tag = match.group(1).strip()
+        return tag or None
+    return None
+
+
+def is_known_pool_tag(tag: str) -> bool:
+    """True if ``tag`` canonicalizes to a known 2019 pool."""
+    lowered = tag.lower()
+    return any(fragment in lowered for fragment, _ in KNOWN_TAG_PATTERNS)

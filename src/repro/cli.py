@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-decentralization simulate --chain bitcoin --out blocks.csv
+    repro-decentralization measure  --chain bitcoin --metric gini --windows fixed-day
+    repro-decentralization figure   --id 9 --chart --export-dir out/
+    repro-decentralization study
+    repro-decentralization query    --chain bitcoin --sql "SELECT ..."
+
+All commands simulate the calibrated 2019 datasets on demand (seeded, so
+repeated runs are identical).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.study import DecentralizationStudy
+from repro.core.summary import summarize
+from repro.errors import ReproError
+from repro.metrics import available_metrics
+from repro.sql import QueryEngine
+from repro.table.io import write_csv
+from repro.viz.ascii import ascii_chart
+from repro.viz.export import export_figure, series_to_csv
+
+_CHAIN_KEYS = {"bitcoin": "btc", "btc": "btc", "ethereum": "eth", "eth": "eth"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-decentralization",
+        description="Measure decentralization in simulated 2019 Bitcoin/Ethereum.",
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate a chain and export blocks")
+    simulate.add_argument("--chain", choices=sorted(_CHAIN_KEYS), required=True)
+    simulate.add_argument("--out", required=True, help="output CSV path")
+
+    measure = sub.add_parser("measure", help="compute one metric series")
+    measure.add_argument("--chain", choices=sorted(_CHAIN_KEYS), required=True)
+    measure.add_argument("--metric", choices=available_metrics(), required=True)
+    measure.add_argument(
+        "--windows",
+        required=True,
+        help="window family: fixed-day|fixed-week|fixed-month|sliding-<N>[/<M>]",
+    )
+    measure.add_argument("--out", help="optional CSV output path")
+    measure.add_argument("--chart", action="store_true", help="print an ASCII chart")
+
+    figure = sub.add_parser("figure", help="reproduce figures of the paper")
+    figure.add_argument(
+        "--id", required=True, help="figure number (1-14), 'fig9', or 'all'"
+    )
+    figure.add_argument("--chart", action="store_true", help="print ASCII charts")
+    figure.add_argument("--export-dir", help="write the figure's CSV/JSON files here")
+
+    sub.add_parser("study", help="run the full study and print the findings")
+
+    report = sub.add_parser("report", help="write the full study as markdown")
+    report.add_argument("--out", required=True, help="markdown output path")
+
+    layers = sub.add_parser(
+        "layers", help="consensus/network/wealth decentralization summary"
+    )
+    layers.add_argument("--chain", choices=sorted(_CHAIN_KEYS), required=True)
+    layers.add_argument(
+        "--nodes", type=int, default=800, help="P2P network size for the network layer"
+    )
+
+    query = sub.add_parser("query", help="run SQL over a simulated chain")
+    query.add_argument("--chain", choices=sorted(_CHAIN_KEYS), required=True)
+    query.add_argument(
+        "--sql",
+        required=True,
+        help="SELECT over 'blocks' (one row per block) or "
+        "'credits' (one row per block-producer credit)",
+    )
+    query.add_argument("--limit", type=int, default=20, help="max rows to print")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    study = DecentralizationStudy(seed=args.seed)
+    if args.command == "simulate":
+        return _cmd_simulate(study, args)
+    if args.command == "measure":
+        return _cmd_measure(study, args)
+    if args.command == "figure":
+        return _cmd_figure(study, args)
+    if args.command == "study":
+        return _cmd_study(study)
+    if args.command == "report":
+        return _cmd_report(study, args)
+    if args.command == "layers":
+        return _cmd_layers(study, args)
+    if args.command == "query":
+        return _cmd_query(study, args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_simulate(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    chain = study.chain(_CHAIN_KEYS[args.chain])
+    write_csv(chain.block_table(), args.out)
+    print(
+        f"wrote {chain.n_blocks} blocks "
+        f"(heights {chain.start_height}..{chain.end_height}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_measure(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    engine = study.engine(_CHAIN_KEYS[args.chain])
+    windows = args.windows
+    if windows.startswith("fixed-"):
+        series = engine.measure_calendar(args.metric, windows.removeprefix("fixed-"))
+    elif windows.startswith("sliding-"):
+        spec = windows.removeprefix("sliding-")
+        if "/" in spec:
+            size_text, step_text = spec.split("/", 1)
+            series = engine.measure_sliding(args.metric, int(size_text), int(step_text))
+        else:
+            series = engine.measure_sliding(args.metric, int(spec))
+    else:
+        print(f"error: unknown window family {windows!r}", file=sys.stderr)
+        return 2
+    print(summarize(series))
+    if args.chart:
+        print(ascii_chart(series))
+    if args.out:
+        series_to_csv(series, args.out)
+        print(f"wrote {len(series)} points to {args.out}")
+    return 0
+
+
+def _cmd_figure(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    if args.id == "all":
+        for figure in study.all_figures():
+            _print_figure(figure, args)
+        return 0
+    figure_id = args.id if args.id.startswith("fig") else f"fig{args.id}"
+    _print_figure(study.figure(figure_id), args)
+    return 0
+
+
+def _print_figure(figure, args: argparse.Namespace) -> None:
+    print(f"{figure.figure_id}: {figure.title}")
+    for label, series in sorted(figure.series.items()):
+        print(f"  {label}: {summarize(series)}")
+        if args.chart:
+            print(ascii_chart(series))
+    for key, value in sorted(figure.notes.items()):
+        print(f"  note {key} = {value:.4f}")
+    for distribution in figure.distributions:
+        print(f"  window {distribution.window_label}: "
+              f"{distribution.n_producers} producers")
+        for name, share in distribution.top:
+            print(f"    {name:<40s} {share:6.2%}")
+        print(f"    {'<other>':<40s} {distribution.other_share:6.2%}")
+    if args.export_dir:
+        paths = export_figure(figure, args.export_dir)
+        print(f"exported {len(paths)} files to {args.export_dir}")
+
+
+def _cmd_study(study: DecentralizationStudy) -> int:
+    findings = study.findings()
+    print("Level comparison (which chain is more decentralized):")
+    for comparison in findings.level:
+        direction = "higher" if comparison.higher_is_more_decentralized else "lower"
+        print(
+            f"  {comparison.metric_name:<10s} ({direction} = more decentralized): "
+            f"btc={comparison.mean_a:.4f} eth={comparison.mean_b:.4f} "
+            f"-> {comparison.winner}"
+        )
+    print("Stability comparison (lower CV = more stable):")
+    for comparison in findings.stability.comparisons:
+        print(
+            f"  {comparison.metric_name:<10s}: "
+            f"btc CV={comparison.cv_a:.4f} eth CV={comparison.cv_b:.4f} "
+            f"-> {comparison.winner}"
+        )
+    print(f"More decentralized: {findings.more_decentralized}")
+    print(f"More stable:        {findings.more_stable}")
+    return 0
+
+
+def _cmd_report(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(study, path=args.out)
+    print(f"wrote {len(text.splitlines())} lines to {args.out}")
+    return 0
+
+
+def _cmd_layers(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    from repro.chain.pools import bitcoin_pools_2019, ethereum_pools_2019
+    from repro.network import (
+        NetworkParams,
+        betweenness_concentration,
+        degree_gini,
+        generate_network,
+        network_nakamoto,
+        stale_rate,
+    )
+    from repro.rewards import (
+        BITCOIN_REWARDS_2019,
+        ETHEREUM_REWARDS_2019,
+        cumulative_wealth_series,
+        reward_credits,
+    )
+
+    which = _CHAIN_KEYS[args.chain]
+    chain = study.chain(which)
+    engine = study.engine(which)
+    if which == "btc":
+        registry, schedule = bitcoin_pools_2019(), BITCOIN_REWARDS_2019
+    else:
+        registry, schedule = ethereum_pools_2019(), ETHEREUM_REWARDS_2019
+
+    print(f"=== {chain.spec.name}: decentralization by layer ===")
+    print("consensus layer (the paper):")
+    for metric in ("gini", "entropy", "nakamoto"):
+        series = engine.measure_calendar(metric, "day")
+        print(f"  daily {metric:<10s} mean={series.mean():.4f} "
+              f"range=[{series.min():.3f}, {series.max():.3f}]")
+
+    network = generate_network(
+        NetworkParams(
+            n_nodes=args.nodes,
+            pools=tuple(p.name for p in registry.pools),
+            seed=args.seed,
+        )
+    )
+    print(f"network layer ({network.n_nodes} nodes, {network.n_edges} edges):")
+    print(f"  degree gini        = {degree_gini(network):.4f}")
+    print(f"  betweenness gini   = {betweenness_concentration(network, sample=100):.4f}")
+    print(f"  network nakamoto   = {network_nakamoto(network, sample=100)}")
+    print(f"  stale rate         = {stale_rate(network, chain.spec.target_interval):.4%}")
+
+    wealth = reward_credits(chain, schedule, seed=args.seed)
+    gini_series = cumulative_wealth_series(wealth, "gini", checkpoints=12)
+    nakamoto_series = cumulative_wealth_series(wealth, "nakamoto", checkpoints=12)
+    print("wealth layer (cumulative income):")
+    print(f"  total paid out     = {wealth.total_weight:,.0f} native units")
+    print(f"  year-end gini      = {gini_series.values[-1]:.4f}")
+    print(f"  year-end nakamoto  = {nakamoto_series.values[-1]:.0f}")
+    return 0
+
+
+def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    chain = study.chain(_CHAIN_KEYS[args.chain])
+    engine = QueryEngine(
+        {"blocks": chain.block_table(), "credits": chain.to_table()}
+    )
+    result = engine.execute(args.sql)
+    for row in result.head(args.limit).to_rows():
+        print(row)
+    if result.num_rows > args.limit:
+        print(f"... ({result.num_rows - args.limit} more rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""Comparative analyses: the paper's claims as functions.
+
+* :func:`compare_level` — which chain is *more decentralized* (Bitcoin, per
+  the paper) for a metric where higher (entropy, Nakamoto) or lower (Gini)
+  means more decentralized.
+* :func:`compare_stability` — which chain is *more stable* (Ethereum, per
+  the paper), judged by the coefficient of variation.
+* :func:`granularity_ordering` — whether series means are ordered by
+  granularity (the paper's Gini finding: month > week > day).
+* :func:`fixed_vs_sliding_gain` — how much cross-interval information the
+  sliding series adds over the fixed one (extra measurement points and
+  extra detected anomalies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.anomaly import AnomalyReport
+from repro.core.series import MeasurementSeries
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class LevelComparison:
+    """Outcome of a decentralization-level comparison."""
+
+    metric_name: str
+    higher_is_more_decentralized: bool
+    mean_a: float
+    mean_b: float
+    chain_a: str
+    chain_b: str
+    #: The chain judged more decentralized.
+    winner: str
+
+
+@dataclass(frozen=True)
+class StabilityComparison:
+    """Outcome of a stability comparison (lower CV = more stable)."""
+
+    metric_name: str
+    cv_a: float
+    cv_b: float
+    chain_a: str
+    chain_b: str
+    #: The chain judged more stable.
+    winner: str
+
+
+@dataclass(frozen=True)
+class SlidingGain:
+    """What sliding windows added over fixed windows."""
+
+    n_fixed: int
+    n_sliding: int
+    anomalies_fixed: int
+    anomalies_sliding: int
+
+    @property
+    def point_ratio(self) -> float:
+        """Sliding points per fixed point (the paper's ~2x with M = N/2)."""
+        if self.n_fixed == 0:
+            raise MeasurementError("fixed series is empty")
+        return self.n_sliding / self.n_fixed
+
+
+def compare_level(
+    series_a: MeasurementSeries,
+    series_b: MeasurementSeries,
+    higher_is_more_decentralized: bool,
+) -> LevelComparison:
+    """Compare mean decentralization level between two chains' series."""
+    _check_same_metric(series_a, series_b)
+    mean_a, mean_b = series_a.mean(), series_b.mean()
+    if higher_is_more_decentralized:
+        winner = series_a.chain_name if mean_a >= mean_b else series_b.chain_name
+    else:
+        winner = series_a.chain_name if mean_a <= mean_b else series_b.chain_name
+    return LevelComparison(
+        metric_name=series_a.metric_name,
+        higher_is_more_decentralized=higher_is_more_decentralized,
+        mean_a=mean_a,
+        mean_b=mean_b,
+        chain_a=series_a.chain_name,
+        chain_b=series_b.chain_name,
+        winner=winner,
+    )
+
+
+def compare_stability(
+    series_a: MeasurementSeries, series_b: MeasurementSeries
+) -> StabilityComparison:
+    """Compare stability (coefficient of variation) between two series."""
+    _check_same_metric(series_a, series_b)
+    cv_a = series_a.coefficient_of_variation()
+    cv_b = series_b.coefficient_of_variation()
+    winner = series_a.chain_name if cv_a <= cv_b else series_b.chain_name
+    return StabilityComparison(
+        metric_name=series_a.metric_name,
+        cv_a=cv_a,
+        cv_b=cv_b,
+        chain_a=series_a.chain_name,
+        chain_b=series_b.chain_name,
+        winner=winner,
+    )
+
+
+def granularity_ordering(series_by_granularity: Sequence[MeasurementSeries]) -> bool:
+    """True if series means are non-decreasing in the given order.
+
+    Pass (day, week, month) series to test the paper's Gini finding that
+    coarser granularities yield systematically higher values.
+    """
+    if len(series_by_granularity) < 2:
+        raise MeasurementError("need at least two series to order")
+    means = [series.mean() for series in series_by_granularity]
+    return all(a <= b for a, b in zip(means, means[1:]))
+
+
+def fixed_vs_sliding_gain(
+    fixed: MeasurementSeries,
+    sliding: MeasurementSeries,
+    detector: Callable[[MeasurementSeries], AnomalyReport],
+) -> SlidingGain:
+    """Quantify the sliding-window information gain with ``detector``."""
+    return SlidingGain(
+        n_fixed=len(fixed),
+        n_sliding=len(sliding),
+        anomalies_fixed=detector(fixed).count,
+        anomalies_sliding=detector(sliding).count,
+    )
+
+
+def _check_same_metric(a: MeasurementSeries, b: MeasurementSeries) -> None:
+    if a.metric_name != b.metric_name:
+        raise MeasurementError(
+            f"cannot compare different metrics: {a.metric_name} vs {b.metric_name}"
+        )

@@ -1,0 +1,168 @@
+"""Measurement result series.
+
+A :class:`MeasurementSeries` is the unit every figure in the paper plots:
+one metric, one chain, one window family, one value per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.table import Table
+
+
+@dataclass(frozen=True)
+class MeasurementSeries:
+    """An ordered sequence of per-window metric values."""
+
+    chain_name: str
+    metric_name: str
+    #: Human-readable window family, e.g. ``"fixed-day"`` or ``"sliding-144/72"``.
+    window_desc: str
+    #: Window indices within their family (may be non-contiguous if windows
+    #: were skipped for holding no blocks).
+    indices: np.ndarray
+    labels: tuple[str, ...]
+    values: np.ndarray
+    #: Number of windows dropped because they contained no blocks.
+    skipped: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "indices", indices)
+        if values.shape[0] != indices.shape[0] or values.shape[0] != len(self.labels):
+            raise MeasurementError(
+                "indices, labels and values must have equal length "
+                f"({indices.shape[0]}, {len(self.labels)}, {values.shape[0]})"
+            )
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(zip(self.labels, self.values.tolist()))
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasurementSeries({self.chain_name}/{self.metric_name}/"
+            f"{self.window_desc}, n={len(self)})"
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the series."""
+        self._require_nonempty()
+        return float(self.values.mean())
+
+    def std(self) -> float:
+        """Population standard deviation."""
+        self._require_nonempty()
+        return float(self.values.std(ddof=0))
+
+    def min(self) -> float:
+        """Smallest value in the series."""
+        self._require_nonempty()
+        return float(self.values.min())
+
+    def max(self) -> float:
+        """Largest value in the series."""
+        self._require_nonempty()
+        return float(self.values.max())
+
+    def median(self) -> float:
+        """Median of the series."""
+        self._require_nonempty()
+        return float(np.median(self.values))
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the values."""
+        self._require_nonempty()
+        if not 0.0 <= q <= 1.0:
+            raise MeasurementError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    def coefficient_of_variation(self) -> float:
+        """std / mean — the scale-free stability measure used to compare
+        Bitcoin's volatility against Ethereum's."""
+        mean = self.mean()
+        if mean == 0:
+            raise MeasurementError("coefficient of variation undefined for zero mean")
+        return self.std() / abs(mean)
+
+    def fraction_in_range(self, low: float, high: float) -> float:
+        """Fraction of values inside the closed interval ``[low, high]``.
+
+        The paper phrases many findings this way ("most of the daily Gini
+        coefficients are within the range of 0.45 to 0.60").
+        """
+        self._require_nonempty()
+        inside = np.logical_and(self.values >= low, self.values <= high)
+        return float(inside.mean())
+
+    def count_extremes(self, low: float | None = None, high: float | None = None) -> int:
+        """Number of values below ``low`` and/or above ``high``."""
+        self._require_nonempty()
+        count = 0
+        if low is not None:
+            count += int((self.values < low).sum())
+        if high is not None:
+            count += int((self.values > high).sum())
+        return count
+
+    # -- transformation --------------------------------------------------------
+
+    def head_fraction(self, fraction: float) -> "MeasurementSeries":
+        """The leading ``fraction`` of the series (e.g. the first 50 days)."""
+        if not 0.0 < fraction <= 1.0:
+            raise MeasurementError(f"fraction must be in (0, 1], got {fraction}")
+        n = max(int(round(len(self) * fraction)), 1)
+        return self.slice(0, n)
+
+    def slice(self, start: int, stop: int | None = None) -> "MeasurementSeries":
+        """Sub-series of positions ``[start, stop)``."""
+        sl = slice(start, stop)
+        return MeasurementSeries(
+            chain_name=self.chain_name,
+            metric_name=self.metric_name,
+            window_desc=self.window_desc,
+            indices=self.indices[sl],
+            labels=self.labels[sl],
+            values=self.values[sl],
+            skipped=self.skipped,
+        )
+
+    def select_by_index(self, window_indices: Sequence[int]) -> "MeasurementSeries":
+        """Sub-series of windows whose family index is in ``window_indices``."""
+        wanted = set(int(i) for i in window_indices)
+        mask = np.asarray([int(i) in wanted for i in self.indices], dtype=bool)
+        positions = np.flatnonzero(mask)
+        return MeasurementSeries(
+            chain_name=self.chain_name,
+            metric_name=self.metric_name,
+            window_desc=self.window_desc,
+            indices=self.indices[positions],
+            labels=tuple(self.labels[int(p)] for p in positions),
+            values=self.values[positions],
+            skipped=self.skipped,
+        )
+
+    def to_table(self) -> Table:
+        """Export as a table with ``index``, ``label`` and ``value`` columns."""
+        return Table(
+            {
+                "index": self.indices,
+                "label": list(self.labels),
+                "value": self.values,
+            }
+        )
+
+    def _require_nonempty(self) -> None:
+        if len(self) == 0:
+            raise MeasurementError("series is empty")

@@ -1,0 +1,199 @@
+"""Streaming decentralization monitoring.
+
+The paper motivates sliding windows with timeliness: discovering abnormal
+changes as they happen, not at the end of a calendar interval.  This
+module is that deployment story: a :class:`StreamingMonitor` ingests
+blocks one at a time, maintains the trailing-N-blocks credit distribution
+incrementally (O(producers-per-block) per push), recomputes the metrics
+every ``stride`` blocks — the sliding step M — and fires alerts when a
+metric crosses a configured threshold.
+
+>>> monitor = StreamingMonitor(window_size=144, stride=72)
+>>> monitor.add_rule(ThresholdRule("nakamoto", below=4))       # doctest: +SKIP
+>>> for block in feed:                                         # doctest: +SKIP
+...     for alert in monitor.push(block.producers):
+...         page_operator(alert)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.metrics.base import Metric, get_metric
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Fire when a metric goes below ``below`` and/or above ``above``."""
+
+    metric: str
+    below: float | None = None
+    above: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.below is None and self.above is None:
+            raise MeasurementError("a rule needs at least one of below/above")
+
+    def triggered(self, value: float) -> bool:
+        """True if ``value`` crosses either configured bound."""
+        if self.below is not None and value < self.below:
+            return True
+        if self.above is not None and value > self.above:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule firing at one evaluation point."""
+
+    metric: str
+    value: float
+    #: Total blocks pushed when the alert fired.
+    block_count: int
+    rule: ThresholdRule
+
+    def __str__(self) -> str:
+        return f"block {self.block_count}: {self.metric}={self.value:.4f}"
+
+
+@dataclass
+class _WindowState:
+    """The trailing window: per-block producers and live weight totals."""
+
+    capacity: int
+    blocks: deque = field(default_factory=deque)
+    weights: dict = field(default_factory=dict)
+
+    def push(self, producers: Sequence[str], weight_each: float) -> None:
+        entry = tuple(producers)
+        self.blocks.append((entry, weight_each))
+        for producer in entry:
+            self.weights[producer] = self.weights.get(producer, 0.0) + weight_each
+        if len(self.blocks) > self.capacity:
+            old_producers, old_weight = self.blocks.popleft()
+            for producer in old_producers:
+                remaining = self.weights[producer] - old_weight
+                if remaining <= 1e-12:
+                    del self.weights[producer]
+                else:
+                    self.weights[producer] = remaining
+
+    def distribution(self) -> np.ndarray:
+        return np.asarray(list(self.weights.values()), dtype=np.float64)
+
+
+class StreamingMonitor:
+    """Incremental sliding-window measurement with threshold alerts."""
+
+    def __init__(
+        self,
+        window_size: int,
+        stride: int | None = None,
+        metrics: Sequence[str | Metric] = ("gini", "entropy", "nakamoto"),
+    ) -> None:
+        if window_size <= 0:
+            raise MeasurementError(f"window_size must be positive, got {window_size}")
+        if stride is None:
+            stride = max(window_size // 2, 1)
+        if stride <= 0:
+            raise MeasurementError(f"stride must be positive, got {stride}")
+        self.window_size = window_size
+        self.stride = stride
+        self._metrics = [
+            get_metric(metric) if isinstance(metric, str) else metric
+            for metric in metrics
+        ]
+        self._window = _WindowState(capacity=window_size)
+        self._rules: list[ThresholdRule] = []
+        self._block_count = 0
+        self._history: dict[str, list[tuple[int, float]]] = {
+            metric.name: [] for metric in self._metrics
+        }
+
+    # -- configuration -------------------------------------------------------
+
+    def add_rule(self, rule: ThresholdRule) -> None:
+        """Register an alert rule; its metric must be monitored."""
+        if rule.metric not in self._history:
+            raise MeasurementError(
+                f"rule metric {rule.metric!r} is not monitored; "
+                f"monitored: {sorted(self._history)}"
+            )
+        self._rules.append(rule)
+
+    # -- ingestion --------------------------------------------------------------
+
+    def push(self, producers: Sequence[str], fractional: bool = False) -> list[Alert]:
+        """Ingest one block; returns any alerts fired by this push.
+
+        ``producers`` are the block's payout addresses (usually one).
+        With ``fractional`` each address gets ``1/k`` credit, otherwise
+        each gets a full credit (the paper's per-address policy).
+        """
+        if not producers:
+            raise MeasurementError("a block needs at least one producer")
+        weight_each = 1.0 / len(producers) if fractional else 1.0
+        self._window.push(producers, weight_each)
+        self._block_count += 1
+        if (
+            self._block_count < self.window_size
+            or (self._block_count - self.window_size) % self.stride != 0
+        ):
+            return []
+        return self._evaluate()
+
+    def push_many(self, blocks: Sequence[Sequence[str]]) -> list[Alert]:
+        """Ingest a batch of blocks; returns all alerts fired."""
+        alerts: list[Alert] = []
+        for producers in blocks:
+            alerts.extend(self.push(producers))
+        return alerts
+
+    def _evaluate(self) -> list[Alert]:
+        distribution = self._window.distribution()
+        alerts: list[Alert] = []
+        for metric in self._metrics:
+            value = float(metric.compute(distribution))
+            self._history[metric.name].append((self._block_count, value))
+            for rule in self._rules:
+                if rule.metric == metric.name and rule.triggered(value):
+                    alerts.append(
+                        Alert(
+                            metric=metric.name,
+                            value=value,
+                            block_count=self._block_count,
+                            rule=rule,
+                        )
+                    )
+        return alerts
+
+    # -- inspection -----------------------------------------------------------------
+
+    @property
+    def blocks_seen(self) -> int:
+        """Total blocks pushed so far."""
+        return self._block_count
+
+    def current(self, metric: str) -> float:
+        """Compute ``metric`` over the current window immediately."""
+        if len(self._window.blocks) == 0:
+            raise MeasurementError("no blocks in the window yet")
+        resolved = get_metric(metric)
+        return float(resolved.compute(self._window.distribution()))
+
+    def history(self, metric: str) -> list[tuple[int, float]]:
+        """(block_count, value) pairs of all evaluations for ``metric``."""
+        try:
+            return list(self._history[metric])
+        except KeyError:
+            raise MeasurementError(f"metric {metric!r} is not monitored") from None
+
+    def producers_in_window(self) -> int:
+        """Distinct producers currently in the window."""
+        return len(self._window.weights)

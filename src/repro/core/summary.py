@@ -1,0 +1,54 @@
+"""Series summaries — the statistics the paper quotes per figure."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.core.series import MeasurementSeries
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """The descriptive statistics reported alongside each figure."""
+
+    chain_name: str
+    metric_name: str
+    window_desc: str
+    n_windows: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q05: float
+    q95: float
+    coefficient_of_variation: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON export / table rows."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.chain_name}/{self.metric_name}/{self.window_desc}: "
+            f"n={self.n_windows} mean={self.mean:.4f} std={self.std:.4f} "
+            f"range=[{self.minimum:.4f}, {self.maximum:.4f}]"
+        )
+
+
+def summarize(series: MeasurementSeries) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for ``series``."""
+    return SeriesSummary(
+        chain_name=series.chain_name,
+        metric_name=series.metric_name,
+        window_desc=series.window_desc,
+        n_windows=len(series),
+        mean=series.mean(),
+        std=series.std(),
+        minimum=series.min(),
+        maximum=series.max(),
+        median=series.median(),
+        q05=series.quantile(0.05),
+        q95=series.quantile(0.95),
+        coefficient_of_variation=series.coefficient_of_variation(),
+    )

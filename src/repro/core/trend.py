@@ -1,0 +1,75 @@
+"""Trend utilities over measurement series (extension).
+
+Rolling statistics and detrending support the "continuous trends" side of
+the paper's motivation: a rolling mean shows the drift of decentralization
+over 2019, and detrended residuals separate slow drift from the short-term
+fluctuations the stability comparison is really about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.series import MeasurementSeries
+from repro.errors import MeasurementError
+
+
+def _derived(series: MeasurementSeries, values: np.ndarray, suffix: str) -> MeasurementSeries:
+    return MeasurementSeries(
+        chain_name=series.chain_name,
+        metric_name=series.metric_name,
+        window_desc=f"{series.window_desc}:{suffix}",
+        indices=series.indices,
+        labels=series.labels,
+        values=values,
+        skipped=series.skipped,
+    )
+
+
+def rolling_mean(series: MeasurementSeries, window: int) -> MeasurementSeries:
+    """Centered rolling mean (edges use the available neighborhood)."""
+    if window < 1:
+        raise MeasurementError(f"window must be >= 1, got {window}")
+    values = series.values
+    n = values.shape[0]
+    if n == 0:
+        return _derived(series, values.copy(), f"rollmean{window}")
+    half = window // 2
+    cumulative = np.concatenate(([0.0], np.cumsum(values)))
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = (cumulative[hi] - cumulative[lo]) / (hi - lo)
+    return _derived(series, out, f"rollmean{window}")
+
+
+def rolling_std(series: MeasurementSeries, window: int) -> MeasurementSeries:
+    """Centered rolling population standard deviation."""
+    if window < 2:
+        raise MeasurementError(f"window must be >= 2, got {window}")
+    values = series.values
+    n = values.shape[0]
+    half = window // 2
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = values[lo:hi].std(ddof=0)
+    return _derived(series, out, f"rollstd{window}")
+
+
+def detrend(series: MeasurementSeries, window: int) -> MeasurementSeries:
+    """Residuals after removing the centered rolling mean."""
+    trend = rolling_mean(series, window)
+    return _derived(series, series.values - trend.values, f"detrended{window}")
+
+
+def linear_trend(series: MeasurementSeries) -> tuple[float, float]:
+    """Least-squares ``(slope per window, intercept)`` of the series."""
+    values = series.values
+    if values.shape[0] < 2:
+        raise MeasurementError("linear trend requires at least two points")
+    x = np.arange(values.shape[0], dtype=np.float64)
+    slope, intercept = np.polyfit(x, values, 1)
+    return float(slope), float(intercept)

@@ -1,0 +1,15 @@
+"""Dataset persistence: partitioned on-disk chain storage and caching.
+
+The paper's datasets were one-off BigQuery extracts; this package provides
+the equivalent local workflow — simulate once, store partitioned by month,
+reload instantly:
+
+>>> from repro.data import ChainStore, cached_chain
+>>> store = ChainStore("datasets/")                    # doctest: +SKIP
+>>> chain = cached_chain(store, "btc-2019", simulate_bitcoin_2019)  # doctest: +SKIP
+"""
+
+from repro.data.cache import cached_chain
+from repro.data.store import ChainStore
+
+__all__ = ["ChainStore", "cached_chain"]

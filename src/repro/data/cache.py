@@ -1,0 +1,30 @@
+"""Simulate-once chain caching on top of :class:`ChainStore`."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chain.chain import Chain
+from repro.data.store import ChainStore
+
+
+def cached_chain(
+    store: ChainStore,
+    name: str,
+    build: Callable[[], Chain],
+    refresh: bool = False,
+) -> Chain:
+    """Return the stored chain ``name``, building and storing it if absent.
+
+    ``build`` is only invoked on a cache miss (or when ``refresh`` is
+    true), so expensive simulations — Ethereum's 2.2M blocks take several
+    seconds — run once per store.
+
+    >>> store = ChainStore(tmpdir)                              # doctest: +SKIP
+    >>> eth = cached_chain(store, "eth-2019", simulate_ethereum_2019)  # doctest: +SKIP
+    """
+    if refresh or not store.exists(name):
+        chain = build()
+        store.save(name, chain, overwrite=True)
+        return chain
+    return store.load(name)

@@ -1,0 +1,221 @@
+"""Partitioned on-disk chain storage.
+
+A stored chain is a directory::
+
+    <root>/<name>/
+        manifest.json        spec fields + partition list + checksums
+        producers.json       the shared producer-name table
+        part-2019-01.npz     one numpy archive per calendar month
+        ...
+        part-2019-12.npz
+
+Each partition holds the month's ``heights``, ``timestamps``, per-block
+``counts`` (producers per block) and ``producer_ids``.  Loading
+concatenates partitions in order and rebuilds the CSR offsets, validating
+against the manifest's row counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.chain.chain import Chain
+from repro.chain.specs import ChainSpec
+from repro.errors import ReproError
+from repro.util.timeutils import month_index
+
+
+class ChainStoreError(ReproError):
+    """Raised on missing, corrupt or inconsistent stored chains."""
+
+
+_MANIFEST_VERSION = 1
+
+
+class ChainStore:
+    """Stores chains under a root directory, partitioned by month."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- catalog -----------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Names of all stored chains, sorted."""
+        return sorted(
+            child.name
+            for child in self.root.iterdir()
+            if (child / "manifest.json").is_file()
+        )
+
+    def exists(self, name: str) -> bool:
+        """True if a chain named ``name`` is stored."""
+        return (self.root / name / "manifest.json").is_file()
+
+    def delete(self, name: str) -> None:
+        """Remove a stored chain (no error if absent)."""
+        directory = self.root / name
+        if not directory.is_dir():
+            return
+        for child in directory.iterdir():
+            child.unlink()
+        directory.rmdir()
+
+    # -- save ---------------------------------------------------------------
+
+    def save(self, name: str, chain: Chain, overwrite: bool = False) -> Path:
+        """Persist ``chain`` as ``name``; returns the chain directory."""
+        if not name or "/" in name:
+            raise ChainStoreError(f"invalid chain name: {name!r}")
+        directory = self.root / name
+        if self.exists(name):
+            if not overwrite:
+                raise ChainStoreError(f"chain {name!r} already exists")
+            self.delete(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        months = np.asarray(month_index(chain.timestamps))
+        counts = chain.producer_counts()
+        partitions = []
+        for month in np.unique(months):
+            rows = np.flatnonzero(months == month)
+            start, stop = int(rows[0]), int(rows[-1]) + 1
+            lo, hi = int(chain.offsets[start]), int(chain.offsets[stop])
+            label = f"2019-{int(month) + 1:02d}" if 0 <= month < 12 else f"m{int(month)}"
+            path = directory / f"part-{label}.npz"
+            np.savez_compressed(
+                path,
+                heights=chain.heights[start:stop],
+                timestamps=chain.timestamps[start:stop],
+                counts=counts[start:stop],
+                producer_ids=chain.producer_ids[lo:hi],
+            )
+            partitions.append(
+                {
+                    "file": path.name,
+                    "n_blocks": stop - start,
+                    "n_credits": hi - lo,
+                }
+            )
+        (directory / "producers.json").write_text(
+            json.dumps(list(chain.producer_names)), encoding="utf-8"
+        )
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "spec": {
+                "name": chain.spec.name,
+                "start_height": chain.spec.start_height,
+                "block_count": chain.spec.block_count,
+                "target_interval": chain.spec.target_interval,
+                "blocks_per_day": chain.spec.blocks_per_day,
+                "window_day": chain.spec.window_day,
+                "window_week": chain.spec.window_week,
+                "window_month": chain.spec.window_month,
+            },
+            "n_blocks": chain.n_blocks,
+            "n_credits": chain.n_credits,
+            "n_producers": chain.n_producers,
+            "partitions": partitions,
+        }
+        (directory / "manifest.json").write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        return directory
+
+    # -- load ----------------------------------------------------------------
+
+    def load(self, name: str) -> Chain:
+        """Load a stored chain; raises :class:`ChainStoreError` if broken."""
+        directory = self.root / name
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.is_file():
+            raise ChainStoreError(f"no stored chain named {name!r} under {self.root}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ChainStoreError(f"corrupt manifest for {name!r}: {exc}") from exc
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ChainStoreError(
+                f"unsupported manifest version {manifest.get('version')!r}"
+            )
+        spec = ChainSpec(**manifest["spec"])
+        producers = json.loads(
+            (directory / "producers.json").read_text(encoding="utf-8")
+        )
+        heights, timestamps, counts, producer_ids = [], [], [], []
+        for partition in manifest["partitions"]:
+            path = directory / partition["file"]
+            if not path.is_file():
+                raise ChainStoreError(f"missing partition file {path.name}")
+            with np.load(path) as archive:
+                if archive["heights"].shape[0] != partition["n_blocks"]:
+                    raise ChainStoreError(
+                        f"partition {path.name}: expected {partition['n_blocks']} "
+                        f"blocks, found {archive['heights'].shape[0]}"
+                    )
+                heights.append(archive["heights"])
+                timestamps.append(archive["timestamps"])
+                counts.append(archive["counts"])
+                producer_ids.append(archive["producer_ids"])
+        all_counts = np.concatenate(counts) if counts else np.zeros(0, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(all_counts)))
+        chain = Chain(
+            spec,
+            np.concatenate(heights) if heights else np.zeros(0, dtype=np.int64),
+            np.concatenate(timestamps) if timestamps else np.zeros(0, dtype=np.int64),
+            offsets,
+            np.concatenate(producer_ids) if producer_ids else np.zeros(0, dtype=np.int64),
+            producers,
+        )
+        if chain.n_blocks != manifest["n_blocks"]:
+            raise ChainStoreError(
+                f"manifest says {manifest['n_blocks']} blocks, loaded {chain.n_blocks}"
+            )
+        if chain.n_credits != manifest["n_credits"]:
+            raise ChainStoreError(
+                f"manifest says {manifest['n_credits']} credits, loaded {chain.n_credits}"
+            )
+        return chain
+
+    def load_months(self, name: str, months: list[int]) -> Chain:
+        """Load only the given 0-based months of a stored chain.
+
+        Partition pruning: untouched partition files are never read.  The
+        resulting chain keeps the original spec but holds only the selected
+        months' blocks.
+        """
+        directory = self.root / name
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.is_file():
+            raise ChainStoreError(f"no stored chain named {name!r} under {self.root}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        wanted = {f"part-2019-{m + 1:02d}.npz" for m in months}
+        unknown = wanted - {p["file"] for p in manifest["partitions"]}
+        if unknown:
+            raise ChainStoreError(f"months not present in store: {sorted(unknown)}")
+        spec = ChainSpec(**manifest["spec"])
+        producers = json.loads(
+            (directory / "producers.json").read_text(encoding="utf-8")
+        )
+        heights, timestamps, counts, producer_ids = [], [], [], []
+        for partition in manifest["partitions"]:
+            if partition["file"] not in wanted:
+                continue
+            with np.load(directory / partition["file"]) as archive:
+                heights.append(archive["heights"])
+                timestamps.append(archive["timestamps"])
+                counts.append(archive["counts"])
+                producer_ids.append(archive["producer_ids"])
+        all_counts = np.concatenate(counts)
+        offsets = np.concatenate(([0], np.cumsum(all_counts)))
+        return Chain(
+            spec,
+            np.concatenate(heights),
+            np.concatenate(timestamps),
+            offsets,
+            np.concatenate(producer_ids),
+            producers,
+        )

@@ -1,0 +1,46 @@
+"""Decentralization metrics over mining-power distributions.
+
+Every metric consumes a 1-D array of non-negative per-entity block credits
+(the output of :meth:`repro.chain.Credits.distribution`) and returns a
+scalar.  The paper's three metrics are :func:`gini_coefficient`,
+:func:`shannon_entropy` and :func:`nakamoto_coefficient`; the package adds
+HHI, Theil index, top-k share and normalized entropy as extensions, all
+registered in a common registry for the measurement engine.
+"""
+
+from repro.metrics.base import (
+    FunctionMetric,
+    Metric,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+from repro.metrics.registry import PAPER_METRICS
+from repro.metrics.entropy import effective_producers_entropy, normalized_entropy, shannon_entropy
+from repro.metrics.gini import gini_coefficient, lorenz_curve
+from repro.metrics.hhi import effective_producers_hhi, herfindahl_hirschman_index
+from repro.metrics.nakamoto import nakamoto_coefficient
+from repro.metrics.theil import theil_index
+from repro.metrics.topk import top_k_share
+from repro.metrics.uncertainty import BootstrapCI, bootstrap_ci
+
+__all__ = [
+    "BootstrapCI",
+    "FunctionMetric",
+    "Metric",
+    "PAPER_METRICS",
+    "bootstrap_ci",
+    "available_metrics",
+    "effective_producers_entropy",
+    "effective_producers_hhi",
+    "get_metric",
+    "gini_coefficient",
+    "herfindahl_hirschman_index",
+    "lorenz_curve",
+    "nakamoto_coefficient",
+    "normalized_entropy",
+    "register_metric",
+    "shannon_entropy",
+    "theil_index",
+    "top_k_share",
+]

@@ -1,0 +1,88 @@
+"""Metric protocol, validation and registry.
+
+A *metric* is anything with a ``name`` and a ``compute(values) -> float``
+where ``values`` is a 1-D array of positive per-entity credit totals.  The
+registry lets the measurement engine and the CLI look metrics up by name;
+:func:`register_metric` accepts user-defined metrics (see
+``examples/custom_metric.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import MetricError
+
+
+@runtime_checkable
+class Metric(Protocol):
+    """The interface the measurement engine expects."""
+
+    name: str
+
+    def compute(self, values: np.ndarray) -> float:
+        """Reduce a per-entity credit distribution to a scalar."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class FunctionMetric:
+    """Adapts a plain function to the :class:`Metric` protocol."""
+
+    name: str
+    fn: Callable[[np.ndarray], float]
+
+    def compute(self, values: np.ndarray) -> float:
+        """Apply the wrapped function to the distribution."""
+        return self.fn(values)
+
+
+def validate_distribution(values: np.ndarray | list[float]) -> np.ndarray:
+    """Validate and canonicalize a credit distribution.
+
+    Requires a non-empty 1-D array of finite, non-negative values with a
+    positive sum; zero entries are dropped (an entity with zero credits in
+    the window is simply absent from it).
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise MetricError(f"distribution must be 1-D, got shape {array.shape}")
+    if array.size == 0:
+        raise MetricError("distribution must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise MetricError("distribution contains non-finite values")
+    if np.any(array < 0):
+        raise MetricError("distribution contains negative values")
+    array = array[array > 0]
+    if array.size == 0:
+        raise MetricError("distribution sums to zero")
+    return array
+
+
+_REGISTRY: dict[str, Metric] = {}
+
+
+def register_metric(metric: Metric, overwrite: bool = False) -> None:
+    """Add ``metric`` to the global registry under ``metric.name``."""
+    if not metric.name:
+        raise MetricError("metric name must be non-empty")
+    if metric.name in _REGISTRY and not overwrite:
+        raise MetricError(f"metric {metric.name!r} is already registered")
+    _REGISTRY[metric.name] = metric
+
+
+def get_metric(name: str) -> Metric:
+    """Look a metric up by name; raise :class:`MetricError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MetricError(f"unknown metric {name!r}; available: {known}") from None
+
+
+def available_metrics() -> tuple[str, ...]:
+    """Sorted names of all registered metrics."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,50 @@
+"""Shannon entropy (paper Eqs. 2–3).
+
+.. math::
+
+    p_i = \\frac{b_i}{\\sum_j b_j}, \\qquad
+    E = -\\sum_i p_i \\log_2 p_i
+
+Higher entropy means block production is spread more evenly over more
+entities — the paper reads it as a higher degree of decentralization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import validate_distribution
+
+
+def shannon_entropy(values: np.ndarray | list[float]) -> float:
+    """Shannon entropy of a credit distribution, in bits.
+
+    >>> shannon_entropy([1, 1, 1, 1])
+    2.0
+    >>> shannon_entropy([42.0])
+    0.0
+    """
+    array = validate_distribution(values)
+    p = array / array.sum()
+    # "+ 0.0" normalizes the single-entity case's -0.0 to 0.0.
+    return float(-(p * np.log2(p)).sum()) + 0.0
+
+
+def normalized_entropy(values: np.ndarray | list[float]) -> float:
+    """Entropy divided by its maximum ``log2(n)``; in ``[0, 1]``.
+
+    A population-size-independent variant: 1 means perfectly even
+    production among the entities present, regardless of how many there
+    are.  Defined as 1.0 for a single-entity distribution.
+    """
+    array = validate_distribution(values)
+    n = array.shape[0]
+    if n == 1:
+        return 1.0
+    return shannon_entropy(array) / float(np.log2(n))
+
+
+def effective_producers_entropy(values: np.ndarray | list[float]) -> float:
+    """Perplexity ``2^E``: the number of equally-sized entities with the
+    same entropy.  An interpretable "effective population" size."""
+    return float(2.0 ** shannon_entropy(values))

@@ -1,0 +1,30 @@
+"""Herfindahl–Hirschman index (extension metric).
+
+The sum of squared shares :math:`HHI = \\sum_i p_i^2`, a standard market
+concentration measure.  Ranges from :math:`1/n` (perfectly even over ``n``
+entities) to 1 (monopoly); *lower* is more decentralized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import validate_distribution
+
+
+def herfindahl_hirschman_index(values: np.ndarray | list[float]) -> float:
+    """HHI of a credit distribution, in ``(0, 1]``.
+
+    >>> herfindahl_hirschman_index([1, 1, 1, 1])
+    0.25
+    >>> herfindahl_hirschman_index([10.0])
+    1.0
+    """
+    array = validate_distribution(values)
+    p = array / array.sum()
+    return float((p * p).sum())
+
+
+def effective_producers_hhi(values: np.ndarray | list[float]) -> float:
+    """Inverse HHI: the "effective number" of equally-sized producers."""
+    return 1.0 / herfindahl_hirschman_index(values)

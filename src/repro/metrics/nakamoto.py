@@ -1,0 +1,41 @@
+"""Nakamoto coefficient (paper Eq. 4).
+
+.. math::
+
+    N = \\min \\{ k : \\sum_{i=1}^{k} p_{(i)} \\ge 0.51 \\}
+
+with :math:`p_{(i)}` the entity shares sorted descending — the minimum
+number of entities that must collude to control a majority of mining
+power.  Higher is more decentralized.  The default threshold is the
+paper's 0.51; pass ``threshold=0.33`` for the selfish-mining bound the
+paper's introduction discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.base import validate_distribution
+
+
+def nakamoto_coefficient(
+    values: np.ndarray | list[float], threshold: float = 0.51
+) -> int:
+    """Minimum number of entities whose combined share reaches ``threshold``.
+
+    >>> nakamoto_coefficient([40, 30, 20, 10])
+    2
+    >>> nakamoto_coefficient([40, 30, 20, 10], threshold=0.33)
+    1
+    >>> nakamoto_coefficient([1, 1, 1, 1])
+    3
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise MetricError(f"threshold must be in (0, 1], got {threshold}")
+    array = validate_distribution(values)
+    shares = np.sort(array)[::-1] / array.sum()
+    cumulative = np.cumsum(shares)
+    # Guard the final element against floating-point undershoot of 1.0.
+    cumulative[-1] = max(cumulative[-1], 1.0)
+    return int(np.searchsorted(cumulative, threshold, side="left") + 1)

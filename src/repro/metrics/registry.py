@@ -1,0 +1,52 @@
+"""Registration of the standard metric set.
+
+Importing :mod:`repro.metrics` installs these metrics in the global
+registry.  Names used by the measurement engine, the figures and the CLI:
+
+* ``gini`` — paper metric 1
+* ``entropy`` — paper metric 2 (Shannon entropy, bits)
+* ``nakamoto`` — paper metric 3 (threshold 0.51)
+* ``nakamoto-33`` — selfish-mining threshold 0.33 (paper §I)
+* ``hhi``, ``theil``, ``top4-share``, ``normalized-entropy``,
+  ``effective-producers`` — extension metrics
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.metrics.base import FunctionMetric, available_metrics, register_metric
+from repro.metrics.entropy import (
+    effective_producers_entropy,
+    normalized_entropy,
+    shannon_entropy,
+)
+from repro.metrics.gini import gini_coefficient
+from repro.metrics.hhi import herfindahl_hirschman_index
+from repro.metrics.nakamoto import nakamoto_coefficient
+from repro.metrics.theil import theil_index
+from repro.metrics.topk import top_k_share
+
+#: Metric names measured by the paper itself.
+PAPER_METRICS = ("gini", "entropy", "nakamoto")
+
+
+def _register_defaults() -> None:
+    defaults = [
+        FunctionMetric("gini", gini_coefficient),
+        FunctionMetric("entropy", shannon_entropy),
+        FunctionMetric("nakamoto", nakamoto_coefficient),
+        FunctionMetric("nakamoto-33", partial(nakamoto_coefficient, threshold=0.33)),
+        FunctionMetric("hhi", herfindahl_hirschman_index),
+        FunctionMetric("theil", theil_index),
+        FunctionMetric("top4-share", partial(top_k_share, k=4)),
+        FunctionMetric("normalized-entropy", normalized_entropy),
+        FunctionMetric("effective-producers", effective_producers_entropy),
+    ]
+    existing = set(available_metrics())
+    for metric in defaults:
+        if metric.name not in existing:
+            register_metric(metric)
+
+
+_register_defaults()

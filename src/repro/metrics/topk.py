@@ -1,0 +1,31 @@
+"""Top-k share (extension metric).
+
+The combined share of the ``k`` largest producers — a direct, intuitive
+concentration readout (e.g. "the top 4 pools mine 55% of blocks").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metrics.base import validate_distribution
+
+
+def top_k_share(values: np.ndarray | list[float], k: int = 4) -> float:
+    """Combined share of the ``k`` heaviest entities, in ``(0, 1]``.
+
+    If fewer than ``k`` entities exist the share is 1.0.
+
+    >>> top_k_share([50, 30, 10, 10], k=2)
+    0.8
+    >>> top_k_share([1.0], k=4)
+    1.0
+    """
+    if k <= 0:
+        raise MetricError(f"k must be positive, got {k}")
+    array = validate_distribution(values)
+    top = np.sort(array)[::-1][:k]
+    # Summation order differs between `top` and `array`, so the ratio can
+    # exceed 1.0 by a rounding epsilon; clamp it.
+    return min(float(top.sum() / array.sum()), 1.0)

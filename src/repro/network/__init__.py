@@ -1,0 +1,35 @@
+"""Network-layer decentralization (extension; related work [5]).
+
+The paper's related work (Gencer et al., FC'18) measures decentralization
+at the *network* layer — node topology, relay concentration, propagation —
+rather than the consensus layer the paper itself measures.  This package
+builds that substrate: P2P topology generation with latency-weighted
+edges, pool-gateway placement, network decentralization metrics (degree
+Gini, betweenness concentration, relay dominance) and a block-propagation
+model, so the two layers can be compared on the same simulated chains.
+"""
+
+from repro.network.advantage import AdvantageReport, connectivity_advantage
+from repro.network.metrics import (
+    betweenness_concentration,
+    degree_gini,
+    network_nakamoto,
+    relay_dominance,
+)
+from repro.network.propagation import PropagationReport, propagation_report, stale_rate
+from repro.network.topology import NetworkParams, P2PNetwork, generate_network
+
+__all__ = [
+    "AdvantageReport",
+    "NetworkParams",
+    "connectivity_advantage",
+    "P2PNetwork",
+    "PropagationReport",
+    "betweenness_concentration",
+    "degree_gini",
+    "generate_network",
+    "network_nakamoto",
+    "propagation_report",
+    "relay_dominance",
+    "stale_rate",
+]

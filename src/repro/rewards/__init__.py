@@ -1,0 +1,38 @@
+"""Reward and wealth decentralization (extension; related work [9]).
+
+The paper measures who *produces blocks*; Kwon et al. ([9], AFT'19) argue
+the deeper question is who *accumulates the rewards*.  This package prices
+every block (subsidy + fee model), attributes the income, and measures
+the decentralization of cumulative wealth with the same metrics — so the
+production and wealth layers can be compared on identical data.
+"""
+
+from repro.rewards.schedule import (
+    BITCOIN_REWARDS_2019,
+    ETHEREUM_REWARDS_2019,
+    RewardSchedule,
+)
+from repro.rewards.uncles import (
+    ETHEREUM_UNCLES_2019,
+    UncleModel,
+    income_with_uncles,
+    uncle_credits,
+)
+from repro.rewards.wealth import (
+    cumulative_wealth_series,
+    reward_credits,
+    total_rewards_by_entity,
+)
+
+__all__ = [
+    "BITCOIN_REWARDS_2019",
+    "ETHEREUM_REWARDS_2019",
+    "ETHEREUM_UNCLES_2019",
+    "RewardSchedule",
+    "UncleModel",
+    "cumulative_wealth_series",
+    "income_with_uncles",
+    "reward_credits",
+    "total_rewards_by_entity",
+    "uncle_credits",
+]

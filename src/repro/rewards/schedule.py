@@ -1,0 +1,62 @@
+"""Block reward schedules.
+
+A block's income is the protocol subsidy plus transaction fees, modeled
+lognormal (fee income is heavy-tailed: most blocks earn modest fees, a
+few congestion blocks earn multiples of the median).  2019 constants:
+Bitcoin paid 12.5 BTC subsidy with ~0.2–0.5 BTC median fees; Ethereum paid
+2 ETH subsidy with ~0.1–0.2 ETH fees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class RewardSchedule:
+    """Per-block income model: ``subsidy + lognormal fees``."""
+
+    name: str
+    #: Protocol subsidy per block, in native units.
+    subsidy: float
+    #: Median fee income per block.
+    fee_median: float
+    #: Lognormal sigma of fee income (heavy tail).
+    fee_sigma: float
+
+    def __post_init__(self) -> None:
+        if self.subsidy < 0 or self.fee_median < 0:
+            raise SimulationError("subsidy and fee_median must be >= 0")
+        if self.fee_sigma < 0:
+            raise SimulationError("fee_sigma must be >= 0")
+
+    def draw(self, n_blocks: int, seed: int) -> np.ndarray:
+        """Per-block rewards for ``n_blocks`` blocks (deterministic per seed)."""
+        if n_blocks < 0:
+            raise SimulationError("n_blocks must be >= 0")
+        rng = derive_rng(seed, f"rewards/{self.name}")
+        if self.fee_median == 0 or self.fee_sigma == 0:
+            fees = np.full(n_blocks, self.fee_median)
+        else:
+            fees = rng.lognormal(np.log(self.fee_median), self.fee_sigma, size=n_blocks)
+        return self.subsidy + fees
+
+    def expected_reward(self) -> float:
+        """Mean per-block reward implied by the model."""
+        return self.subsidy + self.fee_median * float(np.exp(self.fee_sigma**2 / 2.0))
+
+
+#: Bitcoin 2019: 12.5 BTC subsidy, heavy-tailed fees around 0.3 BTC.
+BITCOIN_REWARDS_2019 = RewardSchedule(
+    name="bitcoin", subsidy=12.5, fee_median=0.30, fee_sigma=0.9
+)
+
+#: Ethereum 2019 (post-Constantinople): 2 ETH subsidy, ~0.15 ETH fees.
+ETHEREUM_REWARDS_2019 = RewardSchedule(
+    name="ethereum", subsidy=2.0, fee_median=0.15, fee_sigma=0.8
+)

@@ -1,0 +1,124 @@
+"""Uncle (ommer) income for Ethereum-style chains.
+
+Ethereum's 2019 uncle rate ran around 7%: for every ~14 main-chain blocks
+one stale block was referenced as an uncle and its producer still earned
+up to 7/8 of the subsidy (plus the nephew's 1/32 inclusion bonus).  Uncle
+income therefore redistributes a material slice of total issuance — and
+because uncles come from the *same* hashrate distribution as main blocks,
+it thickens every producer's income roughly proportionally.  This module
+generates an uncle income stream alongside a chain and merges it with the
+main-chain rewards so wealth measurements can include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.attribution import Credits
+from repro.chain.chain import Chain
+from repro.errors import SimulationError
+from repro.rewards.schedule import RewardSchedule
+from repro.rewards.wealth import reward_credits
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class UncleModel:
+    """Uncle frequency and payout parameters."""
+
+    #: Probability that a main-chain block references one uncle.
+    rate: float = 0.068
+    #: Average uncle payout as a fraction of the block subsidy ((8-d)/8).
+    reward_fraction: float = 0.875
+    #: Nephew's inclusion bonus as a fraction of the subsidy (1/32).
+    nephew_bonus: float = 1.0 / 32.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise SimulationError(f"rate must be in [0, 1), got {self.rate}")
+        if not 0.0 < self.reward_fraction <= 1.0:
+            raise SimulationError("reward_fraction must be in (0, 1]")
+        if self.nephew_bonus < 0:
+            raise SimulationError("nephew_bonus must be >= 0")
+
+
+ETHEREUM_UNCLES_2019 = UncleModel()
+
+
+def uncle_credits(
+    chain: Chain,
+    schedule: RewardSchedule,
+    model: UncleModel = ETHEREUM_UNCLES_2019,
+    seed: int = 2019,
+) -> Credits:
+    """Income credits from uncle production and nephew bonuses.
+
+    Each main block hosts an uncle with probability ``model.rate``.  The
+    uncle's producer is drawn from a neighboring block's producer (same
+    hashrate distribution, local in time); it earns
+    ``subsidy * reward_fraction`` and the nephew block's producer earns
+    ``subsidy * nephew_bonus``.
+    """
+    rng = derive_rng(seed, "rewards/uncles")
+    n = chain.n_blocks
+    host_mask = rng.random(n) < model.rate
+    hosts = np.flatnonzero(host_mask)
+    # Uncle producers: the producer of a block within +/- 100 positions.
+    offsets = rng.integers(-100, 101, size=hosts.shape[0])
+    donor_blocks = np.clip(hosts + offsets, 0, n - 1)
+    first_credit = chain.offsets[:-1]
+    uncle_producers = chain.producer_ids[first_credit[donor_blocks]]
+    nephew_producers = chain.producer_ids[first_credit[hosts]]
+    positions = np.concatenate([hosts, hosts])
+    entities = np.concatenate([uncle_producers, nephew_producers])
+    weights = np.concatenate(
+        [
+            np.full(hosts.shape[0], schedule.subsidy * model.reward_fraction),
+            np.full(hosts.shape[0], schedule.subsidy * model.nephew_bonus),
+        ]
+    )
+    order = np.argsort(positions, kind="stable")
+    positions = positions[order]
+    entities = entities[order]
+    weights = weights[order]
+    block_offsets = np.searchsorted(positions, np.arange(n + 1))
+    return Credits(
+        chain_name=chain.spec.name,
+        policy=f"uncles-{schedule.name}",
+        entity_ids=entities.astype(np.int64),
+        weights=weights.astype(np.float64),
+        block_positions=positions.astype(np.int64),
+        timestamps=chain.timestamps[positions],
+        block_offsets=block_offsets.astype(np.int64),
+        entity_names=list(chain.producer_names),
+    )
+
+
+def income_with_uncles(
+    chain: Chain,
+    schedule: RewardSchedule,
+    model: UncleModel = ETHEREUM_UNCLES_2019,
+    seed: int = 2019,
+) -> Credits:
+    """Main-chain rewards merged with uncle/nephew income, in block order."""
+    main = reward_credits(chain, schedule, seed=seed)
+    uncles = uncle_credits(chain, schedule, model=model, seed=seed)
+    positions = np.concatenate([main.block_positions, uncles.block_positions])
+    entities = np.concatenate([main.entity_ids, uncles.entity_ids])
+    weights = np.concatenate([main.weights, uncles.weights])
+    timestamps = np.concatenate([main.timestamps, uncles.timestamps])
+    order = np.argsort(positions, kind="stable")
+    positions = positions[order]
+    block_offsets = np.searchsorted(positions, np.arange(chain.n_blocks + 1))
+    return Credits(
+        chain_name=chain.spec.name,
+        policy=f"income+uncles-{schedule.name}",
+        entity_ids=entities[order],
+        weights=weights[order],
+        block_positions=positions,
+        timestamps=timestamps[order],
+        block_offsets=block_offsets.astype(np.int64),
+        entity_names=list(chain.producer_names),
+    )

@@ -1,0 +1,57 @@
+"""PoW mining simulator — the stand-in for the paper's BigQuery chain data.
+
+The simulator generates a full year (2019) of blocks for a configured
+chain: per-day block counts from a difficulty-adjusted production-rate
+model, timestamps within each day, and per-block producers drawn from a
+population of mining pools (with drifting, jittered hashrate shares), a
+set of persistent small miners and a stream of one-off singleton miners.
+Anomaly injectors reproduce the events the paper documents, such as the
+day-14 Bitcoin blocks carrying 80–90 coinbase addresses.
+
+The calibrated entry points are in :mod:`repro.simulation.scenarios`:
+
+>>> from repro.simulation import simulate_bitcoin_2019
+>>> chain = simulate_bitcoin_2019(seed=7)   # doctest: +SKIP
+"""
+
+from repro.simulation.anomalies import MultiCoinbaseEvent, ShareSpike
+from repro.simulation.arrivals import allocate_daily_counts, draw_timestamps_for_day
+from repro.simulation.difficulty import (
+    bitcoin_daily_rates,
+    ethereum_daily_rates,
+    piecewise_curve,
+)
+from repro.simulation.dpos import DPOS_2019, DposParams, DposSimulator, simulate_dpos_2019
+from repro.simulation.hashrate import HashrateSchedule
+from repro.simulation.miners import MinerPopulation, TailConfig
+from repro.simulation.params import SimulationParams
+from repro.simulation.powsim import ChainSimulator
+from repro.simulation.scenarios import (
+    bitcoin_2019_params,
+    ethereum_2019_params,
+    simulate_bitcoin_2019,
+    simulate_ethereum_2019,
+)
+
+__all__ = [
+    "ChainSimulator",
+    "DPOS_2019",
+    "DposParams",
+    "DposSimulator",
+    "HashrateSchedule",
+    "MinerPopulation",
+    "MultiCoinbaseEvent",
+    "ShareSpike",
+    "SimulationParams",
+    "TailConfig",
+    "allocate_daily_counts",
+    "bitcoin_2019_params",
+    "bitcoin_daily_rates",
+    "draw_timestamps_for_day",
+    "ethereum_2019_params",
+    "ethereum_daily_rates",
+    "piecewise_curve",
+    "simulate_bitcoin_2019",
+    "simulate_dpos_2019",
+    "simulate_ethereum_2019",
+]

@@ -1,0 +1,89 @@
+"""Anomaly injection.
+
+Two anomaly families reproduce the events the paper analyses:
+
+* :class:`MultiCoinbaseEvent` — a block whose coinbase pays out to many
+  independent addresses (the paper's §II-C1d: Bitcoin blocks 558,473 and
+  558,545 on Jan 14, 2019 credited >80 and >90 producers).  Under the
+  per-address attribution policy such a block floods the day's producer
+  population with one-credit entities: Gini collapses, entropy spikes and
+  the Nakamoto coefficient explodes.
+* :class:`ShareSpike` — a pool's hashrate temporarily multiplied for a run
+  of days.  Placed across a week boundary it creates exactly the
+  cross-interval signal (§III-A) that fixed windows dilute and sliding
+  windows reveal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MultiCoinbaseEvent:
+    """Inject a block with ``n_addresses`` extra coinbase payout addresses.
+
+    The block keeps its originally drawn producer and gains ``n_addresses``
+    fresh one-off addresses, so it is credited to ``n_addresses + 1``
+    producers under per-address attribution.
+    """
+
+    #: 0-based day of 2019 on which the block occurs.
+    day: int
+    #: Fraction through the day's blocks at which the block sits (0..1).
+    position: float
+    #: Number of extra payout addresses.
+    n_addresses: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.day < 366:
+            raise SimulationError(f"day must be within the year, got {self.day}")
+        if not 0.0 <= self.position <= 1.0:
+            raise SimulationError(f"position must be in [0, 1], got {self.position}")
+        if self.n_addresses <= 0:
+            raise SimulationError("n_addresses must be positive")
+
+
+@dataclass(frozen=True)
+class ShareSpike:
+    """Multiply one pool's hashrate share for a run of (fractional) days.
+
+    The spike is applied at *block* level from timestamp
+    ``start_day * 86400`` for ``n_days * 86400`` seconds, so it can start
+    and stop mid-day.  A one-day spike straddling midnight is diluted to
+    ~50% intensity in each of the two fixed calendar days it touches, while
+    a sliding window aligned with the spike sees it at full strength —
+    precisely the cross-interval effect of paper §III-A / Fig. 13.
+    """
+
+    #: Pool name (must exist in the scenario's registry).
+    pool_name: str
+    #: Fractional 0-based day at which the spike starts (59.5 = noon of day 59).
+    start_day: float
+    #: Duration in (fractional) days.
+    n_days: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0:
+            raise SimulationError("n_days must be positive")
+        if self.factor <= 0:
+            raise SimulationError("factor must be positive")
+        if self.start_day < 0:
+            raise SimulationError("start_day must be >= 0")
+
+    @property
+    def start_ts(self) -> int:
+        """Unix timestamp at which the spike begins."""
+        from repro.util.timeutils import SECONDS_PER_DAY, YEAR_2019_START
+
+        return YEAR_2019_START + int(round(self.start_day * SECONDS_PER_DAY))
+
+    @property
+    def end_ts(self) -> int:
+        """Unix timestamp at which the spike ends (exclusive)."""
+        from repro.util.timeutils import SECONDS_PER_DAY
+
+        return self.start_ts + int(round(self.n_days * SECONDS_PER_DAY))

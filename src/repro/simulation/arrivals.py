@@ -1,0 +1,53 @@
+"""Block-count allocation and timestamp generation.
+
+The datasets must contain *exactly* the paper's block counts (54,231 and
+2,204,650), so daily counts are drawn as one multinomial over the relative
+daily rates — Poisson-like day-to-day variation with an exact total — and
+timestamps are uniform within each day, sorted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.util.timeutils import SECONDS_PER_DAY, day_start
+
+
+def allocate_daily_counts(
+    total_blocks: int,
+    daily_rates: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Split ``total_blocks`` across days proportionally to ``daily_rates``.
+
+    Returns an int array summing exactly to ``total_blocks``.
+    """
+    rates = np.asarray(daily_rates, dtype=np.float64)
+    if rates.ndim != 1 or rates.size == 0:
+        raise SimulationError("daily_rates must be a non-empty 1-D array")
+    if np.any(rates <= 0) or not np.all(np.isfinite(rates)):
+        raise SimulationError("daily_rates must be positive and finite")
+    if total_blocks < 0:
+        raise SimulationError(f"total_blocks must be >= 0, got {total_blocks}")
+    probabilities = rates / rates.sum()
+    counts = rng.multinomial(total_blocks, probabilities)
+    return counts.astype(np.int64)
+
+
+def draw_timestamps_for_day(
+    day: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` sorted Unix timestamps uniform in 2019 day ``day``.
+
+    Uniform order statistics within the day approximate a Poisson
+    process's arrival times conditioned on the day's block count.
+    """
+    if count < 0:
+        raise SimulationError(f"count must be >= 0, got {count}")
+    start = day_start(day)
+    timestamps = rng.integers(start, start + SECONDS_PER_DAY, size=count, dtype=np.int64)
+    timestamps.sort()
+    return timestamps

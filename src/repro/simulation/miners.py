@@ -1,0 +1,188 @@
+"""Miner population: pools + persistent small miners + singleton stream.
+
+Three tiers produce blocks:
+
+* **Pools** — the registry entities with interpolated, jittered shares.
+* **Persistent small miners** — a fixed set of small entities (solo farms,
+  tiny pools) holding a configured slice of total power all year.  They
+  keep one identity, so they do *not* inflate long-window producer
+  populations much.
+* **Singletons** — fresh one-block producers (one-off payout addresses).
+  Each appears exactly once, so longer windows accumulate more of them —
+  the mechanism behind the paper's granularity-dependent Gini levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.pools import PoolRegistry
+from repro.errors import SimulationError
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class TailConfig:
+    """Configuration of the non-pool producer tail."""
+
+    #: Number of persistent small miners.
+    persistent_count: int
+    #: Combined share of total mining power held by persistent small miners.
+    persistent_share: float
+    #: Mean singleton blocks per day during the early regime.
+    singleton_rate_early: float
+    #: Mean singleton blocks per day after ``early_period_end``.
+    singleton_rate_late: float
+    #: First day of the "late" regime (the paper's Bitcoin data becomes
+    #: markedly less fragmented after ~day 50).
+    early_period_end: int = 50
+
+    def __post_init__(self) -> None:
+        if self.persistent_count < 0:
+            raise SimulationError("persistent_count must be >= 0")
+        if not 0.0 <= self.persistent_share < 1.0:
+            raise SimulationError("persistent_share must be in [0, 1)")
+        if self.singleton_rate_early < 0 or self.singleton_rate_late < 0:
+            raise SimulationError("singleton rates must be >= 0")
+        if self.early_period_end < 0:
+            raise SimulationError("early_period_end must be >= 0")
+
+    def singleton_rate(self, day: int) -> float:
+        """Expected singleton blocks on ``day``."""
+        if day < self.early_period_end:
+            return self.singleton_rate_early
+        return self.singleton_rate_late
+
+
+class MinerPopulation:
+    """The entity universe of one simulated chain.
+
+    Entity ids are dense: pools first (registry order), then persistent
+    small miners, then singletons in order of appearance.
+    """
+
+    def __init__(
+        self,
+        prefix: str,
+        registry: PoolRegistry,
+        tail: TailConfig,
+        seed: int,
+    ) -> None:
+        self.prefix = prefix
+        self.registry = registry
+        self.tail = tail
+        self._names: list[str] = [pool.address for pool in registry.pools]
+        self.n_pools = len(self._names)
+        rng = derive_rng(seed, "miners/persistent-weights")
+        if tail.persistent_count > 0:
+            raw = rng.dirichlet(np.full(tail.persistent_count, 2.0))
+            self._persistent_weights = raw * tail.persistent_share
+            self._names.extend(
+                f"{prefix}-small-{i:04d}" for i in range(tail.persistent_count)
+            )
+        else:
+            self._persistent_weights = np.zeros(0)
+        self.n_persistent = tail.persistent_count
+        self._singleton_count = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def entity_names(self) -> list[str]:
+        """All entity names minted so far (pools, persistent, singletons)."""
+        return self._names
+
+    @property
+    def n_entities(self) -> int:
+        """Total entities minted so far."""
+        return len(self._names)
+
+    def pool_entity_ids(self) -> np.ndarray:
+        """Entity ids of the pools, in registry order."""
+        return np.arange(self.n_pools, dtype=np.int64)
+
+    def persistent_entity_ids(self) -> np.ndarray:
+        """Entity ids of the persistent small miners."""
+        return np.arange(self.n_pools, self.n_pools + self.n_persistent, dtype=np.int64)
+
+    def mint_singletons(self, day: int, count: int, kind: str = "1time") -> np.ndarray:
+        """Create ``count`` fresh one-off producers for ``day``; return ids.
+
+        ``kind`` distinguishes ordinary singleton miners (``"1time"``) from
+        extra coinbase payout addresses injected by anomalies (``"cbout"``).
+        """
+        if count < 0:
+            raise SimulationError("singleton count must be >= 0")
+        start = len(self._names)
+        self._names.extend(
+            f"{self.prefix}-{kind}-{day:03d}-{self._singleton_count + i:05d}"
+            for i in range(count)
+        )
+        self._singleton_count += count
+        return np.arange(start, start + count, dtype=np.int64)
+
+    # -- drawing -------------------------------------------------------------
+
+    def recurring_probabilities(self, pool_shares: np.ndarray) -> np.ndarray:
+        """Block-producer probabilities over pools + persistent miners.
+
+        ``pool_shares`` are the (unnormalized) pool shares for the day; the
+        persistent miners' weights are appended and the whole vector is
+        normalized.
+        """
+        if pool_shares.shape[0] != self.n_pools:
+            raise SimulationError(
+                f"expected {self.n_pools} pool shares, got {pool_shares.shape[0]}"
+            )
+        combined = np.concatenate([pool_shares, self._persistent_weights])
+        total = combined.sum()
+        if total <= 0:
+            raise SimulationError("miner probabilities sum to zero")
+        return combined / total
+
+    def draw_day(
+        self,
+        day: int,
+        n_blocks: int,
+        pool_shares: np.ndarray,
+        rng: np.random.Generator,
+        share_overrides: Sequence[tuple[np.ndarray, np.ndarray]] = (),
+    ) -> np.ndarray:
+        """Producer entity ids for the ``n_blocks`` blocks of ``day``.
+
+        ``share_overrides`` is a sequence of ``(block_mask, pool_shares)``
+        pairs: blocks selected by a mask are drawn from the alternative
+        pool-share vector (used for sub-day share spikes).  Masks are
+        applied in order; later masks win on overlap.
+        """
+        if n_blocks == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_singletons = min(
+            int(rng.poisson(self.tail.singleton_rate(day))), n_blocks
+        )
+        singleton_mask = np.zeros(n_blocks, dtype=bool)
+        if n_singletons:
+            positions = rng.choice(n_blocks, size=n_singletons, replace=False)
+            singleton_mask[positions] = True
+        producers = np.empty(n_blocks, dtype=np.int64)
+        if n_singletons:
+            producers[singleton_mask] = self.mint_singletons(day, n_singletons)
+        # Partition recurring blocks by which share vector governs them.
+        governing = np.zeros(n_blocks, dtype=np.int64)
+        share_vectors = [pool_shares]
+        for mask, shares in share_overrides:
+            if mask.shape[0] != n_blocks:
+                raise SimulationError("share override mask has wrong length")
+            share_vectors.append(shares)
+            governing[mask] = len(share_vectors) - 1
+        for vector_index, shares in enumerate(share_vectors):
+            rows = np.flatnonzero((governing == vector_index) & ~singleton_mask)
+            if rows.shape[0] == 0:
+                continue
+            probabilities = self.recurring_probabilities(shares)
+            producers[rows] = rng.choice(
+                probabilities.shape[0], size=rows.shape[0], p=probabilities
+            ).astype(np.int64)
+        return producers

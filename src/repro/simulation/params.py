@@ -1,0 +1,48 @@
+"""Top-level simulation parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.pools import PoolRegistry
+from repro.chain.specs import ChainSpec
+from repro.errors import SimulationError
+from repro.simulation.anomalies import MultiCoinbaseEvent, ShareSpike
+from repro.simulation.miners import TailConfig
+
+
+@dataclass
+class SimulationParams:
+    """Everything :class:`~repro.simulation.powsim.ChainSimulator` needs.
+
+    ``seed`` drives every random stream (derivations are per-component, see
+    :mod:`repro.util.rng`), so one seed reproduces one chain bit-for-bit.
+    """
+
+    spec: ChainSpec
+    registry: PoolRegistry
+    tail: TailConfig
+    seed: int = 2019
+    #: Stationary sigma of the pools' multiplicative share jitter.
+    jitter_sigma: float = 0.10
+    #: AR(1) persistence of the share jitter (per day).
+    jitter_phi: float = 0.92
+    multi_coinbase_events: tuple[MultiCoinbaseEvent, ...] = field(default_factory=tuple)
+    share_spikes: tuple[ShareSpike, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.registry) == 0:
+            raise SimulationError("simulation requires at least one pool")
+        pool_names = {pool.name for pool in self.registry.pools}
+        for spike in self.share_spikes:
+            if spike.pool_name not in pool_names:
+                raise SimulationError(
+                    f"share spike references unknown pool {spike.pool_name!r}"
+                )
+
+    def pool_index(self, pool_name: str) -> int:
+        """Registry-order index of ``pool_name``."""
+        for i, pool in enumerate(self.registry.pools):
+            if pool.name == pool_name:
+                return i
+        raise SimulationError(f"unknown pool {pool_name!r}")

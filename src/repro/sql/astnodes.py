@@ -1,0 +1,188 @@
+"""Abstract syntax tree node types for the mini SQL engine.
+
+All nodes are frozen dataclasses; the parser builds them and the planner /
+executor walk them.  Expression nodes share the :class:`Expr` base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean or NULL (``value is None``)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly table-qualified) column reference."""
+
+    name: str
+    table: str | None = None
+
+    @property
+    def display(self) -> str:
+        """The reference as written (``table.column`` or ``column``)."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operator: ``-`` or ``NOT``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR, LIKE."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (literal, ...)``."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A scalar function call, e.g. ``ABS(x)`` or ``ROUND(x, 2)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """An aggregate call, e.g. ``COUNT(*)`` or ``SUM(DISTINCT x)``.
+
+    ``argument is None`` encodes ``COUNT(*)``.
+    """
+
+    func: str
+    argument: Expr | None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE WHEN cond THEN value [...] [ELSE value] END``."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list: an expression plus an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """The bare ``*`` select list."""
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in FROM, with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """Name this source is referred to by (alias if given)."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A derived table: ``FROM (SELECT ...) alias``."""
+
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        """Name this derived table is referred to by."""
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join:
+    """``<left> [INNER|LEFT] JOIN <right> ON left_col = right_col``."""
+
+    left: "TableRef | SubquerySource | Join"
+    right: "TableRef | SubquerySource"
+    kind: str  # "inner" | "left"
+    on_left: ColumnRef
+    on_right: ColumnRef
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: an expression (or output alias) and a direction."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A full SELECT statement."""
+
+    items: tuple[SelectItem, ...] | Star
+    source: "TableRef | SubquerySource | Join"
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = field(default_factory=tuple)
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Union:
+    """``<select> UNION ALL <select> [...]`` — bag-semantics concatenation."""
+
+    selects: tuple[Select, ...]

@@ -1,0 +1,821 @@
+"""Query execution over :mod:`repro.table` tables.
+
+The executor takes a validated :class:`~repro.sql.planner.QueryPlan` and
+runs it: FROM (with hash joins) → WHERE → GROUP BY/aggregates → HAVING →
+SELECT projection → DISTINCT → ORDER BY → LIMIT/OFFSET.
+
+NULL handling is deliberately simple (the datasets the study uses have no
+NULLs outside LEFT JOIN results): comparisons treat ``None`` as an ordinary
+value, ``IS NULL`` matches ``None`` and NaN, and ``COUNT(x)`` skips NULLs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import SqlExecutionError, SqlPlanError
+from repro.sql.astnodes import (
+    Aggregate,
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    Select,
+    Star,
+    SubquerySource,
+    TableRef,
+    Unary,
+    Union,
+)
+from repro.sql.functions import AGGREGATE_FUNCTIONS, call_scalar_function, like_match
+from repro.sql.parser import parse
+from repro.sql.planner import QueryPlan, find_aggregates, plan, source_tables
+from repro.table import Table
+from repro.table.aggregates import grouped_aggregate
+from repro.table.column import Column
+
+
+def query(sql: str, **tables: Table) -> Table:
+    """Parse and execute ``sql`` against keyword-argument tables.
+
+    >>> query("SELECT COUNT(*) AS n FROM t", t=Table({"x": [1, 2]})).to_rows()
+    [{'n': 2}]
+    """
+    return QueryEngine(tables).execute(sql)
+
+
+class QueryEngine:
+    """Executes SQL against a named catalog of in-memory tables."""
+
+    def __init__(self, catalog: Mapping[str, Table] | None = None) -> None:
+        self._catalog: dict[str, Table] = dict(catalog or {})
+
+    def register(self, name: str, table: Table) -> None:
+        """Add or replace a table in the catalog."""
+        self._catalog[name] = table
+
+    def table_names(self) -> tuple[str, ...]:
+        """Names of registered tables, sorted."""
+        return tuple(sorted(self._catalog))
+
+    def execute(self, sql: str) -> Table:
+        """Parse, plan and execute one statement (SELECT or UNION ALL)."""
+        statement = parse(sql)
+        if isinstance(statement, Union):
+            return self._execute_union(statement)
+        return self.execute_plan(plan(statement))
+
+    def _execute_union(self, union: Union) -> Table:
+        from repro.table import concat
+
+        parts = [self.execute_plan(plan(select)) for select in union.selects]
+        schema = parts[0].schema
+        for part in parts[1:]:
+            if part.schema != schema:
+                raise SqlPlanError(
+                    "UNION ALL members must produce identical schemas: "
+                    f"{part.schema} vs {schema}"
+                )
+        return concat(parts)
+
+    def explain(self, sql: str) -> str:
+        """Return a human-readable summary of the query plan."""
+        statement = parse(sql)
+        if isinstance(statement, Union):
+            members = "\n".join(
+                f"-- member {i + 1} --" for i in range(len(statement.selects))
+            )
+            return f"UNION ALL of {len(statement.selects)} selects\n{members}"
+        query_plan = plan(statement)
+        select = query_plan.select
+        lines = [
+            "FROM "
+            + " JOIN ".join(t.binding for t in source_tables(select.source))
+        ]
+        if select.where is not None:
+            lines.append("WHERE <predicate>")
+        if query_plan.is_aggregation:
+            lines.append(
+                f"AGGREGATE keys={len(select.group_by)} aggregates={len(query_plan.aggregates)}"
+            )
+        if select.having is not None:
+            lines.append("HAVING <predicate>")
+        lines.append(f"PROJECT {list(query_plan.output_names) or '*'}")
+        if select.distinct:
+            lines.append("DISTINCT")
+        if select.order_by:
+            lines.append(f"ORDER BY {len(select.order_by)} key(s)")
+        if select.limit is not None:
+            lines.append(f"LIMIT {select.limit} OFFSET {select.offset or 0}")
+        return "\n".join(lines)
+
+    def execute_plan(self, query_plan: QueryPlan) -> Table:
+        """Run a validated plan against the catalog."""
+        select = query_plan.select
+        scope = self._build_scope(select.source)
+        table = scope.table
+        if select.where is not None:
+            mask = _as_bool_mask(_evaluate(select.where, table, scope), table.num_rows)
+            table = table.filter(mask)
+        if query_plan.is_aggregation:
+            result = self._run_aggregation(query_plan, table, scope)
+        else:
+            result = self._run_projection(query_plan, table, scope)
+        if select.distinct and result.num_rows:
+            result = result.distinct()
+        result = self._apply_order(query_plan, result, table, scope)
+        if select.offset is not None or select.limit is not None:
+            start = select.offset or 0
+            stop = None if select.limit is None else start + select.limit
+            result = result.slice(start, stop)
+        return result
+
+    # -- FROM ------------------------------------------------------------------
+
+    def _build_scope(self, source: TableRef | SubquerySource | Join) -> "_Scope":
+        if isinstance(source, TableRef):
+            return _Scope.single(source.binding, self._lookup(source.name))
+        if isinstance(source, SubquerySource):
+            derived = self.execute_plan(plan(source.select))
+            return _Scope.single(source.binding, derived)
+        left_scope = self._build_scope(source.left)
+        right = self._build_scope(source.right)
+        left_qualified = left_scope.qualified()
+        right_qualified = right.qualified()
+        left_key = left_qualified.resolve(source.on_left)
+        right_key = right_qualified.resolve(source.on_right)
+        joined = _hash_join(
+            left_qualified.table,
+            left_key,
+            right_qualified.table,
+            right_key,
+            source.kind,
+        )
+        return _Scope.joined(joined)
+
+    def _lookup(self, name: str) -> Table:
+        try:
+            return self._catalog[name]
+        except KeyError:
+            known = ", ".join(sorted(self._catalog)) or "<none>"
+            raise SqlPlanError(f"unknown table {name!r}; registered tables: {known}") from None
+
+    # -- plain projection --------------------------------------------------------
+
+    def _run_projection(self, query_plan: QueryPlan, table: Table, scope: "_Scope") -> Table:
+        select = query_plan.select
+        if isinstance(select.items, Star):
+            return scope.star_projection(table)
+        data: dict[str, Column] = {}
+        for name, item in zip(query_plan.output_names, select.items):
+            value = _evaluate(item.expr, table, scope)
+            data[name] = _to_column(value, table.num_rows)
+        return Table(data)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _run_aggregation(self, query_plan: QueryPlan, table: Table, scope: "_Scope") -> Table:
+        select = query_plan.select
+        n_rows = table.num_rows
+        group_exprs = _resolve_group_keys(query_plan, scope)
+        if group_exprs:
+            key_arrays = [
+                _broadcast(_evaluate(expr, table, scope), n_rows)
+                for expr in group_exprs
+            ]
+            group_ids, n_groups = _factorize(key_arrays)
+        else:
+            group_ids = np.zeros(n_rows, dtype=np.int64)
+            n_groups = 1
+        env: dict[Expr, np.ndarray] = {}
+        for expr, keys in zip(group_exprs, key_arrays if group_exprs else []):
+            env[expr] = _first_per_group(keys, group_ids, n_groups)
+        for aggregate in query_plan.aggregates:
+            env[aggregate] = _evaluate_aggregate(
+                aggregate, table, scope, group_ids, n_groups
+            )
+        alias_map = _alias_map(query_plan)
+        if select.having is not None:
+            having_expr = _resolve_aliases(select.having, alias_map)
+            mask_values = _evaluate_grouped(having_expr, env, n_groups)
+            mask = _as_bool_mask(mask_values, n_groups)
+            keep = np.flatnonzero(mask)
+        else:
+            keep = np.arange(n_groups)
+        data: dict[str, Column] = {}
+        for name, item in zip(query_plan.output_names, select.items):
+            values = _broadcast(_evaluate_grouped(item.expr, env, n_groups), n_groups)
+            data[name] = _to_column(values[keep], len(keep))
+        result = Table(data)
+        # Stash the group environment for ORDER BY over aggregate expressions.
+        self._last_group_env = (env, keep, n_groups)
+        return result
+
+    # -- ORDER BY ---------------------------------------------------------------
+
+    def _apply_order(
+        self, query_plan: QueryPlan, result: Table, table: Table, scope: "_Scope"
+    ) -> Table:
+        select = query_plan.select
+        if not select.order_by:
+            return result
+        sort_arrays: list[np.ndarray] = []
+        flags: list[bool] = []
+        alias_map = _alias_map(query_plan)
+        for item in select.order_by:
+            expr = item.expr
+            if isinstance(expr, Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not 0 <= index < result.num_columns:
+                    raise SqlPlanError(
+                        f"ORDER BY position {expr.value} out of range"
+                    )
+                values = result[result.column_names[index]]
+            elif isinstance(expr, ColumnRef) and expr.table is None and expr.name in result:
+                values = result[expr.name]
+            elif expr in alias_map.values() and _find_output(expr, query_plan) is not None:
+                values = result[_find_output(expr, query_plan)]
+            elif query_plan.is_aggregation:
+                env, keep, n_groups = self._last_group_env
+                resolved = _resolve_aliases(expr, alias_map)
+                values = _broadcast(
+                    _evaluate_grouped(resolved, env, n_groups), n_groups
+                )[keep]
+            else:
+                if select.distinct:
+                    raise SqlPlanError(
+                        "ORDER BY with DISTINCT must reference output columns"
+                    )
+                values = _broadcast(_evaluate(expr, table, scope), table.num_rows)
+            if len(values) != result.num_rows:
+                raise SqlExecutionError("ORDER BY expression length mismatch")
+            sort_arrays.append(np.asarray(values))
+            flags.append(item.descending)
+        codes = []
+        for values, descending in zip(sort_arrays, flags):
+            code = _order_codes(values)
+            codes.append(-code if descending else code)
+        order = np.lexsort(list(reversed(codes)))
+        return result.take(order)
+
+
+# -- scope -----------------------------------------------------------------------
+
+
+class _Scope:
+    """Column-name resolution for the current FROM clause.
+
+    For a single table the physical names are the original column names.
+    After a join every physical name is ``binding.column`` and unqualified
+    references resolve when exactly one binding has the column.
+    """
+
+    def __init__(self, table: Table, binding: str | None, is_join: bool) -> None:
+        self.table = table
+        self._binding = binding
+        self._is_join = is_join
+
+    @classmethod
+    def single(cls, binding: str, table: Table) -> "_Scope":
+        """Scope over one physical or derived table."""
+        return cls(table, binding, is_join=False)
+
+    @classmethod
+    def joined(cls, table: Table) -> "_Scope":
+        """Scope over a join result with qualified column names."""
+        return cls(table, None, is_join=True)
+
+    def qualified(self) -> "_Scope":
+        """Return this scope with every physical column qualified."""
+        if self._is_join:
+            return self
+        renamed = self.table.rename(
+            {name: f"{self._binding}.{name}" for name in self.table.column_names}
+        )
+        return _Scope(renamed, None, is_join=True)
+
+    def resolve(self, ref: ColumnRef) -> str:
+        """Map a column reference to a physical column name."""
+        if not self._is_join:
+            if ref.table is not None and ref.table != self._binding:
+                raise SqlPlanError(f"unknown table qualifier {ref.table!r}")
+            if ref.name not in self.table:
+                raise SqlPlanError(f"unknown column {ref.display!r}")
+            return ref.name
+        if ref.table is not None:
+            physical = f"{ref.table}.{ref.name}"
+            if physical not in self.table:
+                raise SqlPlanError(f"unknown column {ref.display!r}")
+            return physical
+        matches = [
+            name
+            for name in self.table.column_names
+            if name.rsplit(".", 1)[-1] == ref.name
+        ]
+        if not matches:
+            raise SqlPlanError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            raise SqlPlanError(f"ambiguous column {ref.name!r}: {matches}")
+        return matches[0]
+
+    def star_projection(self, table: Table) -> Table:
+        """Project all columns, unqualifying join columns where unambiguous."""
+        if not self._is_join:
+            return table
+        renames: dict[str, str] = {}
+        short_names = [name.rsplit(".", 1)[-1] for name in table.column_names]
+        for name, short in zip(table.column_names, short_names):
+            if short_names.count(short) == 1:
+                renames[name] = short
+        return table.rename(renames)
+
+
+def _hash_join(
+    left: Table, left_key: str, right: Table, right_key: str, how: str
+) -> Table:
+    """Equality hash-join on one key column per side (names may differ)."""
+    build: dict[Any, list[int]] = {}
+    for j, value in enumerate(right.column(right_key).to_list()):
+        build.setdefault(value, []).append(j)
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for i, value in enumerate(left.column(left_key).to_list()):
+        matches = build.get(value)
+        if matches:
+            left_rows.extend([i] * len(matches))
+            right_rows.extend(matches)
+        elif how == "left":
+            left_rows.append(i)
+            right_rows.append(-1)
+    left_part = left.take(np.asarray(left_rows, dtype=np.int64))
+    right_idx = np.asarray(right_rows, dtype=np.int64)
+    missing = right_idx < 0
+    safe_idx = np.where(missing, 0, right_idx)
+    data = {name: left_part.column(name) for name in left_part.column_names}
+    for name in right.column_names:
+        column = right.column(name)
+        if right.num_rows == 0:
+            data[name] = Column(np.full(len(right_idx), np.nan), "float")
+            continue
+        taken = column.values[safe_idx]
+        if missing.any():
+            if column.kind == "str":
+                taken = taken.copy()
+                taken[missing] = None
+                data[name] = Column(taken, "str")
+            else:
+                values = taken.astype(np.float64)
+                values[missing] = np.nan
+                data[name] = Column(values, "float")
+        else:
+            data[name] = Column(taken, column.kind)
+    return Table(data)
+
+
+# -- expression evaluation ----------------------------------------------------------
+
+
+def _evaluate(expr: Expr, table: Table, scope: _Scope) -> Any:
+    """Evaluate ``expr`` against table rows; returns an array or a scalar."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return table[scope.resolve(expr)]
+    if isinstance(expr, Unary):
+        return _apply_unary(expr.op, _evaluate(expr.operand, table, scope))
+    if isinstance(expr, Binary):
+        return _apply_binary(
+            expr.op,
+            _evaluate(expr.left, table, scope),
+            lambda: _evaluate(expr.right, table, scope),
+            expr,
+        )
+    if isinstance(expr, Between):
+        value = _evaluate(expr.operand, table, scope)
+        low = _evaluate(expr.low, table, scope)
+        high = _evaluate(expr.high, table, scope)
+        mask = np.logical_and(
+            _compare(">=", value, low), _compare("<=", value, high)
+        )
+        return np.logical_not(mask) if expr.negated else mask
+    if isinstance(expr, InList):
+        value = _evaluate(expr.operand, table, scope)
+        items = [_evaluate(item, table, scope) for item in expr.items]
+        return _in_list(value, items, expr.negated)
+    if isinstance(expr, IsNull):
+        value = _evaluate(expr.operand, table, scope)
+        mask = _is_null(value, table.num_rows)
+        return np.logical_not(mask) if expr.negated else mask
+    if isinstance(expr, FunctionCall):
+        args = tuple(_evaluate(arg, table, scope) for arg in expr.args)
+        return call_scalar_function(expr.name, args)
+    if isinstance(expr, Case):
+        return _apply_case(expr, lambda e: _evaluate(e, table, scope), table.num_rows)
+    if isinstance(expr, Aggregate):
+        raise SqlPlanError("aggregate functions are not allowed in this context")
+    raise SqlPlanError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _evaluate_grouped(expr: Expr, env: dict[Expr, np.ndarray], n_groups: int) -> Any:
+    """Evaluate ``expr`` per group; columns must come through ``env``."""
+    if expr in env:
+        return env[expr]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        raise SqlPlanError(
+            f"column {expr.display!r} must appear in GROUP BY or inside an aggregate"
+        )
+    if isinstance(expr, Unary):
+        return _apply_unary(expr.op, _evaluate_grouped(expr.operand, env, n_groups))
+    if isinstance(expr, Binary):
+        return _apply_binary(
+            expr.op,
+            _evaluate_grouped(expr.left, env, n_groups),
+            lambda: _evaluate_grouped(expr.right, env, n_groups),
+            expr,
+        )
+    if isinstance(expr, Between):
+        value = _evaluate_grouped(expr.operand, env, n_groups)
+        low = _evaluate_grouped(expr.low, env, n_groups)
+        high = _evaluate_grouped(expr.high, env, n_groups)
+        mask = np.logical_and(_compare(">=", value, low), _compare("<=", value, high))
+        return np.logical_not(mask) if expr.negated else mask
+    if isinstance(expr, InList):
+        value = _evaluate_grouped(expr.operand, env, n_groups)
+        items = [_evaluate_grouped(item, env, n_groups) for item in expr.items]
+        return _in_list(value, items, expr.negated)
+    if isinstance(expr, IsNull):
+        value = _evaluate_grouped(expr.operand, env, n_groups)
+        mask = _is_null(value, n_groups)
+        return np.logical_not(mask) if expr.negated else mask
+    if isinstance(expr, FunctionCall):
+        args = tuple(_evaluate_grouped(arg, env, n_groups) for arg in expr.args)
+        return call_scalar_function(expr.name, args)
+    if isinstance(expr, Case):
+        return _apply_case(expr, lambda e: _evaluate_grouped(e, env, n_groups), n_groups)
+    raise SqlPlanError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def _evaluate_aggregate(
+    aggregate: Aggregate,
+    table: Table,
+    scope: _Scope,
+    group_ids: np.ndarray,
+    n_groups: int,
+) -> np.ndarray:
+    if aggregate.argument is None:  # COUNT(*)
+        return np.bincount(group_ids, minlength=n_groups).astype(np.int64)
+    values = _broadcast(
+        _evaluate(aggregate.argument, table, scope), table.num_rows
+    )
+    values = np.asarray(values)
+    if aggregate.func == "COUNT":
+        non_null = ~_is_null(values, len(values))
+        rows = np.flatnonzero(non_null)
+        if aggregate.distinct:
+            return grouped_aggregate(
+                values[rows], group_ids[rows], n_groups, "count_distinct"
+            )
+        return np.bincount(group_ids[rows], minlength=n_groups).astype(np.int64)
+    func = AGGREGATE_FUNCTIONS[aggregate.func]
+    return grouped_aggregate(values, group_ids, n_groups, func)
+
+
+# -- operator helpers ----------------------------------------------------------------
+
+
+def _apply_unary(op: str, value: Any) -> Any:
+    if op == "-":
+        if isinstance(value, np.ndarray) and value.dtype == object:
+            raise SqlExecutionError("cannot negate a string value")
+        return -value  # numpy handles arrays and scalars alike
+    if op == "NOT":
+        return np.logical_not(value)
+    raise SqlPlanError(f"unknown unary operator {op!r}")
+
+
+def _apply_binary(op: str, left: Any, right_thunk: Any, node: Binary) -> Any:
+    right = right_thunk()
+    if op in ("AND", "OR"):
+        fn = np.logical_and if op == "AND" else np.logical_or
+        return fn(left, right)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if op == "LIKE":
+        if not isinstance(right, str):
+            raise SqlPlanError("LIKE pattern must be a string literal")
+        return like_match(left, right)
+    if op in ("+", "-", "*", "/", "%"):
+        return _arithmetic(op, left, right)
+    raise SqlPlanError(f"unknown binary operator {op!r}")
+
+
+def _arithmetic(op: str, left: Any, right: Any) -> Any:
+    for side in (left, right):
+        if isinstance(side, str) or (
+            isinstance(side, np.ndarray) and side.dtype == object
+        ):
+            raise SqlExecutionError(f"operator {op!r} is not defined for strings")
+    if op in ("/", "%"):
+        divisor = np.asarray(right)
+        if np.any(divisor == 0):
+            raise SqlExecutionError("division by zero")
+    if op == "+":
+        return np.add(left, right)
+    if op == "-":
+        return np.subtract(left, right)
+    if op == "*":
+        return np.multiply(left, right)
+    if op == "/":
+        return np.divide(left, right)
+    return np.mod(left, right)
+
+
+def _compare(op: str, left: Any, right: Any) -> np.ndarray:
+    left_is_obj = isinstance(left, np.ndarray) and left.dtype == object
+    right_is_obj = isinstance(right, np.ndarray) and right.dtype == object
+    if left_is_obj or right_is_obj or isinstance(left, str) or isinstance(right, str):
+        return _compare_object(op, left, right)
+    ops = {
+        "=": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+    return ops[op](left, right)
+
+
+def _compare_object(op: str, left: Any, right: Any) -> np.ndarray:
+    import operator as _operator
+
+    ops = {
+        "=": _operator.eq,
+        "!=": _operator.ne,
+        "<": _operator.lt,
+        "<=": _operator.le,
+        ">": _operator.gt,
+        ">=": _operator.ge,
+    }
+    fn = ops[op]
+    left_arr = left if isinstance(left, np.ndarray) else None
+    right_arr = right if isinstance(right, np.ndarray) else None
+    length = len(left_arr) if left_arr is not None else len(right_arr)
+    out = np.empty(length, dtype=bool)
+    for i in range(length):
+        lhs = left_arr[i] if left_arr is not None else left
+        rhs = right_arr[i] if right_arr is not None else right
+        if lhs is None or rhs is None:
+            out[i] = False if op != "!=" else True
+            continue
+        try:
+            out[i] = bool(fn(lhs, rhs))
+        except TypeError as exc:
+            raise SqlExecutionError(
+                f"cannot compare {type(lhs).__name__} with {type(rhs).__name__}"
+            ) from exc
+    return out
+
+
+def _in_list(value: Any, items: list[Any], negated: bool) -> np.ndarray:
+    if any(isinstance(item, np.ndarray) for item in items):
+        raise SqlPlanError("IN list items must be scalar expressions")
+    array = np.asarray(value) if not isinstance(value, np.ndarray) else value
+    if array.dtype == object:
+        allowed = set(items)
+        mask = np.asarray([v in allowed for v in array], dtype=bool)
+    else:
+        mask = np.isin(array, items)
+    return np.logical_not(mask) if negated else mask
+
+
+def _is_null(value: Any, length: int) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return np.asarray([v is None for v in value], dtype=bool)
+        if np.issubdtype(value.dtype, np.floating):
+            return np.isnan(value)
+        return np.zeros(value.shape[0], dtype=bool)
+    if value is None:
+        return np.ones(length, dtype=bool)
+    if isinstance(value, float) and np.isnan(value):
+        return np.ones(length, dtype=bool)
+    return np.zeros(length, dtype=bool)
+
+
+def _apply_case(expr: Case, evaluate: Any, length: int) -> np.ndarray:
+    default = evaluate(expr.default) if expr.default is not None else None
+    values = [evaluate(value) for _, value in expr.whens]
+    conditions = [
+        _as_bool_mask(evaluate(condition), length) for condition, _ in expr.whens
+    ]
+    use_object = any(
+        isinstance(v, str)
+        or (isinstance(v, np.ndarray) and v.dtype == object)
+        for v in values + [default]
+    ) or default is None
+    if use_object:
+        out = np.empty(length, dtype=object)
+        out[:] = None
+    else:
+        out = np.empty(length, dtype=np.float64)
+    out[:] = _broadcast(default, length) if default is not None else out[:]
+    # Apply whens in reverse so the FIRST matching branch wins.
+    for condition, value in zip(reversed(conditions), reversed(values)):
+        broadcast_value = _broadcast(value, length)
+        out[condition] = broadcast_value[condition]
+    return out
+
+
+# -- small utilities -------------------------------------------------------------------
+
+
+def _broadcast(value: Any, length: int) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.shape[0] != length:
+            raise SqlExecutionError(
+                f"expression produced {value.shape[0]} rows, expected {length}"
+            )
+        return value
+    if isinstance(value, str) or value is None:
+        out = np.empty(length, dtype=object)
+        out[:] = value
+        return out
+    return np.full(length, value)
+
+
+def _as_bool_mask(value: Any, length: int) -> np.ndarray:
+    array = _broadcast(value, length)
+    if array.dtype == object:
+        return np.asarray([bool(v) for v in array], dtype=bool)
+    if array.dtype != np.bool_:
+        raise SqlExecutionError("predicate did not evaluate to a boolean")
+    return array
+
+
+def _to_column(value: Any, length: int) -> Column:
+    array = _broadcast(value, length)
+    if array.dtype == object:
+        return Column(array, "str") if _all_str_or_none(array) else Column(array.tolist())
+    return Column(array)
+
+
+def _all_str_or_none(array: np.ndarray) -> bool:
+    return all(v is None or isinstance(v, str) for v in array)
+
+
+def _factorize(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
+    if len(key_arrays) == 1 and key_arrays[0].dtype != object:
+        values = key_arrays[0]
+        _, inverse = np.unique(values, return_inverse=True)
+        return _renumber(inverse.astype(np.int64), values)
+    combos = list(zip(*[a.tolist() for a in key_arrays]))
+    mapping: dict[Any, int] = {}
+    ids = np.empty(len(combos), dtype=np.int64)
+    for i, combo in enumerate(combos):
+        gid = mapping.get(combo)
+        if gid is None:
+            gid = len(mapping)
+            mapping[combo] = gid
+        ids[i] = gid
+    return ids, len(mapping)
+
+
+def _renumber(ids: np.ndarray, _values: np.ndarray) -> tuple[np.ndarray, int]:
+    n_groups = int(ids.max()) + 1 if ids.size else 0
+    first = np.full(n_groups, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first, ids, np.arange(ids.shape[0], dtype=np.int64))
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(n_groups, dtype=np.int64)
+    remap[order] = np.arange(n_groups, dtype=np.int64)
+    return remap[ids], n_groups
+
+
+def _first_per_group(
+    values: np.ndarray, group_ids: np.ndarray, n_groups: int
+) -> np.ndarray:
+    first = np.full(n_groups, -1, dtype=np.int64)
+    for i in range(group_ids.shape[0] - 1, -1, -1):
+        first[group_ids[i]] = i
+    if n_groups and first.min() < 0:
+        raise SqlExecutionError("internal error: empty group")
+    return values[first]
+
+
+def _resolve_group_keys(query_plan: QueryPlan, scope: "_Scope") -> tuple[Expr, ...]:
+    """Resolve positional (``GROUP BY 1``) and alias group keys.
+
+    BigQuery-style: an integer literal refers to the 1-based select item,
+    and a bare identifier that matches an output alias (and is not itself a
+    physical column) groups by that item's expression.
+    """
+    select = query_plan.select
+    alias_map = _alias_map(query_plan)
+    items = select.items if not isinstance(select.items, Star) else ()
+    resolved: list[Expr] = []
+    for expr in select.group_by:
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            index = expr.value - 1
+            if not 0 <= index < len(items):
+                raise SqlPlanError(f"GROUP BY position {expr.value} out of range")
+            expr = items[index].expr
+        elif isinstance(expr, ColumnRef) and expr.table is None and expr.name in alias_map:
+            if not _is_physical_column(expr, scope):
+                expr = alias_map[expr.name]
+        if find_aggregates(expr):
+            raise SqlPlanError("aggregate functions are not allowed in GROUP BY")
+        resolved.append(expr)
+    return tuple(resolved)
+
+
+def _is_physical_column(ref: ColumnRef, scope: "_Scope") -> bool:
+    try:
+        scope.resolve(ref)
+    except SqlPlanError:
+        return False
+    return True
+
+
+def _alias_map(query_plan: QueryPlan) -> dict[str, Expr]:
+    select = query_plan.select
+    if isinstance(select.items, Star):
+        return {}
+    return {
+        name: item.expr
+        for name, item in zip(query_plan.output_names, select.items)
+    }
+
+
+def _find_output(expr: Expr, query_plan: QueryPlan) -> str | None:
+    select = query_plan.select
+    if isinstance(select.items, Star):
+        return None
+    for name, item in zip(query_plan.output_names, select.items):
+        if item.expr == expr:
+            return name
+    return None
+
+
+def _resolve_aliases(expr: Expr, alias_map: dict[str, Expr]) -> Expr:
+    """Rewrite bare column references that name an output alias."""
+    if isinstance(expr, ColumnRef) and expr.table is None and expr.name in alias_map:
+        return alias_map[expr.name]
+    if isinstance(expr, Unary):
+        return Unary(expr.op, _resolve_aliases(expr.operand, alias_map))
+    if isinstance(expr, Binary):
+        return Binary(
+            expr.op,
+            _resolve_aliases(expr.left, alias_map),
+            _resolve_aliases(expr.right, alias_map),
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _resolve_aliases(expr.operand, alias_map),
+            _resolve_aliases(expr.low, alias_map),
+            _resolve_aliases(expr.high, alias_map),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _resolve_aliases(expr.operand, alias_map),
+            tuple(_resolve_aliases(item, alias_map) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(_resolve_aliases(expr.operand, alias_map), expr.negated)
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name, tuple(_resolve_aliases(arg, alias_map) for arg in expr.args)
+        )
+    if isinstance(expr, Case):
+        return Case(
+            tuple(
+                (_resolve_aliases(c, alias_map), _resolve_aliases(v, alias_map))
+                for c, v in expr.whens
+            ),
+            _resolve_aliases(expr.default, alias_map) if expr.default else None,
+        )
+    return expr
+
+
+def _order_codes(values: np.ndarray) -> np.ndarray:
+    """Dense order-preserving integer codes (ties equal) for lexsort."""
+    if values.dtype == object:
+        try:
+            distinct = sorted(set(values.tolist()))
+        except TypeError as exc:
+            raise SqlExecutionError(f"cannot order mixed-type values: {exc}") from exc
+        mapping = {value: code for code, value in enumerate(distinct)}
+        return np.asarray([mapping[v] for v in values], dtype=np.int64)
+    _, inverse = np.unique(values, return_inverse=True)
+    return inverse.astype(np.int64)

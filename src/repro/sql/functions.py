@@ -1,0 +1,183 @@
+"""Scalar and aggregate function registries for the SQL engine.
+
+Scalar functions operate on numpy arrays (vectorized) or object arrays
+(element-wise for string functions).  Aggregates map onto the table
+engine's aggregate names (:mod:`repro.table.aggregates`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SqlExecutionError, SqlPlanError
+
+#: SQL aggregate name → ``repro.table`` aggregate name.
+AGGREGATE_FUNCTIONS: dict[str, str] = {
+    "COUNT": "count",
+    "SUM": "sum",
+    "AVG": "mean",
+    "MIN": "min",
+    "MAX": "max",
+    "STDDEV": "std",
+    "VARIANCE": "var",
+    "MEDIAN": "median",
+}
+
+
+def _ensure_arity(name: str, args: tuple, arities: tuple[int, ...]) -> None:
+    if len(args) not in arities:
+        expected = " or ".join(str(a) for a in arities)
+        raise SqlPlanError(f"{name} takes {expected} argument(s), got {len(args)}")
+
+
+def _as_object_array(values: Any) -> np.ndarray:
+    array = np.asarray(values)
+    if array.dtype != object:
+        array = array.astype(object)
+    return array
+
+
+def _elementwise_str(values: Any, fn: Callable[[str], Any]) -> np.ndarray:
+    array = _as_object_array(values)
+    out = np.empty(array.shape[0], dtype=object)
+    for i, item in enumerate(array):
+        out[i] = None if item is None else fn(str(item))
+    return out
+
+
+def _fn_abs(args: tuple) -> Any:
+    return np.abs(args[0])
+
+
+def _fn_round(args: tuple) -> Any:
+    digits = 0
+    if len(args) == 2:
+        digits = int(np.asarray(args[1]).reshape(-1)[0]) if np.ndim(args[1]) else int(args[1])
+    return np.round(np.asarray(args[0], dtype=np.float64), digits)
+
+
+def _fn_floor(args: tuple) -> Any:
+    return np.floor(np.asarray(args[0], dtype=np.float64)).astype(np.int64)
+
+
+def _fn_ceil(args: tuple) -> Any:
+    return np.ceil(np.asarray(args[0], dtype=np.float64)).astype(np.int64)
+
+
+def _fn_sqrt(args: tuple) -> Any:
+    values = np.asarray(args[0], dtype=np.float64)
+    if np.any(values < 0):
+        raise SqlExecutionError("SQRT of a negative value")
+    return np.sqrt(values)
+
+
+def _fn_log2(args: tuple) -> Any:
+    values = np.asarray(args[0], dtype=np.float64)
+    if np.any(values <= 0):
+        raise SqlExecutionError("LOG2 of a non-positive value")
+    return np.log2(values)
+
+
+def _fn_power(args: tuple) -> Any:
+    return np.power(np.asarray(args[0], dtype=np.float64), args[1])
+
+
+def _fn_lower(args: tuple) -> Any:
+    return _elementwise_str(args[0], str.lower)
+
+
+def _fn_upper(args: tuple) -> Any:
+    return _elementwise_str(args[0], str.upper)
+
+
+def _fn_length(args: tuple) -> Any:
+    array = _as_object_array(args[0])
+    return np.asarray([0 if v is None else len(str(v)) for v in array], dtype=np.int64)
+
+
+def _fn_substr(args: tuple) -> Any:
+    start = int(args[1])
+    length = int(args[2]) if len(args) == 3 else None
+    if start < 1:
+        raise SqlExecutionError("SUBSTR start position is 1-based and must be >= 1")
+
+    def slicer(text: str) -> str:
+        begin = start - 1
+        return text[begin : begin + length] if length is not None else text[begin:]
+
+    return _elementwise_str(args[0], slicer)
+
+
+def _fn_concat(args: tuple) -> Any:
+    arrays = [_as_object_array(a) if np.ndim(a) else a for a in args]
+    length = next((a.shape[0] for a in arrays if isinstance(a, np.ndarray)), 1)
+    out = np.empty(length, dtype=object)
+    for i in range(length):
+        parts = []
+        for a in arrays:
+            item = a[i] if isinstance(a, np.ndarray) else a
+            parts.append("" if item is None else str(item))
+        out[i] = "".join(parts)
+    return out
+
+
+def _fn_coalesce(args: tuple) -> Any:
+    arrays = [_as_object_array(a) if np.ndim(a) else a for a in args]
+    length = next((a.shape[0] for a in arrays if isinstance(a, np.ndarray)), 1)
+    out = np.empty(length, dtype=object)
+    for i in range(length):
+        out[i] = None
+        for a in arrays:
+            item = a[i] if isinstance(a, np.ndarray) else a
+            if item is not None and not (isinstance(item, float) and np.isnan(item)):
+                out[i] = item
+                break
+    return out
+
+
+_SCALAR_IMPLS: dict[str, tuple[Callable[[tuple], Any], tuple[int, ...]]] = {
+    "ABS": (_fn_abs, (1,)),
+    "ROUND": (_fn_round, (1, 2)),
+    "FLOOR": (_fn_floor, (1,)),
+    "CEIL": (_fn_ceil, (1,)),
+    "CEILING": (_fn_ceil, (1,)),
+    "SQRT": (_fn_sqrt, (1,)),
+    "LOG2": (_fn_log2, (1,)),
+    "POWER": (_fn_power, (2,)),
+    "LOWER": (_fn_lower, (1,)),
+    "UPPER": (_fn_upper, (1,)),
+    "LENGTH": (_fn_length, (1,)),
+    "SUBSTR": (_fn_substr, (2, 3)),
+    "SUBSTRING": (_fn_substr, (2, 3)),
+    "CONCAT": (_fn_concat, (1, 2, 3, 4, 5, 6, 7, 8)),
+    "COALESCE": (_fn_coalesce, (1, 2, 3, 4, 5, 6, 7, 8)),
+}
+
+SCALAR_FUNCTION_NAMES = tuple(sorted(_SCALAR_IMPLS))
+
+
+def call_scalar_function(name: str, args: tuple) -> Any:
+    """Invoke scalar function ``name`` on already-evaluated arguments."""
+    try:
+        impl, arities = _SCALAR_IMPLS[name]
+    except KeyError:
+        raise SqlPlanError(f"unknown function: {name}") from None
+    _ensure_arity(name, args, arities)
+    return impl(args)
+
+
+def like_match(values: Any, pattern: str) -> np.ndarray:
+    """Evaluate SQL ``LIKE``: ``%`` = any run, ``_`` = one character."""
+    translated = pattern.replace("*", "[*]").replace("?", "[?]")
+    translated = translated.replace("%", "*").replace("_", "?")
+    array = _as_object_array(values)
+    return np.asarray(
+        [
+            False if v is None else fnmatch.fnmatchcase(str(v), translated)
+            for v in array
+        ],
+        dtype=bool,
+    )

@@ -1,0 +1,390 @@
+"""Recursive-descent parser producing :mod:`repro.sql.astnodes` trees."""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.astnodes import (
+    Aggregate,
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    SubquerySource,
+    TableRef,
+    Unary,
+    Union,
+)
+from repro.sql.functions import AGGREGATE_FUNCTIONS
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import EOF, IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, STRING, Token
+
+_COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def parse(sql: str) -> Select | Union:
+    """Parse one statement (SELECT or UNION ALL chain of SELECTs)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != EOF:
+            self._pos += 1
+        return token
+
+    def _accept(self, type_: str, value: object = None) -> Token | None:
+        if self._peek().matches(type_, value):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: str, value: object = None) -> Token:
+        token = self._peek()
+        if not token.matches(type_, value):
+            expected = value if value is not None else type_
+            raise SqlSyntaxError(
+                f"expected {expected}, found {token.value!r}", position=token.position
+            )
+        return self._advance()
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.type != EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input: {token.value!r}", position=token.position
+            )
+
+    # -- statement -----------------------------------------------------------
+
+    def parse_statement(self) -> Select | Union:
+        first = self.parse_select()
+        if not self._peek().matches(KEYWORD, "UNION"):
+            return first
+        selects = [first]
+        while self._accept(KEYWORD, "UNION"):
+            self._expect(KEYWORD, "ALL")
+            selects.append(self.parse_select())
+        return Union(selects=tuple(selects))
+
+    def parse_select(self) -> Select:
+        self._expect(KEYWORD, "SELECT")
+        distinct = self._accept(KEYWORD, "DISTINCT") is not None
+        items = self._parse_select_list()
+        self._expect(KEYWORD, "FROM")
+        source = self._parse_source()
+        where = None
+        if self._accept(KEYWORD, "WHERE"):
+            where = self.parse_expr()
+        group_by: tuple[Expr, ...] = ()
+        if self._accept(KEYWORD, "GROUP"):
+            self._expect(KEYWORD, "BY")
+            group_by = tuple(self._parse_expr_list())
+        having = None
+        if self._accept(KEYWORD, "HAVING"):
+            having = self.parse_expr()
+        order_by: tuple[OrderItem, ...] = ()
+        if self._accept(KEYWORD, "ORDER"):
+            self._expect(KEYWORD, "BY")
+            order_by = tuple(self._parse_order_list())
+        limit = offset = None
+        if self._accept(KEYWORD, "LIMIT"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._accept(KEYWORD, "OFFSET"):
+                offset = self._parse_nonnegative_int("OFFSET")
+        return Select(
+            items=items,
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._expect(NUMBER)
+        if not isinstance(token.value, int) or token.value < 0:
+            raise SqlSyntaxError(
+                f"{clause} requires a non-negative integer", position=token.position
+            )
+        return token.value
+
+    def _parse_select_list(self) -> tuple[SelectItem, ...] | Star:
+        if self._peek().matches(OPERATOR, "*"):
+            self._advance()
+            return Star()
+        items = [self._parse_select_item()]
+        while self._accept(PUNCT, ","):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self._accept(KEYWORD, "AS"):
+            alias = self._expect(IDENT).value
+        elif self._peek().type == IDENT:
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_source(self) -> TableRef | SubquerySource | Join:
+        source: TableRef | SubquerySource | Join = self._parse_table_ref()
+        while True:
+            kind = None
+            if self._accept(KEYWORD, "INNER"):
+                kind = "inner"
+                self._expect(KEYWORD, "JOIN")
+            elif self._accept(KEYWORD, "LEFT"):
+                kind = "left"
+                self._expect(KEYWORD, "JOIN")
+            elif self._accept(KEYWORD, "JOIN"):
+                kind = "inner"
+            else:
+                break
+            right = self._parse_table_ref()
+            self._expect(KEYWORD, "ON")
+            on_left = self._parse_column_ref("JOIN condition")
+            self._expect(OPERATOR, "=")
+            on_right = self._parse_column_ref("JOIN condition")
+            source = Join(left=source, right=right, kind=kind, on_left=on_left, on_right=on_right)
+        return source
+
+    def _parse_table_ref(self) -> TableRef | SubquerySource:
+        if self._peek().matches(PUNCT, "("):
+            position = self._peek().position
+            self._advance()
+            subquery = self.parse_select()
+            self._expect(PUNCT, ")")
+            alias = None
+            if self._accept(KEYWORD, "AS"):
+                alias = self._expect(IDENT).value
+            elif self._peek().type == IDENT:
+                alias = self._advance().value
+            if alias is None:
+                raise SqlSyntaxError(
+                    "a derived table requires an alias", position=position
+                )
+            return SubquerySource(select=subquery, alias=alias)
+        name = self._expect(IDENT).value
+        # Dotted, dataset-qualified names: ``crypto_bitcoin.blocks``.
+        while self._peek().matches(PUNCT, ".") and self._peek(1).type == IDENT:
+            self._advance()
+            name = f"{name}.{self._advance().value}"
+        alias = None
+        if self._accept(KEYWORD, "AS"):
+            alias = self._expect(IDENT).value
+        elif self._peek().type == IDENT:
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_column_ref(self, context: str) -> ColumnRef:
+        expr = self._parse_primary()
+        if not isinstance(expr, ColumnRef):
+            raise SqlSyntaxError(f"{context} must be a column reference")
+        return expr
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self.parse_expr()]
+        while self._accept(PUNCT, ","):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expr = self.parse_expr()
+            descending = False
+            if self._accept(KEYWORD, "DESC"):
+                descending = True
+            else:
+                self._accept(KEYWORD, "ASC")
+            items.append(OrderItem(expr=expr, descending=descending))
+            if not self._accept(PUNCT, ","):
+                return items
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept(KEYWORD, "OR"):
+            left = Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept(KEYWORD, "AND"):
+            left = Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept(KEYWORD, "NOT"):
+            return Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type == OPERATOR and token.value in _COMPARISON_OPS:
+            op = self._advance().value
+            if op == "<>":
+                op = "!="
+            return Binary(op, left, self._parse_additive())
+        negated = False
+        if token.matches(KEYWORD, "NOT") and self._peek(1).matches(KEYWORD, "BETWEEN"):
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.matches(KEYWORD, "NOT") and self._peek(1).matches(KEYWORD, "IN"):
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.matches(KEYWORD, "NOT") and self._peek(1).matches(KEYWORD, "LIKE"):
+            self._advance()
+            self._advance()
+            return Unary("NOT", Binary("LIKE", left, self._parse_additive()))
+        if self._accept(KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self._expect(KEYWORD, "AND")
+            high = self._parse_additive()
+            return Between(operand=left, low=low, high=high, negated=negated)
+        if self._accept(KEYWORD, "IN"):
+            self._expect(PUNCT, "(")
+            items = [self.parse_expr()]
+            while self._accept(PUNCT, ","):
+                items.append(self.parse_expr())
+            self._expect(PUNCT, ")")
+            return InList(operand=left, items=tuple(items), negated=negated)
+        if self._accept(KEYWORD, "LIKE"):
+            return Binary("LIKE", left, self._parse_additive())
+        if self._accept(KEYWORD, "IS"):
+            is_negated = self._accept(KEYWORD, "NOT") is not None
+            self._expect(KEYWORD, "NULL")
+            return IsNull(operand=left, negated=is_negated)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type == OPERATOR and token.value in ("+", "-"):
+                op = self._advance().value
+                left = Binary(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type == OPERATOR and token.value in ("*", "/", "%"):
+                op = self._advance().value
+                left = Binary(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept(OPERATOR, "-"):
+            return Unary("-", self._parse_unary())
+        if self._accept(OPERATOR, "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type == NUMBER or token.type == STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.matches(KEYWORD, "TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.matches(KEYWORD, "FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.matches(KEYWORD, "NULL"):
+            self._advance()
+            return Literal(None)
+        if token.matches(KEYWORD, "CASE"):
+            return self._parse_case()
+        if token.matches(PUNCT, "("):
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(PUNCT, ")")
+            return expr
+        if token.type == IDENT:
+            return self._parse_ident_expr()
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", position=token.position
+        )
+
+    def _parse_case(self) -> Expr:
+        self._expect(KEYWORD, "CASE")
+        whens: list[tuple[Expr, Expr]] = []
+        while self._accept(KEYWORD, "WHEN"):
+            condition = self.parse_expr()
+            self._expect(KEYWORD, "THEN")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            raise SqlSyntaxError("CASE requires at least one WHEN clause")
+        default = None
+        if self._accept(KEYWORD, "ELSE"):
+            default = self.parse_expr()
+        self._expect(KEYWORD, "END")
+        return Case(whens=tuple(whens), default=default)
+
+    def _parse_ident_expr(self) -> Expr:
+        name_token = self._advance()
+        name = name_token.value
+        if self._peek().matches(PUNCT, "("):
+            return self._parse_call(name, name_token.position)
+        if self._accept(PUNCT, "."):
+            column = self._expect(IDENT).value
+            return ColumnRef(name=column, table=name)
+        return ColumnRef(name=name)
+
+    def _parse_call(self, name: str, position: int) -> Expr:
+        self._expect(PUNCT, "(")
+        upper = name.upper()
+        if upper in AGGREGATE_FUNCTIONS:
+            if self._accept(OPERATOR, "*"):
+                self._expect(PUNCT, ")")
+                if upper != "COUNT":
+                    raise SqlSyntaxError(f"{upper}(*) is not valid", position=position)
+                return Aggregate(func="COUNT", argument=None)
+            distinct = self._accept(KEYWORD, "DISTINCT") is not None
+            argument = self.parse_expr()
+            self._expect(PUNCT, ")")
+            return Aggregate(func=upper, argument=argument, distinct=distinct)
+        args: list[Expr] = []
+        if not self._peek().matches(PUNCT, ")"):
+            args.append(self.parse_expr())
+            while self._accept(PUNCT, ","):
+                args.append(self.parse_expr())
+        self._expect(PUNCT, ")")
+        return FunctionCall(name=upper, args=tuple(args))

@@ -1,0 +1,214 @@
+"""Semantic analysis for parsed queries.
+
+The planner walks a :class:`~repro.sql.astnodes.Select` and produces a
+:class:`QueryPlan` with everything the executor needs decided up front:
+whether the query aggregates, which aggregate nodes occur where, the output
+column names, and validation errors surfaced as :class:`SqlPlanError`
+before any data is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SqlPlanError
+from repro.sql.astnodes import (
+    Aggregate,
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    Select,
+    SelectItem,
+    Star,
+    SubquerySource,
+    TableRef,
+    Unary,
+)
+
+
+@dataclass
+class QueryPlan:
+    """A validated query, ready for execution."""
+
+    select: Select
+    is_aggregation: bool
+    aggregates: tuple[Aggregate, ...]
+    output_names: tuple[str, ...]
+    table_names: tuple[str, ...] = field(default_factory=tuple)
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, depth-first."""
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, Between):
+        yield from walk(expr.operand)
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+    elif isinstance(expr, InList):
+        yield from walk(expr.operand)
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, IsNull):
+        yield from walk(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, Aggregate):
+        if expr.argument is not None:
+            yield from walk(expr.argument)
+    elif isinstance(expr, Case):
+        for condition, value in expr.whens:
+            yield from walk(condition)
+            yield from walk(value)
+        if expr.default is not None:
+            yield from walk(expr.default)
+
+
+def find_aggregates(expr: Expr) -> list[Aggregate]:
+    """Return the aggregate nodes inside ``expr`` (not descending into them)."""
+    found: list[Aggregate] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, Aggregate):
+            found.append(node)
+            return
+        for child in _direct_children(node):
+            visit(child)
+
+    visit(expr)
+    return found
+
+
+def _direct_children(expr: Expr) -> list[Expr]:
+    if isinstance(expr, Unary):
+        return [expr.operand]
+    if isinstance(expr, Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    if isinstance(expr, FunctionCall):
+        return list(expr.args)
+    if isinstance(expr, Case):
+        children: list[Expr] = []
+        for condition, value in expr.whens:
+            children.extend((condition, value))
+        if expr.default is not None:
+            children.append(expr.default)
+        return children
+    return []
+
+
+def source_tables(
+    source: TableRef | SubquerySource | Join,
+) -> list[TableRef | SubquerySource]:
+    """Flatten a FROM clause into its sources, left to right."""
+    if isinstance(source, (TableRef, SubquerySource)):
+        return [source]
+    return source_tables(source.left) + [source.right]
+
+
+def plan(select: Select) -> QueryPlan:
+    """Validate ``select`` and produce a :class:`QueryPlan`."""
+    tables = source_tables(select.source)
+    bindings = [t.binding for t in tables]
+    if len(set(bindings)) != len(bindings):
+        raise SqlPlanError(f"duplicate table binding in FROM: {bindings}")
+    for table in tables:
+        if isinstance(table, SubquerySource):
+            plan(table.select)  # validate derived tables eagerly
+
+    if select.where is not None and find_aggregates(select.where):
+        raise SqlPlanError("aggregate functions are not allowed in WHERE")
+    for expr in select.group_by:
+        if find_aggregates(expr):
+            raise SqlPlanError("aggregate functions are not allowed in GROUP BY")
+
+    aggregates: list[Aggregate] = []
+    if not isinstance(select.items, Star):
+        for item in select.items:
+            aggregates.extend(find_aggregates(item.expr))
+    if select.having is not None:
+        aggregates.extend(find_aggregates(select.having))
+    for order in select.order_by:
+        aggregates.extend(find_aggregates(order.expr))
+
+    is_aggregation = bool(select.group_by) or bool(aggregates)
+    if is_aggregation and isinstance(select.items, Star):
+        raise SqlPlanError("SELECT * cannot be combined with GROUP BY or aggregates")
+    if select.having is not None and not is_aggregation:
+        raise SqlPlanError("HAVING requires GROUP BY or aggregate functions")
+
+    for aggregate in aggregates:
+        if aggregate.distinct and aggregate.func != "COUNT":
+            raise SqlPlanError(
+                f"DISTINCT is only supported inside COUNT, not {aggregate.func}"
+            )
+        if aggregate.argument is not None and find_aggregates(aggregate.argument):
+            raise SqlPlanError("nested aggregate functions are not allowed")
+
+    output_names = _output_names(select)
+    deduped: list[Aggregate] = []
+    for aggregate in aggregates:
+        if aggregate not in deduped:
+            deduped.append(aggregate)
+    return QueryPlan(
+        select=select,
+        is_aggregation=is_aggregation,
+        aggregates=tuple(deduped),
+        output_names=output_names,
+        table_names=tuple(
+            t.name for t in tables if isinstance(t, TableRef)
+        ),
+    )
+
+
+def _output_names(select: Select) -> tuple[str, ...]:
+    if isinstance(select.items, Star):
+        return ()
+    names: list[str] = []
+    for i, item in enumerate(select.items):
+        names.append(item.alias or _default_name(item, i))
+    seen: dict[str, int] = {}
+    unique: list[str] = []
+    for name in names:
+        if name in seen:
+            seen[name] += 1
+            unique.append(f"{name}_{seen[name]}")
+        else:
+            seen[name] = 0
+            unique.append(name)
+    return tuple(unique)
+
+
+def _default_name(item: SelectItem, index: int) -> str:
+    expr = item.expr
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Aggregate):
+        if expr.argument is None:
+            return "count"
+        if isinstance(expr.argument, ColumnRef):
+            return f"{expr.func.lower()}_{expr.argument.name}"
+        return expr.func.lower()
+    if isinstance(expr, FunctionCall):
+        return expr.name.lower()
+    if isinstance(expr, Literal):
+        return f"literal_{index}"
+    return f"col_{index}"

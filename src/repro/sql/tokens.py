@@ -1,0 +1,79 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Final
+
+#: Token categories produced by the lexer.
+KEYWORD: Final = "KEYWORD"
+IDENT: Final = "IDENT"
+NUMBER: Final = "NUMBER"
+STRING: Final = "STRING"
+OPERATOR: Final = "OPERATOR"
+PUNCT: Final = "PUNCT"
+EOF: Final = "EOF"
+
+#: Reserved words, uppercased.  Identifiers matching these become KEYWORD
+#: tokens; everything else is an IDENT.
+KEYWORDS: Final[frozenset[str]] = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "AS",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "ON",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "LIKE",
+        "UNION",
+        "ALL",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer is greedy.
+OPERATORS: Final[tuple[str, ...]] = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+
+PUNCTUATION: Final[tuple[str, ...]] = ("(", ")", ",", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token with its source offset (for error messages)."""
+
+    type: str
+    value: Any
+    position: int
+
+    def matches(self, type_: str, value: Any = None) -> bool:
+        """True if this token has the given type (and value, if provided)."""
+        if self.type != type_:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}@{self.position})"

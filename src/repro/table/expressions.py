@@ -1,0 +1,144 @@
+"""Vectorized column expressions for readable table filters.
+
+``col("height") > 100`` builds an expression tree; calling it on a table (or
+passing it to :meth:`Table.filter`, which accepts callables) evaluates it
+against the table's columns:
+
+>>> from repro.table import Table, col
+>>> t = Table({"h": [1, 2, 3], "m": ["a", "b", "a"]})
+>>> t.filter((col("h") >= 2) & (col("m") == "a")).to_rows()
+[{'h': 3, 'm': 'a'}]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import TableError
+
+
+class Expression:
+    """A node in a vectorized expression tree.
+
+    Expressions are callables: ``expr(table)`` returns a numpy array.
+    """
+
+    def __init__(self, fn: Callable[[Any], np.ndarray], description: str) -> None:
+        self._fn = fn
+        self._description = description
+
+    def __call__(self, table: Any) -> np.ndarray:
+        return self._fn(table)
+
+    def __repr__(self) -> str:
+        return f"Expression({self._description})"
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: Any) -> "Expression":  # type: ignore[override]
+        return self._binary(other, np.equal, "==", string_ok=True)
+
+    def __ne__(self, other: Any) -> "Expression":  # type: ignore[override]
+        return self._binary(other, np.not_equal, "!=", string_ok=True)
+
+    def __lt__(self, other: Any) -> "Expression":
+        return self._binary(other, np.less, "<")
+
+    def __le__(self, other: Any) -> "Expression":
+        return self._binary(other, np.less_equal, "<=")
+
+    def __gt__(self, other: Any) -> "Expression":
+        return self._binary(other, np.greater, ">")
+
+    def __ge__(self, other: Any) -> "Expression":
+        return self._binary(other, np.greater_equal, ">=")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Any) -> "Expression":
+        return self._binary(other, np.add, "+")
+
+    def __sub__(self, other: Any) -> "Expression":
+        return self._binary(other, np.subtract, "-")
+
+    def __mul__(self, other: Any) -> "Expression":
+        return self._binary(other, np.multiply, "*")
+
+    def __truediv__(self, other: Any) -> "Expression":
+        return self._binary(other, np.divide, "/")
+
+    def __mod__(self, other: Any) -> "Expression":
+        return self._binary(other, np.mod, "%")
+
+    def __neg__(self) -> "Expression":
+        return Expression(lambda t: -self(t), f"-({self._description})")
+
+    # -- boolean combinators --------------------------------------------------
+
+    def __and__(self, other: Any) -> "Expression":
+        return self._binary(other, np.logical_and, "&", string_ok=True)
+
+    def __or__(self, other: Any) -> "Expression":
+        return self._binary(other, np.logical_or, "|", string_ok=True)
+
+    def __invert__(self) -> "Expression":
+        return Expression(lambda t: np.logical_not(self(t)), f"~({self._description})")
+
+    # -- convenience predicates -----------------------------------------------
+
+    def isin(self, values: Any) -> "Expression":
+        """Membership test against a collection of scalars."""
+        allowed = set(values)
+
+        def fn(table: Any) -> np.ndarray:
+            evaluated = self(table)
+            if evaluated.dtype == object:
+                return np.asarray([v in allowed for v in evaluated], dtype=bool)
+            return np.isin(evaluated, list(allowed))
+
+        return Expression(fn, f"({self._description}).isin(...)")
+
+    def between(self, low: Any, high: Any) -> "Expression":
+        """Closed-interval range test: ``low <= value <= high``."""
+        return (self >= low) & (self <= high)
+
+    # -- internals ------------------------------------------------------------
+
+    def _binary(
+        self,
+        other: Any,
+        op: Callable[[Any, Any], np.ndarray],
+        symbol: str,
+        string_ok: bool = False,
+    ) -> "Expression":
+        other_expr = other if isinstance(other, Expression) else lit(other)
+
+        def fn(table: Any) -> np.ndarray:
+            left = self(table)
+            right = other_expr(table)
+            if not string_ok and (getattr(left, "dtype", None) == object
+                                  or getattr(right, "dtype", None) == object):
+                raise TableError(f"operator {symbol!r} is not defined for string columns")
+            return op(left, right)
+
+        return Expression(fn, f"({self._description} {symbol} {other_expr._description})")
+
+
+def col(name: str) -> Expression:
+    """Reference a table column by name."""
+
+    def fn(table: Any) -> np.ndarray:
+        return table[name]
+
+    return Expression(fn, name)
+
+
+def lit(value: Any) -> Expression:
+    """A literal scalar usable on either side of an expression."""
+
+    def fn(_table: Any) -> Any:
+        return value
+
+    return Expression(fn, repr(value))

@@ -1,0 +1,138 @@
+"""CSV and JSONL round-trips for tables.
+
+CSV is typed via an optional schema; without one, column kinds are inferred
+from the data (int, then float, then bool, falling back to str).  JSONL
+preserves types natively.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TableError
+from repro.table.column import Column
+from repro.table.schema import Schema
+from repro.table.table import Table
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as UTF-8 CSV with a header row."""
+    path = Path(path)
+    columns = {name: table.column(name).to_list() for name in table.column_names}
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for i in range(table.num_rows):
+            writer.writerow([columns[name][i] for name in table.column_names])
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Table:
+    """Read a CSV with header into a table.
+
+    With a ``schema``, columns are parsed to the declared kinds (and the
+    header must contain every schema column).  Without one, kinds are
+    inferred per column.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TableError(f"CSV file {path} is empty (no header row)") from None
+        rows = list(reader)
+    for row in rows:
+        if len(row) != len(header):
+            raise TableError(
+                f"CSV row has {len(row)} fields, header has {len(header)}: {row!r}"
+            )
+    raw = {name: [row[i] for row in rows] for i, name in enumerate(header)}
+    if schema is not None:
+        missing = [name for name in schema.names if name not in raw]
+        if missing:
+            raise TableError(f"CSV file {path} is missing columns {missing}")
+        data = {
+            name: Column(_parse_typed(raw[name], kind), kind) for name, kind in schema
+        }
+        return Table(data)
+    return Table({name: Column(_infer_parse(values)) for name, values in raw.items()})
+
+
+def _parse_typed(values: list[str], kind: str) -> list[Any]:
+    if kind == "str":
+        return list(values)
+    if kind == "int":
+        return [int(v) for v in values]
+    if kind == "float":
+        return [float(v) for v in values]
+    return [_parse_bool_text(v) for v in values]
+
+
+def _infer_parse(values: list[str]) -> list[Any]:
+    for parser in (_try_all_int, _try_all_float, _try_all_bool):
+        parsed = parser(values)
+        if parsed is not None:
+            return parsed
+    return list(values)
+
+
+def _try_all_int(values: list[str]) -> list[int] | None:
+    try:
+        return [int(v) for v in values]
+    except ValueError:
+        return None
+
+
+def _try_all_float(values: list[str]) -> list[float] | None:
+    try:
+        return [float(v) for v in values]
+    except ValueError:
+        return None
+
+
+def _try_all_bool(values: list[str]) -> list[bool] | None:
+    try:
+        return [_parse_bool_text(v) for v in values]
+    except ValueError:
+        return None
+
+
+def _parse_bool_text(value: str) -> bool:
+    text = value.strip().lower()
+    if text in ("true", "1"):
+        return True
+    if text in ("false", "0"):
+        return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+def write_jsonl(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as one JSON object per line."""
+    path = Path(path)
+    columns = {name: table.column(name).to_list() for name in table.column_names}
+    with path.open("w", encoding="utf-8") as handle:
+        for i in range(table.num_rows):
+            record = {name: columns[name][i] for name in table.column_names}
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def read_jsonl(path: str | Path) -> Table:
+    """Read a JSONL file written by :func:`write_jsonl` back into a table."""
+    path = Path(path)
+    rows: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TableError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise TableError(f"{path}:{line_no}: expected a JSON object")
+            rows.append(record)
+    return Table.from_rows(rows)

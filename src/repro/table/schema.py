@@ -1,0 +1,67 @@
+"""Ordered column-name → kind mapping for tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.table.column import KINDS
+
+
+class Schema:
+    """An ordered mapping of column names to column kinds.
+
+    >>> Schema([("height", "int"), ("miner", "str")]).names
+    ('height', 'miner')
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Iterable[tuple[str, str]]) -> None:
+        resolved: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        for name, kind in fields:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"column names must be non-empty strings, got {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate column name: {name!r}")
+            if kind not in KINDS:
+                raise SchemaError(f"unknown column kind {kind!r} for column {name!r}")
+            seen.add(name)
+            resolved.append((name, kind))
+        self._fields = tuple(resolved)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names, in table order."""
+        return tuple(name for name, _ in self._fields)
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """Column kinds, in table order."""
+        return tuple(kind for _, kind in self._fields)
+
+    def kind_of(self, name: str) -> str:
+        """Return the kind of column ``name``; raise if absent."""
+        for field_name, kind in self._fields:
+            if field_name == name:
+                return kind
+        raise SchemaError(f"no such column: {name!r}")
+
+    def __contains__(self, name: object) -> bool:
+        return any(field_name == name for field_name, _ in self._fields)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}: {kind}" for name, kind in self._fields)
+        return f"Schema({body})"

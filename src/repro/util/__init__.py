@@ -1,0 +1,44 @@
+"""Shared utilities: time handling for 2019, validation helpers, seeded RNG."""
+
+from repro.util.rng import derive_rng, spawn_rngs
+from repro.util.timeutils import (
+    DAYS_IN_2019,
+    SECONDS_PER_DAY,
+    YEAR_2019_END,
+    YEAR_2019_START,
+    day_index,
+    day_start,
+    iso_date,
+    month_bounds,
+    month_index,
+    parse_iso_date,
+    week_index,
+)
+from repro.util.validation import (
+    ensure_in_range,
+    ensure_nonnegative_array,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+__all__ = [
+    "DAYS_IN_2019",
+    "SECONDS_PER_DAY",
+    "YEAR_2019_END",
+    "YEAR_2019_START",
+    "day_index",
+    "day_start",
+    "derive_rng",
+    "ensure_in_range",
+    "ensure_nonnegative_array",
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_probability",
+    "iso_date",
+    "month_bounds",
+    "month_index",
+    "parse_iso_date",
+    "spawn_rngs",
+    "week_index",
+]

@@ -1,0 +1,32 @@
+"""Deterministic random-number-generator plumbing.
+
+Simulations in this library must be exactly reproducible from a single seed.
+All randomness flows through :class:`numpy.random.Generator` instances
+derived here; no module calls ``np.random`` global state.
+
+Streams are derived *by name* so adding a new consumer of randomness does not
+perturb the draws seen by existing consumers — a property the calibration
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_rng(seed: int, stream: str) -> np.random.Generator:
+    """Return a generator for the named ``stream`` derived from ``seed``.
+
+    The same ``(seed, stream)`` pair always yields an identical generator,
+    and distinct stream names yield statistically independent generators.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
+    child_seed = int.from_bytes(digest[:8], "big")
+    return np.random.default_rng(child_seed)
+
+
+def spawn_rngs(seed: int, streams: list[str]) -> dict[str, np.random.Generator]:
+    """Return a dict of independent generators, one per stream name."""
+    return {stream: derive_rng(seed, stream) for stream in streams}

@@ -1,0 +1,130 @@
+"""Calendar helpers for the measurement year (2019).
+
+The paper measures the calendar year 2019 with three granularities: days,
+weeks and months.  All chain timestamps in this library are Unix epoch
+seconds (UTC).  The helpers below convert timestamps into day / week / month
+indices within 2019 and back, entirely with integer arithmetic so they can be
+applied to numpy arrays as well as to scalars.
+
+Week convention: the paper splits the year into consecutive 7-day blocks
+starting at Jan 1st (so week 0 is Jan 1–7), giving 52 full weeks plus a
+single trailing day that is folded into the last week.  This matches the
+paper's "weekly" series of ~52 points.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Final
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+SECONDS_PER_DAY: Final[int] = 86_400
+DAYS_IN_2019: Final[int] = 365
+
+#: Unix timestamp of 2019-01-01T00:00:00Z.
+YEAR_2019_START: Final[int] = 1_546_300_800
+#: Unix timestamp of 2020-01-01T00:00:00Z (exclusive end of the year).
+YEAR_2019_END: Final[int] = YEAR_2019_START + DAYS_IN_2019 * SECONDS_PER_DAY
+
+#: Number of days in each month of 2019 (not a leap year).
+MONTH_LENGTHS_2019: Final[tuple[int, ...]] = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+#: Day index (0-based) on which each month of 2019 starts.
+MONTH_STARTS_2019: Final[tuple[int, ...]] = tuple(
+    int(np.cumsum((0,) + MONTH_LENGTHS_2019[:-1])[i]) for i in range(12)
+)
+
+_MONTH_START_ARRAY = np.asarray(MONTH_STARTS_2019, dtype=np.int64)
+
+
+def day_index(timestamps: np.ndarray | int | float) -> np.ndarray | int:
+    """Return the 0-based day-of-2019 index for Unix ``timestamps``.
+
+    Values before 2019 map to negative indices and values after 2019 map to
+    indices >= 365; callers that require in-year data should validate with
+    :func:`ensure_within_2019`.
+    """
+    ts = np.asarray(timestamps, dtype=np.int64)
+    index = (ts - YEAR_2019_START) // SECONDS_PER_DAY
+    if index.ndim == 0:
+        return int(index)
+    return index
+
+
+def week_index(timestamps: np.ndarray | int | float) -> np.ndarray | int:
+    """Return the 0-based week-of-2019 index (7-day blocks from Jan 1).
+
+    365 days are 52 full weeks plus one trailing day; that day is folded
+    into the last week, so in-year indices lie in ``[0, 51]``.
+    """
+    days = day_index(timestamps)
+    index = np.asarray(days, dtype=np.int64) // 7
+    index = np.minimum(index, 51)
+    if index.ndim == 0:
+        return int(index)
+    return index
+
+
+def month_index(timestamps: np.ndarray | int | float) -> np.ndarray | int:
+    """Return the 0-based month-of-2019 index for Unix ``timestamps``."""
+    days = np.asarray(day_index(timestamps), dtype=np.int64)
+    out_of_year = (days < 0) | (days >= DAYS_IN_2019)
+    clipped = np.clip(days, 0, DAYS_IN_2019 - 1)
+    index = np.searchsorted(_MONTH_START_ARRAY, clipped, side="right") - 1
+    index = np.where(out_of_year, np.where(days < 0, -1, 12), index)
+    if index.ndim == 0:
+        return int(index)
+    return index
+
+
+def day_start(day: int) -> int:
+    """Return the Unix timestamp at which 2019 day ``day`` (0-based) starts."""
+    return YEAR_2019_START + int(day) * SECONDS_PER_DAY
+
+
+def month_bounds(month: int) -> tuple[int, int]:
+    """Return ``(start_ts, end_ts)`` for 2019 month ``month`` (0-based).
+
+    ``end_ts`` is exclusive.
+    """
+    if not 0 <= month < 12:
+        raise ValidationError(f"month index must be in [0, 12), got {month}")
+    start_day = MONTH_STARTS_2019[month]
+    length = MONTH_LENGTHS_2019[month]
+    return day_start(start_day), day_start(start_day + length)
+
+
+def iso_date(day: int) -> str:
+    """Return the ISO date string (``YYYY-MM-DD``) of 2019 day ``day``."""
+    if not 0 <= day < DAYS_IN_2019:
+        raise ValidationError(f"day index must be in [0, 365), got {day}")
+    date = _dt.date(2019, 1, 1) + _dt.timedelta(days=int(day))
+    return date.isoformat()
+
+
+def parse_iso_date(text: str) -> int:
+    """Parse a ``YYYY-MM-DD`` string in 2019 into a 0-based day index."""
+    try:
+        date = _dt.date.fromisoformat(text)
+    except ValueError as exc:
+        raise ValidationError(f"invalid ISO date: {text!r}") from exc
+    if date.year != 2019:
+        raise ValidationError(f"date {text!r} is not in 2019")
+    return (date - _dt.date(2019, 1, 1)).days
+
+
+def ensure_within_2019(timestamps: np.ndarray) -> None:
+    """Raise :class:`ValidationError` if any timestamp falls outside 2019."""
+    ts = np.asarray(timestamps, dtype=np.int64)
+    if ts.size == 0:
+        return
+    low = int(ts.min())
+    high = int(ts.max())
+    if low < YEAR_2019_START or high >= YEAR_2019_END:
+        raise ValidationError(
+            "timestamps outside 2019: "
+            f"range [{low}, {high}] vs [{YEAR_2019_START}, {YEAR_2019_END})"
+        )

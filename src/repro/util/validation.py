@@ -1,0 +1,57 @@
+"""Small validation helpers used across the library.
+
+Each helper raises :class:`repro.errors.ValidationError` with a message that
+names the offending parameter, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number > 0, else raise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be positive and finite, got {value!r}")
+    return float(value)
+
+
+def ensure_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` if it is an integer > 0, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1], else raise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if ``low <= value <= high``, else raise."""
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def ensure_nonnegative_array(values: Any, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float array of non-negative finite numbers."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if array.size and (not np.all(np.isfinite(array)) or np.any(array < 0)):
+        raise ValidationError(f"{name} must contain only non-negative finite numbers")
+    return array

@@ -1,0 +1,21 @@
+"""Series visualization and export (the matplotlib stand-in).
+
+Figures are reproduced as data series; :mod:`repro.viz.ascii` renders them
+as terminal line charts for quick inspection and :mod:`repro.viz.export`
+writes them to CSV/JSON for external plotting.
+"""
+
+from repro.viz.ascii import ascii_chart, ascii_histogram, multi_series_chart
+from repro.viz.export import export_figure, series_to_csv, series_to_json
+from repro.viz.tables import render_table, sparkline
+
+__all__ = [
+    "ascii_chart",
+    "ascii_histogram",
+    "export_figure",
+    "multi_series_chart",
+    "render_table",
+    "series_to_csv",
+    "series_to_json",
+    "sparkline",
+]

@@ -1,0 +1,67 @@
+"""Series and figure export to CSV/JSON."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.figures import FigureResult
+from repro.core.series import MeasurementSeries
+from repro.core.summary import summarize
+from repro.table.io import write_csv
+
+
+def series_to_csv(series: MeasurementSeries, path: str | Path) -> None:
+    """Write one series as CSV (``index,label,value``)."""
+    write_csv(series.to_table(), path)
+
+
+def series_to_json(series: MeasurementSeries, path: str | Path) -> None:
+    """Write one series plus its summary statistics as JSON."""
+    payload = {
+        "chain": series.chain_name,
+        "metric": series.metric_name,
+        "windows": series.window_desc,
+        "skipped_windows": series.skipped,
+        "summary": summarize(series).as_dict(),
+        "points": [
+            {"index": int(i), "label": label, "value": float(v)}
+            for i, label, v in zip(series.indices, series.labels, series.values)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def export_figure(figure: FigureResult, directory: str | Path) -> list[Path]:
+    """Write every series of ``figure`` into ``directory``; return the paths.
+
+    Produces one CSV per series plus a ``<figure_id>.json`` manifest with
+    the figure's notes and (for Fig. 7) its distributions.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for label, series in figure.series.items():
+        safe_label = label.replace("=", "-").replace("/", "-")
+        path = directory / f"{figure.figure_id}_{safe_label}.csv"
+        series_to_csv(series, path)
+        written.append(path)
+    manifest = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "notes": figure.notes,
+        "series": sorted(figure.series),
+        "distributions": [
+            {
+                "window": d.window_label,
+                "top": [{"producer": name, "share": share} for name, share in d.top],
+                "other_share": d.other_share,
+                "n_producers": d.n_producers,
+            }
+            for d in figure.distributions
+        ],
+    }
+    manifest_path = directory / f"{figure.figure_id}.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    written.append(manifest_path)
+    return written

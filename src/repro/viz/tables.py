@@ -1,0 +1,95 @@
+"""Plain-text rendering of tables and sparklines."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.series import MeasurementSeries
+from repro.errors import ValidationError
+from repro.table import Table
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    table: Table,
+    max_rows: int = 20,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a :class:`~repro.table.Table` as an aligned text grid.
+
+    Truncates to ``max_rows`` rows with an ellipsis line, pads columns to
+    their widest cell, and right-aligns numeric columns.
+
+    >>> from repro.table import Table
+    >>> print(render_table(Table({"m": ["a", "b"], "n": [1, 10]})))
+    m | n
+    --+---
+    a |  1
+    b | 10
+    """
+    if max_rows < 1:
+        raise ValidationError(f"max_rows must be >= 1, got {max_rows}")
+    names = list(table.column_names)
+    if not names:
+        return "(empty table)"
+    shown = table.head(max_rows)
+    kinds = {name: table.column(name).kind for name in names}
+    columns: dict[str, list[str]] = {}
+    for name in names:
+        cells = []
+        for value in shown.column(name).to_list():
+            if value is None:
+                cells.append("NULL")
+            elif kinds[name] == "float":
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        columns[name] = cells
+    widths = {
+        name: max(len(name), *(len(c) for c in columns[name])) if columns[name] else len(name)
+        for name in names
+    }
+    numeric = {name: kinds[name] in ("int", "float") for name in names}
+
+    def fmt_cell(name: str, text: str) -> str:
+        if numeric[name]:
+            return text.rjust(widths[name])
+        return text.ljust(widths[name])
+
+    header = " | ".join(name.ljust(widths[name]) for name in names)
+    rule = "-+-".join("-" * widths[name] for name in names)
+    lines = [header, rule]
+    for i in range(shown.num_rows):
+        lines.append(" | ".join(fmt_cell(name, columns[name][i]) for name in names))
+    if table.num_rows > max_rows:
+        lines.append(f"... ({table.num_rows - max_rows} more rows)")
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def sparkline(values: MeasurementSeries | Sequence[float], width: int = 60) -> str:
+    """One-line unicode sparkline of a series.
+
+    >>> sparkline([1, 2, 3, 2, 1], width=5)
+    '▁▅█▅▁'
+    """
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    if isinstance(values, MeasurementSeries):
+        array = values.values
+    else:
+        array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValidationError("values must not be empty")
+    if array.size > width:
+        edges = np.linspace(0, array.size, width + 1).round().astype(int)
+        array = np.asarray(
+            [array[edges[i] : edges[i + 1]].mean() for i in range(width) if edges[i + 1] > edges[i]]
+        )
+    low, high = float(array.min()), float(array.max())
+    if high == low:
+        return _SPARK_GLYPHS[0] * array.size
+    scaled = (array - low) / (high - low) * (len(_SPARK_GLYPHS) - 1)
+    return "".join(_SPARK_GLYPHS[int(round(v))] for v in scaled)

@@ -1,0 +1,27 @@
+"""Measurement windows: calendar fixed windows and block-count sliding windows.
+
+The paper measures with two window families:
+
+* **Fixed windows** (§II-C): calendar days, weeks and months of 2019 — no
+  overlap between consecutive windows.
+* **Sliding windows** (§III): count-based windows of N blocks advanced by a
+  step of M blocks (M = N/2 in the paper), giving
+  ``L = (S - N) / M + 1`` windows over ``S`` blocks, with ``N - M``
+  overlapping blocks between consecutive windows.
+"""
+
+from repro.windows.base import BlockWindow, TimeWindow, Window
+from repro.windows.fixed import FixedBlockWindows, FixedCalendarWindows
+from repro.windows.sliding import SlidingBlockWindows, sliding_window_count
+from repro.windows.timesliding import SlidingTimeWindows
+
+__all__ = [
+    "BlockWindow",
+    "FixedBlockWindows",
+    "FixedCalendarWindows",
+    "SlidingBlockWindows",
+    "SlidingTimeWindows",
+    "TimeWindow",
+    "Window",
+    "sliding_window_count",
+]

@@ -1,0 +1,68 @@
+"""Window value types.
+
+A window is either time-bounded (calendar windows over timestamps) or
+block-bounded (count windows over block positions).  Both carry a label for
+plotting and an index within their series.  The measurement engine
+dispatches on the concrete type to find the credit rows a window covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import WindowError
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open timestamp interval ``[start_ts, end_ts)``."""
+
+    index: int
+    label: str
+    start_ts: int
+    end_ts: int
+
+    def __post_init__(self) -> None:
+        if self.end_ts <= self.start_ts:
+            raise WindowError(
+                f"window {self.label!r}: end_ts must exceed start_ts "
+                f"({self.start_ts} >= {self.end_ts})"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Window length in seconds."""
+        return self.end_ts - self.start_ts
+
+
+@dataclass(frozen=True)
+class BlockWindow:
+    """A half-open block-position interval ``[start_block, stop_block)``."""
+
+    index: int
+    label: str
+    start_block: int
+    stop_block: int
+
+    def __post_init__(self) -> None:
+        if self.start_block < 0:
+            raise WindowError(f"window {self.label!r}: start_block must be >= 0")
+        if self.stop_block <= self.start_block:
+            raise WindowError(
+                f"window {self.label!r}: stop_block must exceed start_block"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of blocks in the window."""
+        return self.stop_block - self.start_block
+
+    def overlap(self, other: "BlockWindow") -> int:
+        """Number of block positions shared with ``other``."""
+        lo = max(self.start_block, other.start_block)
+        hi = min(self.stop_block, other.stop_block)
+        return max(0, hi - lo)
+
+
+Window = Union[TimeWindow, BlockWindow]

@@ -1,0 +1,112 @@
+"""Fixed (non-overlapping) window generators.
+
+:class:`FixedCalendarWindows` produces the paper's §II windows — calendar
+days (365), weeks (52, the last covering 8 days) and months (12) of 2019.
+:class:`FixedBlockWindows` produces non-overlapping count windows, the
+``M = N`` degenerate case of sliding windows, used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WindowError
+from repro.util.timeutils import (
+    DAYS_IN_2019,
+    SECONDS_PER_DAY,
+    YEAR_2019_END,
+    day_start,
+    iso_date,
+    month_bounds,
+)
+from repro.windows.base import BlockWindow, TimeWindow
+
+GRANULARITIES = ("day", "week", "month")
+
+
+class FixedCalendarWindows:
+    """Calendar windows over 2019 at ``day``, ``week`` or ``month`` granularity."""
+
+    def __init__(self, granularity: str) -> None:
+        if granularity not in GRANULARITIES:
+            raise WindowError(
+                f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+            )
+        self.granularity = granularity
+
+    def generate(self) -> list[TimeWindow]:
+        """All windows of the year, in chronological order."""
+        if self.granularity == "day":
+            return [
+                TimeWindow(
+                    index=day,
+                    label=iso_date(day),
+                    start_ts=day_start(day),
+                    end_ts=day_start(day) + SECONDS_PER_DAY,
+                )
+                for day in range(DAYS_IN_2019)
+            ]
+        if self.granularity == "week":
+            windows = []
+            for week in range(52):
+                first_day = week * 7
+                # The final week absorbs the year's 365th day (paper-style
+                # 7-day blocks leave a single trailing day).
+                last_day_exclusive = first_day + 7 if week < 51 else DAYS_IN_2019
+                windows.append(
+                    TimeWindow(
+                        index=week,
+                        label=f"2019-W{week + 1:02d}",
+                        start_ts=day_start(first_day),
+                        end_ts=(
+                            day_start(last_day_exclusive)
+                            if last_day_exclusive < DAYS_IN_2019
+                            else YEAR_2019_END
+                        ),
+                    )
+                )
+            return windows
+        windows = []
+        for month in range(12):
+            start_ts, end_ts = month_bounds(month)
+            windows.append(
+                TimeWindow(
+                    index=month,
+                    label=f"2019-{month + 1:02d}",
+                    start_ts=start_ts,
+                    end_ts=end_ts,
+                )
+            )
+        return windows
+
+    def __repr__(self) -> str:
+        return f"FixedCalendarWindows({self.granularity!r})"
+
+
+class FixedBlockWindows:
+    """Non-overlapping count windows of ``size`` blocks.
+
+    The trailing partial window (fewer than ``size`` blocks) is dropped,
+    mirroring the sliding-window generator.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise WindowError(f"window size must be positive, got {size}")
+        self.size = size
+
+    def generate(self, n_blocks: int) -> list[BlockWindow]:
+        """Windows over a chain of ``n_blocks`` blocks."""
+        if n_blocks < 0:
+            raise WindowError(f"n_blocks must be >= 0, got {n_blocks}")
+        count = n_blocks // self.size
+        return [
+            BlockWindow(
+                index=i,
+                label=f"blocks[{i * self.size}:{(i + 1) * self.size}]",
+                start_block=i * self.size,
+                stop_block=(i + 1) * self.size,
+            )
+            for i in range(count)
+        ]
+
+    def __repr__(self) -> str:
+        return f"FixedBlockWindows(size={self.size})"

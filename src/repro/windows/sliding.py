@@ -1,0 +1,83 @@
+"""Sliding-window generator (paper §III-A).
+
+Windows of ``N`` blocks advanced by a step of ``M`` blocks.  Consecutive
+windows share ``N - M`` blocks, which is what lets the measurement capture
+cross-interval changes that fixed windows split across two intervals.  The
+number of windows over ``S`` blocks is the paper's Eq. 5:
+
+.. math::
+
+    L = \\frac{S - N}{M} + 1
+
+(integer division; a trailing partial window is not emitted).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WindowError
+from repro.windows.base import BlockWindow
+
+
+def sliding_window_count(n_blocks: int, size: int, step: int) -> int:
+    """The paper's Eq. 5: number of sliding windows over ``n_blocks``.
+
+    >>> sliding_window_count(n_blocks=52_560, size=144, step=72)
+    729
+    """
+    if size <= 0 or step <= 0:
+        raise WindowError("size and step must be positive")
+    if n_blocks < size:
+        return 0
+    return (n_blocks - size) // step + 1
+
+
+class SlidingBlockWindows:
+    """Count-based sliding windows of ``size`` blocks stepping by ``step``.
+
+    ``step`` defaults to ``size // 2``, the paper's choice (M = N/2), which
+    doubles the number of measurement points relative to fixed windows.
+    """
+
+    def __init__(self, size: int, step: int | None = None) -> None:
+        if size <= 0:
+            raise WindowError(f"window size must be positive, got {size}")
+        if step is None:
+            step = max(size // 2, 1)
+        if step <= 0:
+            raise WindowError(f"step must be positive, got {step}")
+        if step > size:
+            raise WindowError(
+                f"step ({step}) larger than window size ({size}) would skip blocks"
+            )
+        self.size = size
+        self.step = step
+
+    @property
+    def overlap(self) -> int:
+        """Blocks shared by consecutive windows (``N - M``)."""
+        return self.size - self.step
+
+    def expected_count(self, n_blocks: int) -> int:
+        """Eq. 5 for this generator's parameters."""
+        return sliding_window_count(n_blocks, self.size, self.step)
+
+    def generate(self, n_blocks: int) -> list[BlockWindow]:
+        """All windows over a chain of ``n_blocks`` blocks, in order."""
+        if n_blocks < 0:
+            raise WindowError(f"n_blocks must be >= 0, got {n_blocks}")
+        count = self.expected_count(n_blocks)
+        windows = []
+        for i in range(count):
+            start = i * self.step
+            windows.append(
+                BlockWindow(
+                    index=i,
+                    label=f"blocks[{start}:{start + self.size}]",
+                    start_block=start,
+                    stop_block=start + self.size,
+                )
+            )
+        return windows
+
+    def __repr__(self) -> str:
+        return f"SlidingBlockWindows(size={self.size}, step={self.step})"

@@ -1,0 +1,92 @@
+"""Tests for correlation / consistency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    aggregate_series,
+    fixed_vs_sliding_agreement,
+    granularity_consistency,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.errors import MeasurementError
+from tests.core.test_series import make_series
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation(np.arange(10), np.arange(10) * 3 + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation(np.arange(10), -np.arange(10)) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        r = pearson_correlation(rng.normal(size=2_000), rng.normal(size=2_000))
+        assert abs(r) < 0.1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            pearson_correlation(np.arange(3), np.arange(4))
+
+    def test_constant_rejected(self):
+        with pytest.raises(MeasurementError):
+            pearson_correlation(np.ones(5), np.arange(5))
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.arange(1, 20, dtype=np.float64)
+        assert spearman_correlation(x, np.exp(x / 5)) == pytest.approx(1.0)
+
+    def test_ties_averaged(self):
+        a = np.asarray([1.0, 2.0, 2.0, 3.0])
+        b = np.asarray([10.0, 20.0, 20.0, 30.0])
+        assert spearman_correlation(a, b) == pytest.approx(1.0)
+
+
+class TestAggregateSeries:
+    def test_groups_of_factor(self):
+        series = make_series([1.0, 3.0, 5.0, 7.0, 100.0])
+        assert aggregate_series(series, 2).tolist() == [2.0, 6.0]
+
+    def test_factor_validated(self):
+        with pytest.raises(MeasurementError):
+            aggregate_series(make_series([1.0]), 0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MeasurementError):
+            aggregate_series(make_series([1.0]), 5)
+
+
+class TestGranularityConsistency:
+    def test_paper_entropy_patterns_are_close(self, btc_engine):
+        """§II-C: daily/weekly entropy trends are 'quite close'."""
+        day = btc_engine.measure_calendar("entropy", "day")
+        week = btc_engine.measure_calendar("entropy", "week")
+        report = granularity_consistency(day, week, factor=7)
+        assert report.pearson > 0.7
+        assert report.n_points == 52
+
+    def test_gini_also_correlated_despite_level_shift(self, btc_engine):
+        day = btc_engine.measure_calendar("gini", "day")
+        week = btc_engine.measure_calendar("gini", "week")
+        report = granularity_consistency(day, week, factor=7)
+        # Levels differ strongly (the paper's point) but trends correlate.
+        assert report.pearson > 0.4
+
+
+class TestFixedVsSlidingAgreement:
+    def test_even_sliding_windows_equal_fixed_partition(self, btc_engine):
+        """With M = N/2, sliding windows 0, 2, 4, ... ARE the fixed count
+        windows, so the values must agree exactly."""
+        agreement = fixed_vs_sliding_agreement(btc_engine, "entropy", 144)
+        assert agreement.max_even_window_gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_full_series_highly_correlated(self, btc_engine):
+        # Odd-indexed sliding windows carry their own sampling noise, so
+        # the interpolated correlation is high but not 1.
+        agreement = fixed_vs_sliding_agreement(btc_engine, "gini", 144)
+        assert agreement.pearson > 0.75
+        assert agreement.mean_fixed == pytest.approx(agreement.mean_sliding, abs=0.02)

@@ -1,0 +1,59 @@
+"""Tests for producer-share distribution slices."""
+
+import pytest
+
+from repro.analysis.distribution import producer_shares
+from repro.core.engine import MeasurementEngine
+from repro.errors import MeasurementError
+from repro.util.timeutils import YEAR_2019_START
+from repro.windows.base import TimeWindow
+from tests.conftest import make_tiny_chain
+
+
+@pytest.fixture
+def engine():
+    chain = make_tiny_chain(
+        [["a"], ["a"], ["a"], ["b"], ["b"], ["c"]],
+        start_ts=YEAR_2019_START,
+        spacing=600,
+    )
+    return MeasurementEngine.from_chain(chain)
+
+
+@pytest.fixture
+def window():
+    return TimeWindow(
+        index=0, label="w", start_ts=YEAR_2019_START, end_ts=YEAR_2019_START + 86_400
+    )
+
+
+class TestProducerShares:
+    def test_top_shares(self, engine, window):
+        result = producer_shares(engine, window, top_k=2)
+        assert result.top[0] == ("a", pytest.approx(0.5))
+        assert result.top[1] == ("b", pytest.approx(1 / 3))
+        assert result.other_share == pytest.approx(1 / 6)
+        assert result.n_producers == 3
+
+    def test_top_k_larger_than_population(self, engine, window):
+        result = producer_shares(engine, window, top_k=10)
+        assert len(result.top) == 3
+        assert result.other_share == pytest.approx(0.0)
+
+    def test_share_of(self, engine, window):
+        result = producer_shares(engine, window, top_k=2)
+        assert result.share_of("a") == pytest.approx(0.5)
+        assert result.share_of("zzz") == 0.0
+
+    def test_labeler_maps_names(self, engine, window):
+        result = producer_shares(
+            engine, window, top_k=1, labeler=lambda name: name.upper()
+        )
+        assert result.top[0][0] == "A"
+
+    def test_invalid_top_k(self, engine, window):
+        with pytest.raises(MeasurementError):
+            producer_shares(engine, window, top_k=0)
+
+    def test_total_weight(self, engine, window):
+        assert producer_shares(engine, window).total_weight == 6.0

@@ -1,0 +1,77 @@
+"""Tests for the event timeline."""
+
+import pytest
+
+from repro.analysis.events import Event, coincident_events, event_timeline
+
+
+@pytest.fixture(scope="module")
+def btc_events(btc_engine):
+    return event_timeline(btc_engine)
+
+
+class TestEventTimeline:
+    def test_sorted_by_position(self, btc_events):
+        positions = [event.position for event in btc_events]
+        assert positions == sorted(positions)
+
+    def test_day14_flagged_by_multiple_metrics(self, btc_events):
+        day14 = [e for e in btc_events if e.label == "2019-01-14"]
+        metrics = {e.metric for e in day14}
+        assert {"gini", "entropy"} <= metrics
+
+    def test_kinds_are_valid(self, btc_events):
+        assert {e.kind for e in btc_events} <= {"outlier", "shift-up", "shift-down"}
+
+    def test_chain_name_attached(self, btc_events):
+        assert all(e.chain == "bitcoin" for e in btc_events)
+
+    def test_custom_metric_set(self, btc_engine):
+        events = event_timeline(btc_engine, metrics=("hhi",))
+        assert all(e.metric == "hhi" for e in events)
+
+    def test_str_rendering(self, btc_events):
+        text = str(btc_events[0])
+        assert "bitcoin/" in text
+
+    def test_day14_is_the_only_three_metric_event(self, btc_events):
+        """The paper's day-14 anomaly is extreme under all three metrics —
+        and it is the *only* 2019 date with that property."""
+        groups = coincident_events(btc_events, min_metrics=3)
+        assert [group[0].label for group in groups] == ["2019-01-14"]
+
+    def test_ethereum_has_no_three_metric_event(self, eth_engine):
+        """'There is no abnormal value observed during the year' (§II-C2d)."""
+        eth_events = event_timeline(eth_engine)
+        assert coincident_events(eth_events, min_metrics=3) == []
+
+    def test_early_btc_multi_coinbase_days_flagged(self, btc_events):
+        groups = coincident_events(btc_events, min_metrics=2)
+        labels = {group[0].label for group in groups}
+        # The injected early-2019 multi-coinbase events surface as
+        # multi-metric anomalies.
+        assert len(labels & {"2019-01-05", "2019-01-23", "2019-01-31"}) >= 2
+
+
+class TestCoincidentEvents:
+    def test_day14_is_coincident(self, btc_events):
+        groups = coincident_events(btc_events, min_metrics=2)
+        labels = {group[0].label for group in groups}
+        assert "2019-01-14" in labels
+
+    def test_min_metrics_filters(self):
+        events = [
+            Event("c", "gini", "outlier", 5, "d5", 1.0),
+            Event("c", "entropy", "outlier", 5, "d5", 1.0),
+            Event("c", "gini", "outlier", 9, "d9", 1.0),
+        ]
+        groups = coincident_events(events, min_metrics=2)
+        assert len(groups) == 1
+        assert groups[0][0].position == 5
+
+    def test_same_metric_twice_does_not_count(self):
+        events = [
+            Event("c", "gini", "outlier", 5, "d5", 1.0),
+            Event("c", "gini", "shift-up", 5, "d5", 4.2),
+        ]
+        assert coincident_events(events, min_metrics=2) == []

@@ -1,0 +1,65 @@
+"""Tests for the multi-chain comparison."""
+
+import pytest
+
+from repro.analysis.multichain import MultiChainComparison
+from repro.errors import MeasurementError
+
+
+@pytest.fixture(scope="module")
+def comparison(btc_engine, eth_engine):
+    return MultiChainComparison({"bitcoin": btc_engine, "ethereum": eth_engine})
+
+
+class TestTable:
+    def test_one_row_per_chain_metric(self, comparison):
+        table = comparison.table()
+        assert table.num_rows == 6
+        assert set(table["chain"].tolist()) == {"bitcoin", "ethereum"}
+        assert set(table["metric"].tolist()) == {"gini", "entropy", "nakamoto"}
+
+    def test_columns(self, comparison):
+        assert comparison.table().column_names == (
+            "chain", "metric", "mean", "std", "cv", "min", "max",
+        )
+
+
+class TestRankings:
+    def test_bitcoin_leads_every_metric(self, comparison):
+        for ranking in comparison.rankings():
+            assert ranking.by_level[0] == "bitcoin", ranking.metric
+
+    def test_ethereum_most_stable_every_metric(self, comparison):
+        for ranking in comparison.rankings():
+            assert ranking.by_stability[0] == "ethereum", ranking.metric
+
+    def test_consensus_verdict(self, comparison):
+        assert comparison.consensus_most_decentralized() == "bitcoin"
+
+    def test_gini_direction_is_lower_wins(self, comparison):
+        ranking = comparison.ranking("gini")
+        table = comparison.table()
+        btc_mean = table.filter(
+            (table["chain"] == "bitcoin") & (table["metric"] == "gini")
+        ).row(0)["mean"]
+        eth_mean = table.filter(
+            (table["chain"] == "ethereum") & (table["metric"] == "gini")
+        ).row(0)["mean"]
+        assert btc_mean < eth_mean
+        assert ranking.by_level == ("bitcoin", "ethereum")
+
+    def test_unmeasured_metric_rejected(self, comparison):
+        with pytest.raises(MeasurementError):
+            comparison.ranking("hhi")
+
+
+class TestValidation:
+    def test_needs_two_chains(self, btc_engine):
+        with pytest.raises(MeasurementError):
+            MultiChainComparison({"only": btc_engine})
+
+    def test_directionless_metric_rejected(self, btc_engine, eth_engine):
+        with pytest.raises(MeasurementError, match="direction"):
+            MultiChainComparison(
+                {"a": btc_engine, "b": eth_engine}, metrics=("hhi",)
+            )

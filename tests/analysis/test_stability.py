@@ -1,0 +1,33 @@
+"""Tests for the stability report."""
+
+import pytest
+
+from repro.analysis.stability import stability_report
+
+
+@pytest.fixture(scope="module")
+def report(btc_engine, eth_engine):
+    return stability_report(btc_engine, eth_engine)
+
+
+class TestStabilityReport:
+    def test_three_metrics(self, report):
+        assert len(report.comparisons) == 3
+        assert [c.metric_name for c in report.comparisons] == [
+            "gini",
+            "entropy",
+            "nakamoto",
+        ]
+
+    def test_ethereum_wins_overall(self, report):
+        assert report.overall_winner == "ethereum"
+
+    def test_winner_for_metric(self, report):
+        assert report.winner_for("gini") == "ethereum"
+        with pytest.raises(KeyError):
+            report.winner_for("hhi")
+
+    def test_custom_metric_set(self, btc_engine, eth_engine):
+        report = stability_report(btc_engine, eth_engine, metrics=("hhi",))
+        assert len(report.comparisons) == 1
+        assert report.comparisons[0].metric_name == "hhi"

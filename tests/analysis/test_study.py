@@ -1,0 +1,67 @@
+"""Tests for the study orchestration and headline findings."""
+
+import pytest
+
+from repro.analysis.study import DecentralizationStudy
+from repro.errors import MeasurementError
+
+
+@pytest.fixture(scope="module")
+def study(btc_chain, eth_chain):
+    return DecentralizationStudy(bitcoin=btc_chain, ethereum=eth_chain)
+
+
+class TestDataAccess:
+    def test_chain_lookup(self, study, btc_chain, eth_chain):
+        assert study.chain("btc") is btc_chain
+        assert study.chain("eth") is eth_chain
+
+    def test_unknown_chain_rejected(self, study):
+        with pytest.raises(MeasurementError):
+            study.chain("dogecoin")
+
+    def test_engine_cached(self, study):
+        assert study.engine("btc") is study.engine("btc")
+
+
+class TestFindings:
+    def test_bitcoin_more_decentralized_every_metric(self, study):
+        """The paper's §II-C3 headline, per metric."""
+        findings = study.findings()
+        for comparison in findings.level:
+            assert comparison.winner == "bitcoin", comparison.metric_name
+
+    def test_ethereum_more_stable_every_metric(self, study):
+        findings = study.findings()
+        for comparison in findings.stability.comparisons:
+            assert comparison.winner == "ethereum", comparison.metric_name
+
+    def test_overall_verdicts(self, study):
+        findings = study.findings()
+        assert findings.more_decentralized == "bitcoin"
+        assert findings.more_stable == "ethereum"
+
+    def test_findings_at_week_granularity_agree(self, study):
+        findings = study.findings(granularity="week")
+        assert findings.more_decentralized == "bitcoin"
+        assert findings.more_stable == "ethereum"
+
+
+class TestSummaryTable:
+    def test_shape(self, study):
+        table = study.summary_table()
+        # 2 chains x 3 metrics x (3 calendar + 3 sliding) = 36 rows.
+        assert table.num_rows == 36
+        assert "mean" in table.column_names
+
+    def test_contains_both_chains(self, study):
+        table = study.summary_table()
+        chains = set(table["chain_name"].tolist())
+        assert chains == {"bitcoin", "ethereum"}
+
+
+class TestLazySimulation:
+    def test_lazily_simulates_missing_chain(self):
+        study = DecentralizationStudy(seed=5)
+        chain = study.chain("btc")
+        assert chain.n_blocks == 54_231

@@ -1,0 +1,123 @@
+"""Tests for attribution policies."""
+
+import numpy as np
+import pytest
+
+from repro.chain.attribution import ATTRIBUTION_POLICIES, attribute
+from repro.chain.pools import PoolInfo, PoolRegistry
+from repro.errors import AttributionError
+from tests.conftest import make_tiny_chain
+
+
+@pytest.fixture
+def chain():
+    # Block 2 has three producers; everything else is single-producer.
+    return make_tiny_chain([["a"], ["b"], ["a", "x", "y"], ["a"], ["c"]])
+
+
+class TestPerAddress:
+    def test_every_address_gets_full_credit(self, chain):
+        credits = attribute(chain, "per-address")
+        assert credits.n_credits == 7
+        assert credits.weights.tolist() == [1.0] * 7
+        assert credits.policy == "per-address"
+
+    def test_distribution_counts_blocks_per_address(self, chain):
+        credits = attribute(chain, "per-address")
+        ids, totals = credits.distribution_with_entities(0, credits.n_credits)
+        by_name = {credits.entity_names[int(i)]: t for i, t in zip(ids, totals)}
+        assert by_name == {"a": 3.0, "b": 1.0, "x": 1.0, "y": 1.0, "c": 1.0}
+
+    def test_total_weight_exceeds_block_count_with_anomalies(self, chain):
+        credits = attribute(chain, "per-address")
+        assert credits.total_weight == 7.0
+        assert credits.n_blocks == 5
+
+
+class TestFractional:
+    def test_each_block_contributes_one(self, chain):
+        credits = attribute(chain, "fractional")
+        assert credits.total_weight == pytest.approx(5.0)
+
+    def test_multi_block_splits_evenly(self, chain):
+        credits = attribute(chain, "fractional")
+        lo, hi = credits.credit_range_for_blocks(2, 3)
+        assert credits.weights[lo:hi].tolist() == pytest.approx([1 / 3] * 3)
+
+
+class TestFirstAddress:
+    def test_one_credit_per_block(self, chain):
+        credits = attribute(chain, "first-address")
+        assert credits.n_credits == 5
+        ids, totals = credits.distribution_with_entities(0, 5)
+        by_name = {credits.entity_names[int(i)]: t for i, t in zip(ids, totals)}
+        assert by_name == {"a": 3.0, "b": 1.0, "c": 1.0}
+
+
+class TestPoolPolicy:
+    def test_maps_addresses_to_pools(self, chain):
+        registry = PoolRegistry(
+            [
+                PoolInfo("PoolA", "a", 0.5, 0.5),
+                PoolInfo("PoolB", "b", 0.3, 0.3),
+            ]
+        )
+        credits = attribute(chain, "pool", registry=registry)
+        ids, totals = credits.distribution_with_entities(0, credits.n_credits)
+        by_name = {credits.entity_names[int(i)]: t for i, t in zip(ids, totals)}
+        assert by_name == {"PoolA": 3.0, "PoolB": 1.0, "c": 1.0}
+
+    def test_requires_registry(self, chain):
+        with pytest.raises(AttributionError):
+            attribute(chain, "pool")
+
+
+class TestCreditRanges:
+    def test_block_range(self, chain):
+        credits = attribute(chain, "per-address")
+        lo, hi = credits.credit_range_for_blocks(1, 3)
+        assert (lo, hi) == (1, 5)  # block 1 (1 credit) + block 2 (3 credits)
+
+    def test_time_range(self, chain):
+        credits = attribute(chain, "per-address")
+        t0 = int(chain.timestamps[1])
+        t1 = int(chain.timestamps[3])
+        lo, hi = credits.credit_range_for_time(t0, t1)
+        assert (lo, hi) == (1, 5)
+
+    def test_invalid_block_range_raises(self, chain):
+        credits = attribute(chain, "per-address")
+        with pytest.raises(AttributionError):
+            credits.credit_range_for_blocks(0, 99)
+
+    def test_distribution_drops_zero_entities(self, chain):
+        credits = attribute(chain, "per-address")
+        lo, hi = credits.credit_range_for_blocks(0, 1)
+        assert credits.distribution(lo, hi).tolist() == [1.0]
+
+    def test_top_entities_ordering(self, chain):
+        credits = attribute(chain, "per-address")
+        top = credits.top_entities(0, credits.n_credits, k=2)
+        assert top[0] == ("a", 3.0)
+        assert top[1][1] == 1.0
+
+
+class TestPolicyDispatch:
+    def test_unknown_policy_raises(self, chain):
+        with pytest.raises(AttributionError, match="unknown policy"):
+            attribute(chain, "by-vibes")
+
+    def test_all_policies_listed(self):
+        assert set(ATTRIBUTION_POLICIES) == {
+            "per-address",
+            "first-address",
+            "fractional",
+            "pool",
+        }
+
+    @pytest.mark.parametrize("policy", ["per-address", "first-address", "fractional"])
+    def test_block_offsets_are_csr(self, chain, policy):
+        credits = attribute(chain, policy)
+        assert credits.block_offsets[0] == 0
+        assert credits.block_offsets[-1] == credits.n_credits
+        assert np.all(np.diff(credits.block_offsets) >= 1)

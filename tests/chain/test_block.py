@@ -1,0 +1,44 @@
+"""Tests for the Block value type."""
+
+import pytest
+
+from repro.chain.block import Block
+from repro.errors import ChainError
+
+
+class TestBlock:
+    def test_basic_fields(self):
+        block = Block(height=556_459, timestamp=1_546_300_800, producers=("addr1",))
+        assert block.primary_producer == "addr1"
+        assert block.producer_count == 1
+        assert block.tag is None
+
+    def test_multi_producer_block(self):
+        block = Block(height=1, timestamp=0, producers=("a", "b", "c"))
+        assert block.producer_count == 3
+        assert block.primary_producer == "a"
+
+    def test_anomaly_threshold(self):
+        normal = Block(height=1, timestamp=0, producers=("a",))
+        weird = Block(height=2, timestamp=0, producers=tuple(f"p{i}" for i in range(85)))
+        assert not normal.is_anomalous()
+        assert weird.is_anomalous()
+        assert weird.is_anomalous(threshold=85)
+        assert not weird.is_anomalous(threshold=86)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ChainError):
+            Block(height=-1, timestamp=0, producers=("a",))
+
+    def test_empty_producers_rejected(self):
+        with pytest.raises(ChainError):
+            Block(height=1, timestamp=0, producers=())
+
+    def test_empty_address_rejected(self):
+        with pytest.raises(ChainError):
+            Block(height=1, timestamp=0, producers=("a", ""))
+
+    def test_frozen(self):
+        block = Block(height=1, timestamp=0, producers=("a",))
+        with pytest.raises(AttributeError):
+            block.height = 2

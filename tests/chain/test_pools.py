@@ -1,0 +1,78 @@
+"""Tests for the pool registry and 2019 snapshots."""
+
+import pytest
+
+from repro.chain.pools import PoolInfo, PoolRegistry, bitcoin_pools_2019, ethereum_pools_2019
+from repro.errors import ValidationError
+
+
+class TestPoolInfo:
+    def test_share_interpolation(self):
+        pool = PoolInfo("P", "addr", 0.10, 0.20)
+        assert pool.share_on_day(0) == pytest.approx(0.10)
+        assert pool.share_on_day(364) == pytest.approx(0.20)
+        assert pool.share_on_day(182) == pytest.approx(0.15, abs=0.001)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValidationError):
+            PoolInfo("P", "addr", 1.5, 0.2)
+
+
+class TestPoolRegistry:
+    def test_pool_of_known_address(self):
+        registry = PoolRegistry([PoolInfo("P", "addr", 0.1, 0.1)])
+        assert registry.pool_of("addr") == "P"
+
+    def test_pool_of_unknown_passes_through(self):
+        registry = PoolRegistry()
+        assert registry.pool_of("solo-miner") == "solo-miner"
+
+    def test_contains_and_len(self):
+        registry = PoolRegistry([PoolInfo("P", "addr", 0.1, 0.1)])
+        assert "addr" in registry
+        assert len(registry) == 1
+        assert registry.is_pool_address("addr")
+
+    def test_duplicate_address_rejected(self):
+        registry = PoolRegistry([PoolInfo("P", "addr", 0.1, 0.1)])
+        with pytest.raises(ValidationError):
+            registry.register(PoolInfo("Q", "addr", 0.1, 0.1))
+
+    def test_as_mapping_is_copy(self):
+        registry = PoolRegistry([PoolInfo("P", "addr", 0.1, 0.1)])
+        mapping = registry.as_mapping()
+        assert mapping == {"addr": "P"}
+
+
+class TestBitcoin2019Snapshot:
+    def test_has_major_pools(self):
+        names = {p.name for p in bitcoin_pools_2019().pools}
+        for expected in ("BTC.com", "F2Pool", "Poolin", "AntPool", "SlushPool"):
+            assert expected in names
+
+    def test_shares_sum_below_one(self):
+        """The residual is the long tail of unknown miners."""
+        pools = bitcoin_pools_2019().pools
+        assert 0.85 < sum(p.share_early for p in pools) < 1.0
+        assert 0.85 < sum(p.share_late for p in pools) < 1.0
+
+    def test_top4_crosses_majority_midyear(self):
+        """The calibration behind the paper's stable Nakamoto = 4 window."""
+        pools = bitcoin_pools_2019().pools
+        mid_shares = sorted((p.share_on_day(180) for p in pools), reverse=True)
+        assert sum(mid_shares[:4]) > 0.50
+        assert sum(mid_shares[:3]) < 0.51
+
+
+class TestEthereum2019Snapshot:
+    def test_top_two_near_but_below_majority(self):
+        """Ethermine + SparkPool hover just below 51% -> Nakamoto 2-3."""
+        pools = ethereum_pools_2019().pools
+        for day in (0, 180, 364):
+            shares = sorted((p.share_on_day(day) for p in pools), reverse=True)
+            assert 0.42 < shares[0] + shares[1] < 0.53
+
+    def test_distinct_addresses(self):
+        pools = ethereum_pools_2019().pools
+        addresses = [p.address for p in pools]
+        assert len(addresses) == len(set(addresses))

@@ -1,0 +1,55 @@
+"""Tests for the chain specs (paper §II-A / §III-A constants)."""
+
+import pytest
+
+from repro.chain.specs import BITCOIN, ETHEREUM, ChainSpec
+from repro.errors import ValidationError
+
+
+class TestPaperConstants:
+    def test_bitcoin_dataset_size(self):
+        assert BITCOIN.start_height == 556_459
+        assert BITCOIN.block_count == 54_231
+
+    def test_ethereum_dataset_size(self):
+        assert ETHEREUM.start_height == 6_988_615
+        assert ETHEREUM.block_count == 2_204_650
+
+    def test_bitcoin_window_sizes(self):
+        assert BITCOIN.window_day == 144
+        assert BITCOIN.window_week == 1_008
+        assert BITCOIN.window_month == 4_320
+
+    def test_ethereum_window_sizes(self):
+        assert ETHEREUM.window_day == 6_000
+        assert ETHEREUM.window_week == 42_000
+        assert ETHEREUM.window_month == 180_000
+
+    def test_end_heights(self):
+        assert BITCOIN.end_height == 556_459 + 54_231 - 1
+        assert ETHEREUM.end_height == 6_988_615 + 2_204_650 - 1
+
+
+class TestWindowSizeLookup:
+    def test_by_granularity(self):
+        assert BITCOIN.window_size("day") == 144
+        assert BITCOIN.window_size("week") == 1_008
+        assert BITCOIN.window_size("month") == 4_320
+
+    def test_unknown_granularity_raises(self):
+        with pytest.raises(ValidationError):
+            BITCOIN.window_size("year")
+
+
+class TestValidation:
+    def test_nonpositive_block_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ChainSpec("x", 0, 0, 600.0, 144, 144, 1_008, 4_320)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            ChainSpec("x", 0, 10, 0.0, 144, 144, 1_008, 4_320)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValidationError):
+            ChainSpec("x", 0, 10, 600.0, 144, 0, 1_008, 4_320)

@@ -1,0 +1,46 @@
+"""Tests for coinbase tag parsing."""
+
+import pytest
+
+from repro.chain.tags import extract_pool_tag, is_known_pool_tag
+
+
+class TestExtractPoolTag:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("/F2Pool/mined by xyz", "F2Pool"),
+            ("something /ViaBTC/Mined by user/", "ViaBTC"),
+            ("/BTC.COM/ extra", "BTC.com"),
+            ("/slush/", "SlushPool"),
+            ("POOLIN rocks", "Poolin"),
+            ("/Mined by AntPool usa1/", "AntPool"),
+            ("huobi pool block", "Huobi.pool"),
+        ],
+    )
+    def test_known_pools_canonicalized(self, text, expected):
+        assert extract_pool_tag(text) == expected
+
+    def test_unknown_slash_tag_passes_through(self):
+        assert extract_pool_tag("/SomeNewPool/") == "SomeNewPool"
+
+    def test_no_tag_returns_none(self):
+        assert extract_pool_tag("just random coinbase bytes") is None
+
+    def test_empty_string(self):
+        assert extract_pool_tag("") is None
+
+    def test_case_insensitive_known_match(self):
+        assert extract_pool_tag("F2POOL") == "F2Pool"
+
+    def test_slash_tag_requires_two_chars(self):
+        assert extract_pool_tag("/a/") is None
+
+
+class TestIsKnownPoolTag:
+    def test_known(self):
+        assert is_known_pool_tag("f2pool")
+        assert is_known_pool_tag("ViaBTC")
+
+    def test_unknown(self):
+        assert not is_known_pool_tag("SomeNewPool")

@@ -1,0 +1,86 @@
+"""Tests for anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import iqr_anomalies, rolling_mad_anomalies, zscore_anomalies
+from repro.errors import MeasurementError
+from tests.core.test_series import make_series
+
+
+class TestZscore:
+    def test_detects_single_outlier(self):
+        values = [1.0] * 20 + [50.0] + [1.0] * 20
+        report = zscore_anomalies(make_series(values), threshold=3.0)
+        assert report.positions == (20,)
+        assert report.values == (50.0,)
+        assert bool(report)
+
+    def test_no_outliers_in_flat_series(self):
+        report = zscore_anomalies(make_series([5.0] * 30))
+        assert report.count == 0
+        assert not report
+
+    def test_short_series_no_crash(self):
+        assert zscore_anomalies(make_series([1.0, 9.0])).count == 0
+
+    def test_threshold_validated(self):
+        with pytest.raises(MeasurementError):
+            zscore_anomalies(make_series([1.0, 2.0, 3.0]), threshold=0.0)
+
+    def test_labels_carried(self):
+        values = [1.0] * 10 + [99.0]
+        report = zscore_anomalies(make_series(values), threshold=2.0)
+        assert report.labels == ("w10",)
+
+
+class TestIqr:
+    def test_detects_both_tails(self):
+        values = [10.0] * 20 + [0.0, 30.0]
+        report = iqr_anomalies(make_series(values))
+        assert set(report.values) == {0.0, 30.0}
+
+    def test_small_series_no_crash(self):
+        assert iqr_anomalies(make_series([1.0, 2.0, 3.0])).count == 0
+
+    def test_k_widens_fences(self):
+        values = list(np.linspace(0, 1, 40)) + [2.5]
+        strict = iqr_anomalies(make_series(values), k=1.0)
+        loose = iqr_anomalies(make_series(values), k=10.0)
+        assert strict.count >= loose.count
+
+    def test_k_validated(self):
+        with pytest.raises(MeasurementError):
+            iqr_anomalies(make_series([1.0] * 5), k=-1.0)
+
+
+class TestRollingMad:
+    def test_detects_local_spike_on_drifting_series(self):
+        # A slow upward drift with one local spike: a global z-score may
+        # miss it, the rolling detector must not.
+        drift = list(np.linspace(0.0, 10.0, 60))
+        drift[30] += 3.0
+        report = rolling_mad_anomalies(make_series(drift), window=9, threshold=6.0)
+        assert 30 in report.positions
+
+    def test_flat_series_clean(self):
+        report = rolling_mad_anomalies(make_series([1.0] * 40))
+        assert report.count == 0
+
+    def test_short_series_no_crash(self):
+        assert rolling_mad_anomalies(make_series([1.0] * 5), window=15).count == 0
+
+    def test_window_validated(self):
+        with pytest.raises(MeasurementError):
+            rolling_mad_anomalies(make_series([1.0] * 20), window=2)
+
+    def test_threshold_validated(self):
+        with pytest.raises(MeasurementError):
+            rolling_mad_anomalies(make_series([1.0] * 20), threshold=0.0)
+
+
+class TestReportShape:
+    def test_repr(self):
+        report = zscore_anomalies(make_series([1.0] * 10 + [9.0]), threshold=2.0)
+        assert "zscore" in repr(report)
+        assert report.method == "zscore"

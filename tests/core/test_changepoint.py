@@ -1,0 +1,83 @@
+"""Tests for the CUSUM change-point detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.changepoint import cusum_changepoints
+from repro.errors import MeasurementError
+from tests.core.test_series import make_series
+
+
+class TestCusum:
+    def test_level_shift_detected_once(self):
+        values = [0.0] * 50 + [2.0] * 50
+        rng = np.random.default_rng(0)
+        noisy = (np.asarray(values) + rng.normal(0, 0.1, 100)).tolist()
+        report = cusum_changepoints(make_series(noisy), threshold=5.0, drift=0.5)
+        assert report.count == 1
+        assert report.points[0].direction == 1
+        # Flagged shortly after the true change at position 50.
+        assert 50 <= report.points[0].position <= 60
+
+    def test_downward_shift_direction(self):
+        values = [5.0] * 40 + [1.0] * 40
+        report = cusum_changepoints(make_series(values), threshold=4.0)
+        assert report.count >= 1
+        assert report.points[0].direction == -1
+
+    def test_flat_series_clean(self):
+        report = cusum_changepoints(make_series([3.0] * 100))
+        assert not report
+
+    def test_white_noise_mostly_clean(self):
+        rng = np.random.default_rng(1)
+        report = cusum_changepoints(
+            make_series(rng.normal(0, 1, 200).tolist()), threshold=8.0, drift=0.5
+        )
+        assert report.count == 0
+
+    def test_two_shifts_both_reported(self):
+        values = [0.0] * 40 + [3.0] * 40 + [0.0] * 40
+        report = cusum_changepoints(make_series(values), threshold=4.0)
+        directions = [p.direction for p in report.points]
+        assert 1 in directions and -1 in directions
+
+    def test_short_series_no_crash(self):
+        assert cusum_changepoints(make_series([1.0, 2.0])).count == 0
+
+    def test_magnitude_positive(self):
+        values = [0.0] * 30 + [4.0] * 30
+        report = cusum_changepoints(make_series(values), threshold=3.0)
+        assert all(p.magnitude > 3.0 for p in report.points)
+
+    def test_labels_carried(self):
+        values = [0.0] * 30 + [4.0] * 30
+        report = cusum_changepoints(make_series(values), threshold=3.0)
+        first = report.points[0]
+        assert first.label == f"w{first.position}"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(MeasurementError):
+            cusum_changepoints(make_series([1.0] * 10), threshold=0.0)
+
+    def test_invalid_drift(self):
+        with pytest.raises(MeasurementError):
+            cusum_changepoints(make_series([1.0] * 10), drift=-0.1)
+
+
+class TestOnCalibratedData:
+    def test_btc_weekly_gini_has_changepoints(self, btc_engine):
+        """BTC 2019 drifts from the fragmented early regime to the stable
+        late one — CUSUM must see at least one shift."""
+        weekly = btc_engine.measure_calendar("gini", "week")
+        report = cusum_changepoints(weekly, threshold=3.0, drift=0.3)
+        assert report.count >= 1
+
+    def test_eth_weekly_gini_quieter_than_btc(self, btc_engine, eth_engine):
+        btc_report = cusum_changepoints(
+            btc_engine.measure_calendar("gini", "week"), threshold=3.0, drift=0.3
+        )
+        eth_report = cusum_changepoints(
+            eth_engine.measure_calendar("gini", "week"), threshold=3.0, drift=0.3
+        )
+        assert eth_report.count <= btc_report.count

@@ -1,0 +1,92 @@
+"""Tests for comparative analyses."""
+
+import pytest
+
+from repro.core.anomaly import zscore_anomalies
+from repro.core.comparison import (
+    compare_level,
+    compare_stability,
+    fixed_vs_sliding_gain,
+    granularity_ordering,
+)
+from repro.errors import MeasurementError
+from tests.core.test_series import make_series
+
+
+def series_for(chain, values, metric="gini"):
+    return make_series(values, chain_name=chain, metric_name=metric)
+
+
+class TestCompareLevel:
+    def test_lower_wins_for_gini(self):
+        btc = series_for("bitcoin", [0.5, 0.55])
+        eth = series_for("ethereum", [0.85, 0.86])
+        result = compare_level(btc, eth, higher_is_more_decentralized=False)
+        assert result.winner == "bitcoin"
+        assert result.mean_a == pytest.approx(0.525)
+
+    def test_higher_wins_for_entropy(self):
+        btc = series_for("bitcoin", [3.9], metric="entropy")
+        eth = series_for("ethereum", [3.4], metric="entropy")
+        result = compare_level(btc, eth, higher_is_more_decentralized=True)
+        assert result.winner == "bitcoin"
+
+    def test_direction_flips_winner(self):
+        a = series_for("x", [1.0])
+        b = series_for("y", [2.0])
+        assert compare_level(a, b, True).winner == "y"
+        assert compare_level(a, b, False).winner == "x"
+
+    def test_metric_mismatch_rejected(self):
+        a = series_for("x", [1.0], metric="gini")
+        b = series_for("y", [2.0], metric="entropy")
+        with pytest.raises(MeasurementError):
+            compare_level(a, b, True)
+
+
+class TestCompareStability:
+    def test_lower_cv_wins(self):
+        volatile = series_for("bitcoin", [1.0, 5.0, 1.0, 5.0])
+        stable = series_for("ethereum", [3.0, 3.1, 2.9, 3.0])
+        result = compare_stability(volatile, stable)
+        assert result.winner == "ethereum"
+        assert result.cv_b < result.cv_a
+
+
+class TestGranularityOrdering:
+    def test_ordered_means(self):
+        day = series_for("btc", [0.5, 0.5])
+        week = series_for("btc", [0.65, 0.7])
+        month = series_for("btc", [0.8])
+        assert granularity_ordering([day, week, month])
+
+    def test_unordered_detected(self):
+        day = series_for("btc", [0.9])
+        week = series_for("btc", [0.6])
+        assert not granularity_ordering([day, week])
+
+    def test_needs_two_series(self):
+        with pytest.raises(MeasurementError):
+            granularity_ordering([series_for("btc", [0.5])])
+
+
+class TestSlidingGain:
+    def test_point_ratio(self):
+        fixed = series_for("btc", [1.0] * 52)
+        sliding = series_for("btc", [1.0] * 105)
+        gain = fixed_vs_sliding_gain(fixed, sliding, zscore_anomalies)
+        assert gain.point_ratio == pytest.approx(105 / 52)
+
+    def test_anomaly_counts(self):
+        fixed = series_for("btc", [1.0] * 30)
+        sliding = series_for("btc", [1.0] * 59 + [9.0])
+        gain = fixed_vs_sliding_gain(fixed, sliding, zscore_anomalies)
+        assert gain.anomalies_fixed == 0
+        assert gain.anomalies_sliding == 1
+
+    def test_empty_fixed_rejected(self):
+        gain = fixed_vs_sliding_gain(
+            series_for("btc", []), series_for("btc", [1.0]), zscore_anomalies
+        )
+        with pytest.raises(MeasurementError):
+            gain.point_ratio

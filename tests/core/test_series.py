@@ -1,0 +1,102 @@
+"""Tests for MeasurementSeries."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import MeasurementSeries
+from repro.errors import MeasurementError
+
+
+def make_series(values, **overrides):
+    n = len(values)
+    config = dict(
+        chain_name="testchain",
+        metric_name="gini",
+        window_desc="fixed-day",
+        indices=np.arange(n),
+        labels=tuple(f"w{i}" for i in range(n)),
+        values=np.asarray(values, dtype=np.float64),
+    )
+    config.update(overrides)
+    return MeasurementSeries(**config)
+
+
+class TestConstruction:
+    def test_length_and_iteration(self):
+        series = make_series([1.0, 2.0, 3.0])
+        assert len(series) == 3
+        assert list(series) == [("w0", 1.0), ("w1", 2.0), ("w2", 3.0)]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MeasurementError):
+            make_series([1.0, 2.0], labels=("only-one",))
+
+    def test_repr_mentions_identity(self):
+        series = make_series([1.0])
+        assert "testchain/gini/fixed-day" in repr(series)
+
+
+class TestStatistics:
+    def test_basic_stats(self):
+        series = make_series([1.0, 2.0, 3.0, 4.0])
+        assert series.mean() == 2.5
+        assert series.min() == 1.0
+        assert series.max() == 4.0
+        assert series.median() == 2.5
+        assert series.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_quantile(self):
+        series = make_series(list(range(101)))
+        assert series.quantile(0.95) == pytest.approx(95.0)
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(MeasurementError):
+            make_series([1.0]).quantile(1.5)
+
+    def test_coefficient_of_variation(self):
+        series = make_series([2.0, 4.0])
+        assert series.coefficient_of_variation() == pytest.approx(1.0 / 3.0)
+
+    def test_cv_zero_mean_rejected(self):
+        with pytest.raises(MeasurementError):
+            make_series([1.0, -1.0]).coefficient_of_variation()
+
+    def test_empty_series_stats_rejected(self):
+        with pytest.raises(MeasurementError):
+            make_series([]).mean()
+
+    def test_fraction_in_range(self):
+        """The paper's 'most values within 0.45-0.60' phrasing."""
+        series = make_series([0.4, 0.5, 0.55, 0.58, 0.7])
+        assert series.fraction_in_range(0.45, 0.60) == pytest.approx(0.6)
+
+    def test_count_extremes(self):
+        series = make_series([0.2, 0.5, 0.9, 1.5])
+        assert series.count_extremes(low=0.3) == 1
+        assert series.count_extremes(high=0.8) == 2
+        assert series.count_extremes(low=0.3, high=0.8) == 3
+
+
+class TestTransformation:
+    def test_slice(self):
+        series = make_series([1.0, 2.0, 3.0, 4.0]).slice(1, 3)
+        assert series.values.tolist() == [2.0, 3.0]
+        assert series.labels == ("w1", "w2")
+
+    def test_head_fraction(self):
+        series = make_series(list(range(10))).head_fraction(0.3)
+        assert len(series) == 3
+
+    def test_head_fraction_bounds(self):
+        with pytest.raises(MeasurementError):
+            make_series([1.0]).head_fraction(0.0)
+
+    def test_select_by_index(self):
+        series = make_series([1.0, 2.0, 3.0], indices=np.asarray([10, 20, 30]))
+        picked = series.select_by_index([30, 10])
+        assert picked.values.tolist() == [1.0, 3.0]
+
+    def test_to_table(self):
+        table = make_series([1.5, 2.5]).to_table()
+        assert table.column_names == ("index", "label", "value")
+        assert table["value"].tolist() == [1.5, 2.5]

@@ -1,0 +1,44 @@
+"""Tests for series summaries."""
+
+import pytest
+
+from repro.core.summary import summarize
+from tests.core.test_series import make_series
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize(make_series([1.0, 2.0, 3.0, 4.0]))
+        assert summary.n_windows == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+        assert summary.chain_name == "testchain"
+        assert summary.metric_name == "gini"
+        assert summary.window_desc == "fixed-day"
+
+    def test_quantiles_ordered(self):
+        summary = summarize(make_series(list(range(100))))
+        assert summary.q05 < summary.median < summary.q95
+
+    def test_as_dict_roundtrips_all_fields(self):
+        summary = summarize(make_series([1.0, 2.0]))
+        record = summary.as_dict()
+        assert record["n_windows"] == 2
+        assert set(record) >= {
+            "chain_name", "metric_name", "window_desc", "mean", "std",
+            "minimum", "maximum", "median", "q05", "q95",
+            "coefficient_of_variation",
+        }
+
+    def test_str_is_readable(self):
+        text = str(summarize(make_series([1.0, 2.0])))
+        assert "testchain/gini/fixed-day" in text
+        assert "mean=1.5" in text
+
+    def test_cv_matches_series(self):
+        series = make_series([2.0, 4.0])
+        assert summarize(series).coefficient_of_variation == pytest.approx(
+            series.coefficient_of_variation()
+        )

@@ -1,0 +1,97 @@
+"""Tests for trend utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.trend import detrend, linear_trend, rolling_mean, rolling_std
+from repro.errors import MeasurementError
+from tests.core.test_series import make_series
+
+
+class TestRollingMean:
+    def test_flat_series_unchanged(self):
+        series = make_series([2.0] * 10)
+        assert rolling_mean(series, 3).values.tolist() == [2.0] * 10
+
+    def test_window_one_is_identity(self):
+        series = make_series([1.0, 5.0, 2.0])
+        assert rolling_mean(series, 1).values.tolist() == [1.0, 5.0, 2.0]
+
+    def test_centered_average(self):
+        series = make_series([0.0, 3.0, 6.0])
+        out = rolling_mean(series, 3)
+        assert out.values[1] == pytest.approx(3.0)
+
+    def test_edges_use_partial_windows(self):
+        series = make_series([0.0, 3.0, 6.0])
+        out = rolling_mean(series, 3)
+        assert out.values[0] == pytest.approx(1.5)  # mean of [0, 3]
+        assert out.values[2] == pytest.approx(4.5)  # mean of [3, 6]
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        series = make_series((np.sin(np.linspace(0, 6, 200)) + rng.normal(0, 0.5, 200)).tolist())
+        smoothed = rolling_mean(series, 21)
+        assert smoothed.std() < series.std()
+
+    def test_desc_suffix(self):
+        assert rolling_mean(make_series([1.0]), 3).window_desc.endswith(":rollmean3")
+
+    def test_invalid_window(self):
+        with pytest.raises(MeasurementError):
+            rolling_mean(make_series([1.0]), 0)
+
+
+class TestRollingStd:
+    def test_flat_is_zero(self):
+        out = rolling_std(make_series([5.0] * 10), 4)
+        assert np.allclose(out.values, 0.0)
+
+    def test_spike_raises_local_std(self):
+        values = [0.0] * 20
+        values[10] = 10.0
+        out = rolling_std(make_series(values), 5)
+        assert out.values[10] > out.values[0]
+
+    def test_invalid_window(self):
+        with pytest.raises(MeasurementError):
+            rolling_std(make_series([1.0, 2.0]), 1)
+
+
+class TestDetrend:
+    def test_removes_linear_drift(self):
+        drift = np.linspace(0, 10, 100)
+        out = detrend(make_series(drift.tolist()), 11)
+        # Interior residuals are ~0 (edges are biased by partial windows).
+        assert np.abs(out.values[10:-10]).max() < 1e-9
+
+    def test_preserves_local_spike(self):
+        values = np.zeros(50)
+        values[25] = 5.0
+        out = detrend(make_series(values.tolist()), 11)
+        assert out.values[25] > 3.0
+
+
+class TestLinearTrend:
+    def test_exact_line(self):
+        slope, intercept = linear_trend(make_series([1.0, 3.0, 5.0, 7.0]))
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_flat(self):
+        slope, _ = linear_trend(make_series([4.0] * 10))
+        assert slope == pytest.approx(0.0, abs=1e-12)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MeasurementError):
+            linear_trend(make_series([1.0]))
+
+    def test_btc_gini_drifts_down_then_flat(self, btc_engine):
+        """BTC daily Gini declines through Q1 (the singleton stream that
+        inflates daily inequality dries up at day ~50) and then flattens."""
+        daily = btc_engine.measure_calendar("gini", "day")
+        early_slope, _ = linear_trend(daily.slice(0, 90))
+        late_slope, _ = linear_trend(daily.slice(180, 365))
+        assert early_slope < 0
+        assert abs(late_slope) < abs(early_slope)
+        assert daily.slice(0, 50).mean() > daily.slice(180, 365).mean()

@@ -1,0 +1,28 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are the repository's public face; a broken one is a broken
+deliverable.  Each is executed in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script} produced almost no output"
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES

@@ -1,0 +1,284 @@
+"""Integration tests: the paper's findings, figure by figure.
+
+These assert the *shapes* the paper reports — who wins, value ranges,
+granularity orderings, anomaly visibility — on the calibrated simulated
+datasets.  Absolute tolerances are deliberately generous (the substrate is
+a simulator, not the authors' BigQuery extract); EXPERIMENTS.md records
+the exact paper-vs-measured numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import iqr_anomalies
+from repro.core.comparison import granularity_ordering
+
+
+@pytest.fixture(scope="module")
+def btc(btc_engine):
+    return btc_engine
+
+
+@pytest.fixture(scope="module")
+def eth(eth_engine):
+    return eth_engine
+
+
+class TestFig1BtcGiniFixed:
+    def test_granularity_ordering(self, btc):
+        series = [btc.measure_calendar("gini", g) for g in ("day", "week", "month")]
+        assert granularity_ordering(series)
+
+    def test_monthly_highest_in_first_quarter(self, btc):
+        monthly = btc.measure_calendar("gini", "month")
+        assert monthly.slice(0, 3).max() > 0.80
+
+    def test_daily_mostly_between_045_and_060(self, btc):
+        daily = btc.measure_calendar("gini", "day")
+        assert daily.fraction_in_range(0.45, 0.60) > 0.60
+
+    def test_daily_extreme_lows_in_first_quarter(self, btc):
+        daily = btc.measure_calendar("gini", "day")
+        assert daily.slice(0, 90).min() < 0.40
+        assert daily.slice(90, 365).min() > daily.slice(0, 90).min()
+
+
+class TestFig2BtcEntropyFixed:
+    def test_daily_band(self, btc):
+        daily = btc.measure_calendar("entropy", "day")
+        assert daily.fraction_in_range(3.5, 4.0) > 0.5
+
+    def test_extreme_highs_exceed_5_5(self, btc):
+        daily = btc.measure_calendar("entropy", "day")
+        assert daily.max() > 5.5
+
+    def test_higher_during_first_two_months(self, btc):
+        daily = btc.measure_calendar("entropy", "day")
+        assert daily.slice(0, 60).mean() > daily.slice(150, 250).mean()
+
+    def test_granularities_close(self, btc):
+        """Unlike Gini, entropy moves little across granularities."""
+        means = [
+            btc.measure_calendar("entropy", g).mean() for g in ("day", "week", "month")
+        ]
+        assert max(means) - min(means) < 0.5
+
+
+class TestFig3BtcNakamotoFixed:
+    def test_stable_at_4_mid_year(self, btc):
+        daily = btc.measure_calendar("nakamoto", "day")
+        mid = daily.slice(100, 260)
+        values, counts = np.unique(mid.values, return_counts=True)
+        assert values[counts.argmax()] == 4.0
+
+    def test_mostly_4_to_5(self, btc):
+        daily = btc.measure_calendar("nakamoto", "day")
+        assert daily.fraction_in_range(4, 5) > 0.8
+
+    def test_extremes_above_35_in_first_50_days(self, btc):
+        daily = btc.measure_calendar("nakamoto", "day")
+        assert daily.slice(0, 50).max() > 35
+        assert daily.slice(50, 365).max() < 35
+
+
+class TestFig4EthGiniFixed:
+    def test_granularity_ordering(self, eth):
+        series = [eth.measure_calendar("gini", g) for g in ("day", "week", "month")]
+        assert granularity_ordering(series)
+
+    def test_higher_than_bitcoin(self, btc, eth):
+        for granularity in ("day", "week", "month"):
+            assert (
+                eth.measure_calendar("gini", granularity).mean()
+                > btc.measure_calendar("gini", granularity).mean()
+            )
+
+    def test_more_stable_than_bitcoin(self, btc, eth):
+        btc_daily = btc.measure_calendar("gini", "day")
+        eth_daily = eth.measure_calendar("gini", "day")
+        assert eth_daily.std() < btc_daily.std()
+
+
+class TestFig5EthEntropyFixed:
+    def test_band_33_to_35(self, eth):
+        daily = eth.measure_calendar("entropy", "day")
+        assert daily.fraction_in_range(3.3, 3.6) > 0.8
+
+    def test_no_extreme_values(self, eth):
+        """'There is no abnormal value observed during the year.'"""
+        daily = eth.measure_calendar("entropy", "day")
+        assert daily.max() - daily.min() < 0.6
+
+
+class TestFig6EthNakamotoFixed:
+    def test_fluctuates_between_2_and_3(self, eth):
+        daily = eth.measure_calendar("nakamoto", "day")
+        assert set(np.unique(daily.values)) <= {2.0, 3.0}
+        assert daily.fraction_in_range(2, 3) == 1.0
+
+    def test_both_values_occur(self, eth):
+        daily = eth.measure_calendar("nakamoto", "day")
+        assert {2.0, 3.0} <= set(np.unique(daily.values))
+
+
+class TestFig7Distribution:
+    def test_population_grows_top_share_stays(self, btc_chain):
+        from repro.analysis.figures import figure_7
+        from repro.core.engine import MeasurementEngine
+
+        figure = figure_7(MeasurementEngine.from_chain(btc_chain))
+        day, month = figure.distributions
+        assert month.n_producers > day.n_producers
+        assert abs(
+            sum(s for _, s in day.top) - sum(s for _, s in month.top)
+        ) < 0.10
+
+
+class TestFig8SlidingMechanics:
+    def test_point_ratio_near_two(self, btc, eth):
+        for engine, size in ((btc, 144), (eth, 6000)):
+            sliding = engine.measure_sliding("entropy", size)
+            fixed_count = engine.credits.n_blocks // size
+            assert len(sliding) / fixed_count == pytest.approx(2.0, abs=0.05)
+
+
+class TestFig9BtcEntropySliding:
+    def test_means_by_window_size(self, btc):
+        """Paper: ~3.810 / 4.002 / 4.091 for N = 144 / 1008 / 4320."""
+        means = [btc.measure_sliding("entropy", n).mean() for n in (144, 1008, 4320)]
+        assert means[0] == pytest.approx(3.810, abs=0.25)
+        assert means[1] == pytest.approx(4.002, abs=0.25)
+        assert means[2] == pytest.approx(4.091, abs=0.25)
+        assert means[0] < means[1] < means[2]
+
+    def test_daily_band_and_extremes(self, btc):
+        daily = btc.measure_sliding("entropy", 144)
+        assert daily.fraction_in_range(3.5, 4.0) > 0.5
+        assert daily.count_extremes(high=5.0) >= 2
+
+    def test_sliding_magnifies_extremes(self, btc):
+        fixed = btc.measure_calendar("entropy", "day")
+        sliding = btc.measure_sliding("entropy", 144)
+        assert sliding.count_extremes(high=5.0) >= fixed.count_extremes(high=5.0)
+
+
+class TestFig10EthEntropySliding:
+    def test_means_by_window_size(self, eth):
+        """Paper: ~3.420 / 3.433 / 3.445."""
+        means = [
+            eth.measure_sliding("entropy", n).mean() for n in (6000, 42000, 180000)
+        ]
+        for mean, target in zip(means, (3.420, 3.433, 3.445)):
+            assert mean == pytest.approx(target, abs=0.15)
+        assert means[0] <= means[1] <= means[2]
+
+    def test_stable_band(self, eth):
+        daily = eth.measure_sliding("entropy", 6000)
+        assert daily.fraction_in_range(3.3, 3.6) > 0.8
+
+
+class TestFig11BtcGiniSliding:
+    def test_means_by_window_size(self, btc):
+        """Paper: ~0.523 / 0.667 / 0.760."""
+        means = [btc.measure_sliding("gini", n).mean() for n in (144, 1008, 4320)]
+        assert means[0] == pytest.approx(0.523, abs=0.06)
+        assert means[1] == pytest.approx(0.667, abs=0.06)
+        assert means[2] == pytest.approx(0.760, abs=0.06)
+        assert means[0] < means[1] < means[2]
+
+
+class TestFig12EthGiniSliding:
+    def test_means_by_window_size(self, eth):
+        """Paper: ~0.837 / 0.878 / 0.916."""
+        means = [eth.measure_sliding("gini", n).mean() for n in (6000, 42000, 180000)]
+        assert means[0] == pytest.approx(0.837, abs=0.05)
+        assert means[1] == pytest.approx(0.878, abs=0.05)
+        assert means[2] == pytest.approx(0.916, abs=0.05)
+
+    def test_less_decentralized_than_bitcoin(self, btc, eth):
+        assert (
+            eth.measure_sliding("gini", 6000).mean()
+            > btc.measure_sliding("gini", 144).mean()
+        )
+
+
+class TestFig13BtcNakamotoSliding:
+    def test_mostly_between_4_and_5(self, btc):
+        daily = btc.measure_sliding("nakamoto", 144)
+        assert daily.fraction_in_range(4, 5) > 0.8
+
+    def test_day60_consolidation_visible_in_sliding_not_fixed(self, btc):
+        """The paper's flagship sliding-window result (N index ~120)."""
+        sliding = btc.measure_sliding("nakamoto", 144)
+        fixed = btc.measure_calendar("nakamoto", "day")
+        # Sliding dips below 4 near index 120 (day ~60)...
+        assert sliding.slice(115, 130).min() <= 3
+        # ...while the surrounding fixed daily values stay at 4+.
+        assert fixed.slice(55, 65).min() >= 4
+
+    def test_sliding_extreme_count_doubles(self, btc):
+        fixed = btc.measure_calendar("nakamoto", "day")
+        sliding = btc.measure_sliding("nakamoto", 144)
+        assert sliding.count_extremes(high=20) >= fixed.count_extremes(high=20)
+
+
+class TestFig14EthNakamotoSliding:
+    def test_majority_between_2_and_3(self, eth):
+        daily = eth.measure_sliding("nakamoto", 6000)
+        assert daily.fraction_in_range(2, 3) == 1.0
+
+    def test_less_decentralized_than_bitcoin(self, btc, eth):
+        assert (
+            eth.measure_sliding("nakamoto", 6000).mean()
+            < btc.measure_sliding("nakamoto", 144).mean()
+        )
+
+
+class TestDay14Anomaly:
+    """Paper §II-C1d: Jan 14 has ~148 blocks but a huge producer set."""
+
+    def test_day14_gini_is_extreme_low(self, btc):
+        daily = btc.measure_calendar("gini", "day")
+        day14 = daily.values[13]
+        assert day14 == pytest.approx(0.34, abs=0.06)
+        assert day14 < daily.quantile(0.02)
+
+    def test_day14_entropy_is_extreme_high(self, btc):
+        daily = btc.measure_calendar("entropy", "day")
+        day14 = daily.values[13]
+        assert day14 > 6.0
+        assert day14 > daily.quantile(0.98)
+
+    def test_day14_flagged_by_detectors(self, btc):
+        daily = btc.measure_calendar("entropy", "day")
+        report = iqr_anomalies(daily)
+        assert 13 in report.positions
+
+
+class TestHeadlineClaims:
+    def test_bitcoin_more_decentralized_all_metrics_all_granularities(self, btc, eth):
+        for granularity in ("day", "week", "month"):
+            assert (
+                btc.measure_calendar("gini", granularity).mean()
+                < eth.measure_calendar("gini", granularity).mean()
+            )
+            assert (
+                btc.measure_calendar("entropy", granularity).mean()
+                > eth.measure_calendar("entropy", granularity).mean()
+            )
+            assert (
+                btc.measure_calendar("nakamoto", granularity).mean()
+                > eth.measure_calendar("nakamoto", granularity).mean()
+            )
+
+    def test_ethereum_more_stable_all_metrics(self, btc, eth):
+        for metric in ("gini", "entropy", "nakamoto"):
+            btc_cv = btc.measure_calendar(metric, "day").coefficient_of_variation()
+            eth_cv = eth.measure_calendar(metric, "day").coefficient_of_variation()
+            assert eth_cv < btc_cv
+
+    def test_sliding_and_fixed_means_agree(self, btc):
+        """Paper §III-B: sliding and fixed averages are 'quite close'."""
+        fixed = btc.measure_calendar("entropy", "day").mean()
+        sliding = btc.measure_sliding("entropy", 144).mean()
+        assert fixed == pytest.approx(sliding, abs=0.1)

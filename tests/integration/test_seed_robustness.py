@@ -1,0 +1,78 @@
+"""Seed robustness: the paper's findings must not depend on a lucky seed.
+
+Re-simulates Bitcoin (cheap) under alternate seeds and checks that the
+*shape* conclusions — granularity ordering, Nakamoto mode, headline
+comparisons — survive.  Ethereum is re-simulated once (it is slower) for
+the cross-chain claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MeasurementEngine
+from repro.simulation.scenarios import simulate_bitcoin_2019, simulate_ethereum_2019
+
+ALT_SEEDS = (7, 1234)
+
+
+@pytest.fixture(scope="module", params=ALT_SEEDS)
+def alt_btc(request):
+    return MeasurementEngine.from_chain(simulate_bitcoin_2019(seed=request.param))
+
+
+@pytest.fixture(scope="module")
+def alt_eth():
+    return MeasurementEngine.from_chain(simulate_ethereum_2019(seed=7))
+
+
+class TestBitcoinShapeAcrossSeeds:
+    def test_gini_granularity_ordering(self, alt_btc):
+        means = [
+            alt_btc.measure_calendar("gini", g).mean() for g in ("day", "week", "month")
+        ]
+        assert means[0] < means[1] < means[2]
+
+    def test_nakamoto_mode_is_4_midyear(self, alt_btc):
+        mid = alt_btc.measure_calendar("nakamoto", "day").slice(100, 260)
+        values, counts = np.unique(mid.values, return_counts=True)
+        assert values[counts.argmax()] in (4.0, 5.0)
+
+    def test_day14_anomaly_direction(self, alt_btc):
+        gini = alt_btc.measure_calendar("gini", "day")
+        entropy = alt_btc.measure_calendar("entropy", "day")
+        assert gini.values[13] < gini.quantile(0.05)
+        assert entropy.values[13] > entropy.quantile(0.95)
+
+    def test_sliding_mean_matches_fixed(self, alt_btc):
+        fixed = alt_btc.measure_calendar("entropy", "day").mean()
+        sliding = alt_btc.measure_sliding("entropy", 144).mean()
+        assert sliding == pytest.approx(fixed, abs=0.1)
+
+    def test_early_year_extremes(self, alt_btc):
+        daily = alt_btc.measure_calendar("nakamoto", "day")
+        assert daily.slice(0, 50).max() > 30
+
+
+class TestHeadlinesAcrossSeeds:
+    def test_bitcoin_more_decentralized_seed7(self, alt_eth):
+        btc = MeasurementEngine.from_chain(simulate_bitcoin_2019(seed=7))
+        assert (
+            btc.measure_calendar("gini", "day").mean()
+            < alt_eth.measure_calendar("gini", "day").mean()
+        )
+        assert (
+            btc.measure_calendar("entropy", "day").mean()
+            > alt_eth.measure_calendar("entropy", "day").mean()
+        )
+        assert (
+            btc.measure_calendar("nakamoto", "day").mean()
+            > alt_eth.measure_calendar("nakamoto", "day").mean()
+        )
+
+    def test_ethereum_more_stable_seed7(self, alt_eth):
+        btc = MeasurementEngine.from_chain(simulate_bitcoin_2019(seed=7))
+        for metric in ("gini", "entropy", "nakamoto"):
+            assert (
+                alt_eth.measure_calendar(metric, "day").coefficient_of_variation()
+                < btc.measure_calendar(metric, "day").coefficient_of_variation()
+            )

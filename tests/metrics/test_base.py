@@ -1,0 +1,73 @@
+"""Tests for the metric registry and distribution validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import (
+    FunctionMetric,
+    PAPER_METRICS,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+from repro.metrics.base import validate_distribution
+
+
+class TestRegistry:
+    def test_paper_metrics_registered(self):
+        names = available_metrics()
+        for metric in PAPER_METRICS:
+            assert metric in names
+
+    def test_extension_metrics_registered(self):
+        names = available_metrics()
+        for metric in ("hhi", "theil", "top4-share", "nakamoto-33",
+                       "normalized-entropy", "effective-producers"):
+            assert metric in names
+
+    def test_get_metric_computes(self):
+        metric = get_metric("gini")
+        assert metric.compute(np.asarray([1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_nakamoto33_uses_lower_threshold(self):
+        values = np.asarray([40.0, 30.0, 20.0, 10.0])
+        assert get_metric("nakamoto").compute(values) == 2
+        assert get_metric("nakamoto-33").compute(values) == 1
+
+    def test_unknown_metric_raises_with_suggestions(self):
+        with pytest.raises(MetricError, match="available"):
+            get_metric("fairness")
+
+    def test_register_custom_metric(self):
+        metric = FunctionMetric("test-custom-xyz", lambda values: 1.23)
+        register_metric(metric)
+        try:
+            assert get_metric("test-custom-xyz").compute(np.asarray([1.0])) == 1.23
+        finally:
+            # Re-register with overwrite to keep the test idempotent.
+            register_metric(metric, overwrite=True)
+
+    def test_duplicate_registration_rejected(self):
+        metric = FunctionMetric("gini", lambda values: 0.0)
+        with pytest.raises(MetricError):
+            register_metric(metric)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricError):
+            register_metric(FunctionMetric("", lambda values: 0.0))
+
+
+class TestValidateDistribution:
+    def test_drops_zeros(self):
+        out = validate_distribution([0.0, 1.0, 0.0, 2.0])
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_coerces_lists(self):
+        out = validate_distribution([1, 2])
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize("bad", [[], [0.0], [-1.0, 1.0], [np.inf, 1.0]])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(MetricError):
+            validate_distribution(bad)

@@ -1,0 +1,73 @@
+"""Tests for Shannon entropy (paper Eqs. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.entropy import (
+    effective_producers_entropy,
+    normalized_entropy,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_is_log2_n(self):
+        assert shannon_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+        assert shannon_entropy([7, 7]) == pytest.approx(1.0)
+
+    def test_single_entity_is_zero(self):
+        assert shannon_entropy([42.0]) == 0.0
+
+    def test_skew_reduces_entropy(self):
+        assert shannon_entropy([97, 1, 1, 1]) < shannon_entropy([25, 25, 25, 25])
+
+    def test_scale_invariance(self):
+        values = [3, 1, 4, 1, 5]
+        assert shannon_entropy(values) == pytest.approx(
+            shannon_entropy([v * 1_000 for v in values])
+        )
+
+    def test_more_entities_can_raise_entropy(self):
+        """The paper's day-14 anomaly: extra one-credit producers raise E."""
+        pools = [20, 18, 15, 12, 10, 8, 7, 6]
+        assert shannon_entropy(pools + [1] * 170) > shannon_entropy(pools) + 2.0
+
+    def test_known_value(self):
+        # p = (0.5, 0.25, 0.25) -> H = 1.5 bits.
+        assert shannon_entropy([2, 1, 1]) == pytest.approx(1.5)
+
+    def test_zeros_dropped(self):
+        assert shannon_entropy([1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            shannon_entropy([])
+
+
+class TestNormalizedEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_single_entity_is_one(self):
+        assert normalized_entropy([5.0]) == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            values = rng.integers(1, 50, size=rng.integers(2, 30))
+            assert 0.0 < normalized_entropy(values) <= 1.0
+
+    def test_skew_lowers_normalized(self):
+        assert normalized_entropy([1000, 1, 1]) < 0.5
+
+
+class TestEffectiveProducers:
+    def test_uniform_equals_population(self):
+        assert effective_producers_entropy([1, 1, 1, 1]) == pytest.approx(4.0)
+
+    def test_skewed_below_population(self):
+        assert effective_producers_entropy([100, 1, 1, 1]) < 4.0
+
+    def test_single_is_one(self):
+        assert effective_producers_entropy([9.0]) == pytest.approx(1.0)

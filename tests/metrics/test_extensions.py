@@ -1,0 +1,77 @@
+"""Tests for the extension metrics (HHI, Theil, top-k)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.hhi import effective_producers_hhi, herfindahl_hirschman_index
+from repro.metrics.theil import theil_index
+from repro.metrics.topk import top_k_share
+
+
+class TestHHI:
+    def test_uniform(self):
+        assert herfindahl_hirschman_index([1, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_monopoly(self):
+        assert herfindahl_hirschman_index([7.0]) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            values = rng.integers(1, 100, size=rng.integers(2, 50))
+            hhi = herfindahl_hirschman_index(values)
+            assert 1.0 / len(values) <= hhi <= 1.0
+
+    def test_effective_producers_inverse(self):
+        values = [10, 10, 10, 10]
+        assert effective_producers_hhi(values) == pytest.approx(4.0)
+
+    def test_concentration_raises_hhi(self):
+        assert herfindahl_hirschman_index([97, 1, 1, 1]) > herfindahl_hirschman_index(
+            [25, 25, 25, 25]
+        )
+
+
+class TestTheil:
+    def test_equality_is_zero(self):
+        assert theil_index([3, 3, 3]) == pytest.approx(0.0)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            values = rng.integers(1, 100, size=rng.integers(2, 50))
+            assert theil_index(values) >= -1e-12
+
+    def test_bounded_by_log_n(self):
+        values = [1] * 9 + [1_000_000]
+        assert theil_index(values) <= np.log(10) + 1e-9
+
+    def test_agrees_with_gini_direction(self):
+        from repro.metrics.gini import gini_coefficient
+
+        flat = [10, 11, 9, 10]
+        skewed = [1, 1, 1, 37]
+        assert theil_index(flat) < theil_index(skewed)
+        assert gini_coefficient(flat) < gini_coefficient(skewed)
+
+
+class TestTopKShare:
+    def test_basic(self):
+        assert top_k_share([50, 30, 10, 10], k=2) == pytest.approx(0.8)
+
+    def test_k_larger_than_population(self):
+        assert top_k_share([5.0, 5.0], k=10) == 1.0
+
+    def test_k_one_is_max_share(self):
+        assert top_k_share([10, 30, 60], k=1) == pytest.approx(0.6)
+
+    def test_monotone_in_k(self):
+        values = [40, 25, 15, 10, 5, 5]
+        shares = [top_k_share(values, k=k) for k in range(1, 7)]
+        assert shares == sorted(shares)
+        assert shares[-1] == pytest.approx(1.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(MetricError):
+            top_k_share([1, 2], k=0)

@@ -1,0 +1,94 @@
+"""Tests for the Gini coefficient (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.gini import gini_coefficient, gini_pairwise, lorenz_curve
+
+
+class TestGiniValues:
+    def test_perfect_equality_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_entity_is_zero(self):
+        assert gini_coefficient([42.0]) == 0.0
+
+    def test_two_entity_known_value(self):
+        # For (1, 3): sum|xi-xj| = 2*2 = 4; 2*n*sum = 2*2*4 = 16 -> 0.25.
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    def test_extreme_concentration_approaches_one(self):
+        values = [1] * 99 + [1_000_000]
+        assert gini_coefficient(values) > 0.95
+
+    def test_matches_pairwise_reference(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            values = rng.integers(1, 100, size=rng.integers(2, 40))
+            fast = gini_coefficient(values)
+            slow = gini_pairwise(values)
+            assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_scale_invariance(self):
+        values = [3.0, 9.0, 1.0, 7.0]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([v * 1000 for v in values])
+        )
+
+    def test_order_invariance(self):
+        assert gini_coefficient([1, 2, 3]) == pytest.approx(gini_coefficient([3, 1, 2]))
+
+    def test_zeros_are_dropped(self):
+        assert gini_coefficient([0, 0, 5, 5]) == pytest.approx(0.0)
+
+    def test_paper_day14_shape(self):
+        """Many one-credit entities + a few pools -> *low* Gini (§II-C1d)."""
+        pools = [20, 18, 15, 12, 10, 8, 7, 6, 5, 4, 3, 3, 2, 2, 1, 1]
+        anomaly_day = pools + [1] * 170
+        normal_day = pools + [1] * 6
+        assert gini_coefficient(anomaly_day) < gini_coefficient(normal_day)
+
+
+class TestGiniValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            gini_coefficient([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(MetricError):
+            gini_coefficient([1, -1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(MetricError):
+            gini_coefficient([0.0, 0.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(MetricError):
+            gini_coefficient([1.0, float("nan")])
+
+    def test_2d_rejected(self):
+        with pytest.raises(MetricError):
+            gini_coefficient(np.ones((2, 2)))
+
+
+class TestLorenzCurve:
+    def test_endpoints(self):
+        population, cumulative = lorenz_curve([1, 2, 3])
+        assert population[0] == 0.0 and cumulative[0] == 0.0
+        assert population[-1] == 1.0 and cumulative[-1] == pytest.approx(1.0)
+
+    def test_curve_below_diagonal(self):
+        population, cumulative = lorenz_curve([1, 10, 100])
+        assert np.all(cumulative <= population + 1e-12)
+
+    def test_equality_curve_is_diagonal(self):
+        population, cumulative = lorenz_curve([4, 4, 4, 4])
+        assert cumulative == pytest.approx(population)
+
+    def test_area_matches_gini(self):
+        values = [1, 5, 2, 9, 3]
+        population, cumulative = lorenz_curve(values)
+        # Trapezoidal area between diagonal and curve, times 2, equals Gini.
+        area = np.trapezoid(population - cumulative, population)
+        assert 2 * area == pytest.approx(gini_coefficient(values), abs=1e-9)

@@ -1,0 +1,69 @@
+"""Tests for the Nakamoto coefficient (paper Eq. 4)."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.nakamoto import nakamoto_coefficient
+
+
+class TestNakamotoCoefficient:
+    def test_monopoly_is_one(self):
+        assert nakamoto_coefficient([100.0]) == 1
+
+    def test_majority_holder_is_one(self):
+        assert nakamoto_coefficient([52, 30, 18]) == 1
+
+    def test_paper_example_shape(self):
+        # Two at 26% together pass 51%.
+        assert nakamoto_coefficient([26, 26, 24, 24]) == 2
+
+    def test_uniform_needs_majority_of_entities(self):
+        assert nakamoto_coefficient([1, 1, 1, 1]) == 3
+        assert nakamoto_coefficient([1] * 100) == 51
+
+    def test_order_invariance(self):
+        assert nakamoto_coefficient([10, 40, 30, 20]) == nakamoto_coefficient(
+            [40, 30, 20, 10]
+        )
+
+    def test_exact_boundary_counts(self):
+        # Top entity holds exactly 51%.
+        assert nakamoto_coefficient([51, 49]) == 1
+
+    def test_just_below_boundary_needs_next(self):
+        assert nakamoto_coefficient([50.9, 49.1]) == 2
+
+    def test_selfish_mining_threshold(self):
+        values = [40, 30, 20, 10]
+        assert nakamoto_coefficient(values, threshold=0.33) == 1
+        assert nakamoto_coefficient(values, threshold=1.0) == 4
+
+    def test_bitcoin_2019_pool_shape(self):
+        """Top-4 just over 51% -> N = 4 (the paper's stable mid-year value)."""
+        shares = [14.3, 13.4, 12.0, 11.6, 8.2, 7.0, 6.2, 5.2, 3.4, 2.6,
+                  1.2, 1.5, 1.0, 1.4, 2.0, 0.7, 1.5, 1.6, 0.9, 0.9]
+        assert nakamoto_coefficient(shares) == 4
+
+    def test_ethereum_2019_pool_shape(self):
+        """Top-2 just under 51% -> N = 3 (the paper's typical value)."""
+        shares = [26.4, 23.3, 11.4, 9.0, 5.6, 3.7, 2.7, 2.4, 2.9, 1.3, 1.4, 1.0]
+        tail = [1.0] * 9  # small miners filling the remaining ~9%
+        assert nakamoto_coefficient(shares + tail) == 3
+
+    def test_weights_not_shares_accepted(self):
+        # Raw block counts work the same as normalized shares.
+        assert nakamoto_coefficient([520, 300, 180]) == 1
+
+
+class TestThresholdValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.1])
+    def test_invalid_threshold_rejected(self, bad):
+        with pytest.raises(MetricError):
+            nakamoto_coefficient([1, 2], threshold=bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            nakamoto_coefficient([])
+
+    def test_threshold_one_needs_everyone(self):
+        assert nakamoto_coefficient([5, 3, 2], threshold=1.0) == 3

@@ -1,0 +1,74 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.uncertainty import bootstrap_ci
+
+
+@pytest.fixture
+def day_distribution():
+    # A realistic Bitcoin day: ~20 pools + a few singletons, 150 blocks.
+    return np.asarray(
+        [21, 19, 17, 15, 13, 10, 8, 7, 5, 4, 3, 3, 2, 2, 1, 1, 1, 1, 1, 1],
+        dtype=np.float64,
+    )
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_estimate(self, day_distribution):
+        ci = bootstrap_ci(day_distribution, "gini", seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.width > 0
+
+    def test_deterministic_per_seed(self, day_distribution):
+        a = bootstrap_ci(day_distribution, "entropy", seed=5)
+        b = bootstrap_ci(day_distribution, "entropy", seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_level_gives_wider_interval(self, day_distribution):
+        narrow = bootstrap_ci(day_distribution, "gini", level=0.80, seed=2)
+        wide = bootstrap_ci(day_distribution, "gini", level=0.99, seed=2)
+        assert wide.width > narrow.width
+
+    def test_larger_windows_shrink_uncertainty(self, day_distribution):
+        """A month of blocks pins the metric down far better than a day."""
+        month = day_distribution * 30
+        day_ci = bootstrap_ci(day_distribution, "gini", seed=3)
+        month_ci = bootstrap_ci(month, "gini", seed=3)
+        assert month_ci.width < day_ci.width / 2
+
+    def test_nakamoto_ci_is_integerish(self, day_distribution):
+        ci = bootstrap_ci(day_distribution, "nakamoto", seed=4)
+        assert ci.low == int(ci.low)
+        assert ci.high == int(ci.high)
+        assert ci.contains(ci.estimate)
+
+    def test_explains_daily_nakamoto_oscillation(self, day_distribution):
+        """The paper's daily Nakamoto flips between 4 and 5 — the bootstrap
+        shows both values are inside a single day's sampling noise."""
+        ci = bootstrap_ci(day_distribution, "nakamoto", n_boot=500, seed=6)
+        assert ci.low <= 4 <= ci.high or ci.low <= 5 <= ci.high
+        assert ci.width >= 1
+
+    def test_str_rendering(self, day_distribution):
+        text = str(bootstrap_ci(day_distribution, "gini", seed=1))
+        assert "gini = " in text
+        assert "@95%" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_boot": 5},
+            {"level": 0.4},
+            {"level": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, day_distribution, kwargs):
+        with pytest.raises(MetricError):
+            bootstrap_ci(day_distribution, "gini", **kwargs)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(MetricError):
+            bootstrap_ci([], "gini")

@@ -1,0 +1,98 @@
+"""Property-based tests for attribution-policy invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.attribution import attribute
+from repro.chain.pools import PoolInfo, PoolRegistry
+from tests.conftest import make_tiny_chain
+
+producer_lists = st.lists(
+    st.lists(
+        st.sampled_from(["a", "b", "c", "d", "x", "y", "z"]),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+REGISTRY = PoolRegistry(
+    [PoolInfo("PoolA", "a", 0.5, 0.5), PoolInfo("PoolB", "b", 0.3, 0.3)]
+)
+
+
+class TestWeightConservation:
+    @given(producer_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_fractional_total_equals_block_count(self, producers):
+        chain = make_tiny_chain(producers)
+        credits = attribute(chain, "fractional")
+        assert credits.total_weight == np.float64(len(producers)) or abs(
+            credits.total_weight - len(producers)
+        ) < 1e-9
+
+    @given(producer_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_per_address_total_equals_credit_count(self, producers):
+        chain = make_tiny_chain(producers)
+        credits = attribute(chain, "per-address")
+        assert credits.total_weight == sum(len(block) for block in producers)
+
+    @given(producer_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_first_address_and_pool_conserve_blocks(self, producers):
+        chain = make_tiny_chain(producers)
+        for policy, registry in (("first-address", None), ("pool", REGISTRY)):
+            credits = attribute(chain, policy, registry=registry)
+            assert credits.total_weight == len(producers)
+            assert credits.n_credits == len(producers)
+
+
+class TestStructuralInvariants:
+    @given(producer_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_csr_offsets_consistent(self, producers):
+        chain = make_tiny_chain(producers)
+        for policy in ("per-address", "fractional", "first-address"):
+            credits = attribute(chain, policy)
+            assert credits.block_offsets[0] == 0
+            assert credits.block_offsets[-1] == credits.n_credits
+            assert np.all(np.diff(credits.block_offsets) >= 1)
+            assert np.all(np.diff(credits.block_positions) >= 0)
+
+    @given(producer_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_distribution_of_whole_chain_is_complete(self, producers):
+        chain = make_tiny_chain(producers)
+        credits = attribute(chain, "per-address")
+        distribution = credits.distribution(0, credits.n_credits)
+        assert distribution.sum() == credits.total_weight
+        flat = {p for block in producers for p in block}
+        assert distribution.shape[0] == len(flat)
+
+    @given(producer_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_pool_policy_never_increases_entities(self, producers):
+        chain = make_tiny_chain(producers)
+        per_address = attribute(chain, "first-address")
+        pooled = attribute(chain, "pool", registry=REGISTRY)
+        ids_pa, _ = per_address.distribution_with_entities(0, per_address.n_credits)
+        ids_pool, _ = pooled.distribution_with_entities(0, pooled.n_credits)
+        assert ids_pool.shape[0] <= ids_pa.shape[0]
+
+    @given(producer_lists, st.integers(min_value=0, max_value=59))
+    @settings(max_examples=60, deadline=None)
+    def test_window_distribution_subadditive(self, producers, split):
+        """Entities in [0, n) = union of entities in [0, k) and [k, n)."""
+        chain = make_tiny_chain(producers)
+        credits = attribute(chain, "per-address")
+        split = min(split, chain.n_blocks)
+        lo1, hi1 = credits.credit_range_for_blocks(0, split)
+        lo2, hi2 = credits.credit_range_for_blocks(split, chain.n_blocks)
+        first = credits.distribution(lo1, hi1)
+        second = credits.distribution(lo2, hi2)
+        whole = credits.distribution(0, credits.n_credits)
+        assert first.sum() + second.sum() == whole.sum()

@@ -1,0 +1,148 @@
+"""Property-based tests for the decentralization metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.entropy import normalized_entropy, shannon_entropy
+from repro.metrics.gini import gini_coefficient, gini_pairwise
+from repro.metrics.hhi import herfindahl_hirschman_index
+from repro.metrics.nakamoto import nakamoto_coefficient
+from repro.metrics.theil import theil_index
+from repro.metrics.topk import top_k_share
+
+distributions = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+multi_distributions = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=200,
+)
+
+
+class TestGiniProperties:
+    @given(distributions)
+    def test_bounded(self, values):
+        assert 0.0 <= gini_coefficient(values) < 1.0
+
+    @given(distributions, st.floats(min_value=0.1, max_value=1e4))
+    def test_scale_invariant(self, values, scale):
+        base = gini_coefficient(values)
+        scaled = gini_coefficient([v * scale for v in values])
+        assert scaled == pytest.approx(base, abs=1e-8)
+
+    @given(distributions, st.randoms(use_true_random=False))
+    def test_permutation_invariant(self, values, rng):
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert gini_coefficient(shuffled) == pytest.approx(
+            gini_coefficient(values), abs=1e-9
+        )
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_matches_equation_one(self, values):
+        """The O(n log n) form equals the paper's literal double sum."""
+        assert gini_coefficient(values) == pytest.approx(
+            gini_pairwise(values), abs=1e-9
+        )
+
+    @given(multi_distributions)
+    def test_pigou_dalton_transfer(self, values):
+        """Moving credit from the richest to the poorest lowers Gini."""
+        values = sorted(values)
+        poorest, richest = values[0], values[-1]
+        gap = richest - poorest
+        if gap < 1e-6:
+            return
+        transfer = gap / 4
+        transferred = [poorest + transfer] + values[1:-1] + [richest - transfer]
+        assert gini_coefficient(transferred) <= gini_coefficient(values) + 1e-9
+
+
+class TestEntropyProperties:
+    @given(distributions)
+    def test_bounded_by_log_n(self, values):
+        entropy = shannon_entropy(values)
+        assert -1e-9 <= entropy <= np.log2(len(values)) + 1e-9
+
+    @given(multi_distributions)
+    def test_uniform_maximizes(self, values):
+        uniform = [1.0] * len(values)
+        assert shannon_entropy(values) <= shannon_entropy(uniform) + 1e-9
+
+    @given(distributions)
+    def test_normalized_in_unit_interval(self, values):
+        assert 0.0 <= normalized_entropy(values) <= 1.0 + 1e-12
+
+    @given(distributions, st.floats(min_value=0.1, max_value=1e4))
+    def test_scale_invariant(self, values, scale):
+        assert shannon_entropy([v * scale for v in values]) == pytest.approx(
+            shannon_entropy(values), abs=1e-7
+        )
+
+
+class TestNakamotoProperties:
+    @given(distributions)
+    def test_range(self, values):
+        n = nakamoto_coefficient(values)
+        assert 1 <= n <= len(values)
+
+    @given(distributions)
+    def test_monotone_in_threshold(self, values):
+        low = nakamoto_coefficient(values, threshold=0.33)
+        mid = nakamoto_coefficient(values, threshold=0.51)
+        high = nakamoto_coefficient(values, threshold=0.90)
+        assert low <= mid <= high
+
+    @given(distributions)
+    def test_prefix_sums_satisfy_definition(self, values):
+        """N is the *minimum* k whose top-k share reaches the threshold."""
+        n = nakamoto_coefficient(values)
+        array = np.sort(np.asarray(values, dtype=np.float64))[::-1]
+        shares = array / array.sum()
+        assert shares[:n].sum() >= 0.51 - 1e-12
+        if n > 1:
+            assert shares[: n - 1].sum() < 0.51
+
+    @given(distributions)
+    def test_adding_dust_never_decreases(self, values):
+        """Adding a tiny producer cannot reduce the Nakamoto coefficient."""
+        before = nakamoto_coefficient(values)
+        after = nakamoto_coefficient(list(values) + [min(values) / 1000])
+        assert after >= before
+
+
+class TestCrossMetricConsistency:
+    @given(multi_distributions)
+    @settings(max_examples=50)
+    def test_hhi_and_entropy_disagree_in_direction(self, values):
+        """HHI up = concentration up = entropy down, versus uniform."""
+        uniform = [1.0] * len(values)
+        hhi_delta = herfindahl_hirschman_index(values) - herfindahl_hirschman_index(uniform)
+        entropy_delta = shannon_entropy(values) - shannon_entropy(uniform)
+        assert hhi_delta >= -1e-9
+        assert entropy_delta <= 1e-9
+
+    @given(multi_distributions)
+    @settings(max_examples=50)
+    def test_theil_zero_iff_gini_zero(self, values):
+        theil = theil_index(values)
+        gini = gini_coefficient(values)
+        assert (theil < 1e-9) == (gini < 1e-9)
+
+    @given(distributions, st.integers(min_value=1, max_value=10))
+    def test_topk_bounds(self, values, k):
+        share = top_k_share(values, k=k)
+        assert 0.0 < share <= 1.0
+        if k >= len(values):
+            assert share == pytest.approx(1.0)
+
+    @given(distributions)
+    def test_top1_at_least_uniform_share(self, values):
+        assert top_k_share(values, k=1) >= 1.0 / len(values) - 1e-12

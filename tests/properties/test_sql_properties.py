@@ -1,0 +1,83 @@
+"""Property-based tests for the SQL engine against the table engine.
+
+The two implementations of filtering/grouping/sorting are independent, so
+agreement between them on random inputs is a strong correctness signal.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import query
+from repro.table import Table
+
+
+@st.composite
+def block_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=50))
+    miners = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=n, max_size=n)
+    )
+    rewards = draw(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=n, max_size=n)
+    )
+    return Table({"height": list(range(n)), "miner": miners, "reward": rewards})
+
+
+class TestSqlAgainstTableEngine:
+    @given(block_tables(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60)
+    def test_where_matches_filter(self, table, pivot):
+        via_sql = query(f"SELECT height FROM t WHERE reward > {pivot}", t=table)
+        if table.num_rows:
+            via_table = table.filter(table["reward"] > pivot).select(["height"])
+        else:
+            via_table = table.select(["height"])
+        assert via_sql["height"].tolist() == via_table["height"].tolist()
+
+    @given(block_tables())
+    @settings(max_examples=60)
+    def test_group_by_matches_table_groupby(self, table):
+        via_sql = query(
+            "SELECT miner, COUNT(*) AS n, SUM(reward) AS s FROM t "
+            "GROUP BY miner ORDER BY miner",
+            t=table,
+        )
+        if table.num_rows == 0:
+            assert via_sql.num_rows == 0
+            return
+        via_table = (
+            table.group_by("miner")
+            .aggregate(n=("reward", "count"), s=("reward", "sum"))
+            .sort_by("miner")
+        )
+        assert via_sql.to_rows() == via_table.to_rows()
+
+    @given(block_tables())
+    @settings(max_examples=60)
+    def test_order_by_matches_sort(self, table):
+        via_sql = query("SELECT height FROM t ORDER BY reward DESC, height", t=table)
+        via_table = table.sort_by(["reward", "height"], descending=[True, False])
+        assert via_sql["height"].tolist() == via_table["height"].tolist()
+
+    @given(block_tables())
+    @settings(max_examples=60)
+    def test_count_star_matches_num_rows(self, table):
+        out = query("SELECT COUNT(*) AS n FROM t", t=table)
+        assert out.row(0)["n"] == table.num_rows
+
+    @given(block_tables(), st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60)
+    def test_limit_offset_slices(self, table, limit, offset):
+        out = query(
+            f"SELECT height FROM t ORDER BY height LIMIT {limit} OFFSET {offset}",
+            t=table,
+        )
+        expected = list(range(table.num_rows))[offset : offset + limit]
+        assert out["height"].tolist() == expected
+
+    @given(block_tables())
+    @settings(max_examples=60)
+    def test_distinct_matches_set(self, table):
+        out = query("SELECT DISTINCT miner FROM t", t=table)
+        assert sorted(out["miner"].tolist()) == sorted(set(table["miner"].tolist()))

@@ -1,0 +1,55 @@
+"""Property-based tests: the chain store round-trips arbitrary chains."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.store import ChainStore
+from repro.util.timeutils import YEAR_2019_END, YEAR_2019_START
+from tests.conftest import make_tiny_chain
+
+
+@st.composite
+def chains(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    producers = []
+    for _ in range(n):
+        k = draw(st.integers(min_value=1, max_value=4))
+        producers.append(
+            [draw(st.sampled_from(["a", "b", "c", "d", "e", "f"])) for _ in range(k)]
+        )
+    # Spread blocks across the year (possibly spanning many months).
+    start_day = draw(st.integers(min_value=0, max_value=300))
+    spacing = draw(st.integers(min_value=60, max_value=86_400))
+    start_ts = YEAR_2019_START + start_day * 86_400
+    if start_ts + spacing * n >= YEAR_2019_END:
+        spacing = max((YEAR_2019_END - 1 - start_ts) // max(n, 1), 1)
+    return make_tiny_chain(producers, start_ts=start_ts, spacing=spacing)
+
+
+@given(chains())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_store_roundtrip(tmp_path_factory, chain):
+    store = ChainStore(tmp_path_factory.mktemp("store"))
+    store.save("x", chain)
+    loaded = store.load("x")
+    assert np.array_equal(loaded.heights, chain.heights)
+    assert np.array_equal(loaded.timestamps, chain.timestamps)
+    assert np.array_equal(loaded.offsets, chain.offsets)
+    assert np.array_equal(loaded.producer_ids, chain.producer_ids)
+    assert loaded.producer_names == chain.producer_names
+
+
+@given(chains())
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_partition_pruning_partitions_union_to_whole(tmp_path_factory, chain):
+    from repro.util.timeutils import month_index
+
+    store = ChainStore(tmp_path_factory.mktemp("store"))
+    store.save("x", chain)
+    months = sorted(set(np.asarray(month_index(chain.timestamps)).tolist()))
+    total = 0
+    for month in months:
+        part = store.load_months("x", [int(month)])
+        total += part.n_blocks
+    assert total == chain.n_blocks

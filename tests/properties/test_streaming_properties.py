@@ -1,0 +1,69 @@
+"""Property-based tests: streaming results equal batch recomputation."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.streaming import StreamingMonitor
+from repro.metrics import gini_coefficient, nakamoto_coefficient, shannon_entropy
+
+block_feeds = st.lists(
+    st.lists(
+        st.sampled_from(["a", "b", "c", "d", "e", "f", "g"]),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def batch_distribution(blocks, window_size):
+    counts = Counter(p for block in blocks[-window_size:] for p in block)
+    return np.asarray(list(counts.values()), dtype=np.float64)
+
+
+class TestStreamingEqualsBatch:
+    @given(block_feeds, st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_current_gini_matches_batch(self, blocks, window_size):
+        monitor = StreamingMonitor(window_size=window_size, stride=1, metrics=("gini",))
+        for block in blocks:
+            monitor.push(block)
+        expected = gini_coefficient(batch_distribution(blocks, window_size))
+        assert monitor.current("gini") == np.float64(expected) or abs(
+            monitor.current("gini") - expected
+        ) < 1e-9
+
+    @given(block_feeds, st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_current_entropy_and_nakamoto_match_batch(self, blocks, window_size):
+        monitor = StreamingMonitor(window_size=window_size, stride=1)
+        for block in blocks:
+            monitor.push(block)
+        distribution = batch_distribution(blocks, window_size)
+        assert abs(monitor.current("entropy") - shannon_entropy(distribution)) < 1e-9
+        assert monitor.current("nakamoto") == nakamoto_coefficient(distribution)
+
+    @given(block_feeds, st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_producer_count_matches_batch(self, blocks, window_size):
+        monitor = StreamingMonitor(window_size=window_size, stride=1, metrics=("gini",))
+        for block in blocks:
+            monitor.push(block)
+        expected = len({p for block in blocks[-window_size:] for p in block})
+        assert monitor.producers_in_window() == expected
+
+    @given(block_feeds)
+    @settings(max_examples=40, deadline=None)
+    def test_history_lengths_follow_schedule(self, blocks):
+        window, stride = 8, 3
+        monitor = StreamingMonitor(window_size=window, stride=stride, metrics=("gini",))
+        for block in blocks:
+            monitor.push(block)
+        n = len(blocks)
+        expected = 0 if n < window else (n - window) // stride + 1
+        assert len(monitor.history("gini")) == expected

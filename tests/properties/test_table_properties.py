@@ -1,0 +1,95 @@
+"""Property-based tests for the table engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table import Table, concat
+
+keys = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=60
+)
+values = st.lists(
+    st.integers(min_value=-1_000, max_value=1_000), min_size=1, max_size=60
+)
+
+
+@st.composite
+def tables(draw):
+    k = draw(keys)
+    v = draw(st.lists(
+        st.integers(min_value=-1_000, max_value=1_000),
+        min_size=len(k), max_size=len(k),
+    ))
+    return Table({"k": k, "v": v})
+
+
+class TestGroupByProperties:
+    @given(tables())
+    @settings(max_examples=60)
+    def test_group_counts_sum_to_rows(self, table):
+        out = table.group_by("k").aggregate(n=("v", "count"))
+        assert sum(out["n"].tolist()) == table.num_rows
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_group_sums_total(self, table):
+        out = table.group_by("k").aggregate(s=("v", "sum"))
+        assert sum(out["s"].tolist()) == sum(table["v"].tolist())
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_groups_match_python_reference(self, table):
+        out = table.group_by("k").aggregate(s=("v", "sum"))
+        reference: dict[str, int] = {}
+        for key, value in zip(table["k"].tolist(), table["v"].tolist()):
+            reference[key] = reference.get(key, 0) + value
+        computed = dict(zip(out["k"].tolist(), out["s"].tolist()))
+        assert computed == reference
+
+
+class TestSortProperties:
+    @given(tables())
+    @settings(max_examples=60)
+    def test_sort_is_permutation(self, table):
+        out = table.sort_by("v")
+        assert sorted(out["v"].tolist()) == sorted(table["v"].tolist())
+        assert out["v"].tolist() == sorted(table["v"].tolist())
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_sort_desc_reverses_asc_keys(self, table):
+        asc = table.sort_by("v")["v"].tolist()
+        desc = table.sort_by("v", descending=True)["v"].tolist()
+        assert desc == sorted(asc, reverse=True)
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_multikey_sort_stable_within_groups(self, table):
+        out = table.sort_by(["k", "v"])
+        rows = out.to_rows()
+        for a, b in zip(rows, rows[1:]):
+            if a["k"] == b["k"]:
+                assert a["v"] <= b["v"]
+
+
+class TestFilterConcatProperties:
+    @given(tables(), st.integers(min_value=-1_000, max_value=1_000))
+    @settings(max_examples=60)
+    def test_filter_partition(self, table, pivot):
+        below = table.filter(table["v"] < pivot)
+        at_or_above = table.filter(table["v"] >= pivot)
+        assert below.num_rows + at_or_above.num_rows == table.num_rows
+
+    @given(tables(), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60)
+    def test_head_concat_tail_roundtrip(self, table, split):
+        split = min(split, table.num_rows)
+        rebuilt = concat([table.head(split), table.slice(split, None)])
+        assert rebuilt == table
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_distinct_then_counts(self, table):
+        assert table.distinct("k").num_rows == len(set(table["k"].tolist()))

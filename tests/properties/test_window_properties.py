@@ -1,0 +1,71 @@
+"""Property-based tests for window generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.windows.fixed import FixedBlockWindows
+from repro.windows.sliding import SlidingBlockWindows, sliding_window_count
+
+sizes = st.integers(min_value=1, max_value=500)
+totals = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def size_step_pairs(draw):
+    size = draw(st.integers(min_value=1, max_value=500))
+    step = draw(st.integers(min_value=1, max_value=size))
+    return size, step
+
+
+class TestSlidingWindowProperties:
+    @given(totals, size_step_pairs())
+    def test_count_matches_equation_five(self, n_blocks, size_step):
+        size, step = size_step
+        windows = SlidingBlockWindows(size, step).generate(n_blocks)
+        assert len(windows) == sliding_window_count(n_blocks, size, step)
+
+    @given(totals, size_step_pairs())
+    def test_windows_inside_chain(self, n_blocks, size_step):
+        size, step = size_step
+        for window in SlidingBlockWindows(size, step).generate(n_blocks):
+            assert 0 <= window.start_block
+            assert window.stop_block <= n_blocks
+            assert window.size == size
+
+    @given(totals, size_step_pairs())
+    def test_consecutive_overlap_constant(self, n_blocks, size_step):
+        size, step = size_step
+        windows = SlidingBlockWindows(size, step).generate(n_blocks)
+        for a, b in zip(windows, windows[1:]):
+            assert b.start_block - a.start_block == step
+            assert a.overlap(b) == size - step
+
+    @given(totals, sizes)
+    def test_step_equals_size_matches_fixed(self, n_blocks, size):
+        sliding = SlidingBlockWindows(size, size).generate(n_blocks)
+        fixed = FixedBlockWindows(size).generate(n_blocks)
+        assert [(w.start_block, w.stop_block) for w in sliding] == [
+            (w.start_block, w.stop_block) for w in fixed
+        ]
+
+    @given(totals, size_step_pairs())
+    @settings(max_examples=60)
+    def test_every_block_between_first_and_last_window_covered(self, n_blocks, size_step):
+        size, step = size_step
+        windows = SlidingBlockWindows(size, step).generate(n_blocks)
+        if not windows:
+            return
+        covered = set()
+        for window in windows:
+            covered.update(range(window.start_block, window.stop_block))
+        # Coverage is contiguous from 0 to the last window's end (step <= size).
+        assert covered == set(range(0, windows[-1].stop_block))
+
+    @given(totals, size_step_pairs())
+    def test_halving_step_roughly_doubles_count(self, n_blocks, size_step):
+        size, step = size_step
+        if step < 2 or n_blocks < size:
+            return
+        full = sliding_window_count(n_blocks, size, step)
+        halved = sliding_window_count(n_blocks, size, step // 2)
+        assert halved >= 2 * full - 2

@@ -1,0 +1,66 @@
+"""Tests for block-count allocation and timestamp generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.arrivals import allocate_daily_counts, draw_timestamps_for_day
+from repro.util.rng import derive_rng
+from repro.util.timeutils import SECONDS_PER_DAY, day_start
+
+
+class TestAllocateDailyCounts:
+    def test_sums_exactly_to_total(self):
+        rng = derive_rng(1, "t")
+        rates = np.full(365, 144.0)
+        counts = allocate_daily_counts(54_231, rates, rng)
+        assert counts.sum() == 54_231
+        assert counts.shape == (365,)
+
+    def test_respects_rate_proportions(self):
+        rng = derive_rng(2, "t")
+        rates = np.asarray([1.0, 3.0])
+        counts = allocate_daily_counts(100_000, rates, rng)
+        assert counts[1] / counts.sum() == pytest.approx(0.75, abs=0.02)
+
+    def test_zero_total(self):
+        rng = derive_rng(3, "t")
+        counts = allocate_daily_counts(0, np.asarray([1.0, 1.0]), rng)
+        assert counts.tolist() == [0, 0]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(SimulationError):
+            allocate_daily_counts(-1, np.asarray([1.0]), derive_rng(0, "t"))
+
+    def test_nonpositive_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            allocate_daily_counts(10, np.asarray([1.0, 0.0]), derive_rng(0, "t"))
+
+    def test_2d_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            allocate_daily_counts(10, np.ones((2, 2)), derive_rng(0, "t"))
+
+
+class TestDrawTimestamps:
+    def test_sorted_within_day_bounds(self):
+        rng = derive_rng(4, "t")
+        stamps = draw_timestamps_for_day(day=100, count=200, rng=rng)
+        assert stamps.shape == (200,)
+        assert np.all(np.diff(stamps) >= 0)
+        assert stamps.min() >= day_start(100)
+        assert stamps.max() < day_start(100) + SECONDS_PER_DAY
+
+    def test_zero_count(self):
+        stamps = draw_timestamps_for_day(day=0, count=0, rng=derive_rng(0, "t"))
+        assert stamps.shape == (0,)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            draw_timestamps_for_day(day=0, count=-1, rng=derive_rng(0, "t"))
+
+    def test_roughly_uniform(self):
+        rng = derive_rng(5, "t")
+        stamps = draw_timestamps_for_day(day=0, count=10_000, rng=rng)
+        offsets = stamps - day_start(0)
+        # First and second half of the day get comparable mass.
+        assert 0.45 < (offsets < SECONDS_PER_DAY / 2).mean() < 0.55

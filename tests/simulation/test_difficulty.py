@@ -1,0 +1,75 @@
+"""Tests for the production-rate models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.difficulty import (
+    bitcoin_daily_rates,
+    ethereum_daily_rates,
+    piecewise_curve,
+)
+
+
+class TestPiecewiseCurve:
+    def test_interpolates_endpoints(self):
+        curve = piecewise_curve(((0, 10.0), (364, 20.0)))
+        assert curve[0] == pytest.approx(10.0)
+        assert curve[364] == pytest.approx(20.0)
+        assert curve.shape == (365,)
+
+    def test_midpoint(self):
+        curve = piecewise_curve(((0, 0.0), (100, 100.0)))
+        assert curve[50] == pytest.approx(50.0)
+
+    def test_flat_after_last_point(self):
+        curve = piecewise_curve(((0, 1.0), (10, 2.0)), n_days=20)
+        assert curve[19] == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(SimulationError):
+            piecewise_curve(((0, 1.0),))
+
+    def test_rejects_unsorted_days(self):
+        with pytest.raises(SimulationError):
+            piecewise_curve(((10, 1.0), (0, 2.0)))
+
+    def test_rejects_duplicate_days(self):
+        with pytest.raises(SimulationError):
+            piecewise_curve(((0, 1.0), (0, 2.0)))
+
+
+class TestBitcoinRates:
+    def test_shape_and_positivity(self):
+        rates = bitcoin_daily_rates(seed=1)
+        assert rates.shape == (365,)
+        assert np.all(rates > 0)
+
+    def test_deterministic_per_seed(self):
+        assert bitcoin_daily_rates(seed=5).tolist() == bitcoin_daily_rates(seed=5).tolist()
+        assert bitcoin_daily_rates(seed=5).tolist() != bitcoin_daily_rates(seed=6).tolist()
+
+    def test_rates_near_target(self):
+        """Retargeting keeps production within ~15% of 144 blocks/day."""
+        rates = bitcoin_daily_rates(seed=1)
+        assert 0.85 * 144 < rates.mean() < 1.15 * 144
+
+    def test_growing_hashrate_runs_ahead_of_target(self):
+        """With hashrate growth, most days beat the 144/day target."""
+        rates = bitcoin_daily_rates(seed=1)
+        assert (rates > 144).mean() > 0.5
+
+
+class TestEthereumRates:
+    def test_difficulty_bomb_dip(self):
+        """January-February rates sag until Constantinople (day ~59)."""
+        rates = ethereum_daily_rates(seed=1)
+        assert rates[40:58].mean() < 0.8 * rates[90:150].mean()
+
+    def test_post_fork_recovery(self):
+        rates = ethereum_daily_rates(seed=1)
+        assert rates[61] > rates[57] * 1.2
+
+    def test_mean_near_6000(self):
+        rates = ethereum_daily_rates(seed=1)
+        assert 5_500 < rates[90:].mean() < 6_800

@@ -1,0 +1,123 @@
+"""Tests for the DPoS simulator (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.chain.specs import ChainSpec
+from repro.core.engine import MeasurementEngine
+from repro.errors import SimulationError
+from repro.simulation.dpos import DposParams, DposSimulator
+from repro.util.timeutils import DAYS_IN_2019, YEAR_2019_END, YEAR_2019_START
+
+SMALL_DPOS = ChainSpec(
+    name="dpos",
+    start_height=1_000,
+    block_count=DAYS_IN_2019 * 96,  # 15-minute slots
+    target_interval=900.0,
+    blocks_per_day=96,
+    window_day=96,
+    window_week=672,
+    window_month=2_880,
+)
+
+
+def make_chain(**overrides):
+    params = DposParams(spec=SMALL_DPOS, seed=7, **overrides)
+    return DposSimulator(params).run()
+
+
+class TestStructure:
+    def test_exact_block_count_and_grid(self):
+        chain = make_chain()
+        assert chain.n_blocks == SMALL_DPOS.block_count
+        assert chain.timestamps[0] >= YEAR_2019_START
+        assert chain.timestamps[-1] < YEAR_2019_END
+        deltas = np.diff(chain.timestamps)
+        assert deltas.min() == deltas.max() == 900  # perfect slot grid
+
+    def test_single_producer_per_block(self):
+        chain = make_chain()
+        assert chain.n_credits == chain.n_blocks
+
+    def test_deterministic(self):
+        a = make_chain()
+        b = make_chain()
+        assert np.array_equal(a.producer_ids, b.producer_ids)
+
+
+class TestCommittee:
+    def test_exactly_n_active_within_one_election(self):
+        chain = make_chain(miss_rate=0.0, election_interval_days=365)
+        assert len(np.unique(chain.producer_ids)) == 21
+
+    def test_round_robin_equal_shares(self):
+        chain = make_chain(miss_rate=0.0, election_interval_days=365)
+        counts = np.bincount(chain.producer_ids, minlength=60)
+        active = counts[counts > 0]
+        assert active.max() - active.min() <= len(active)
+
+    def test_elections_create_churn(self):
+        chain = make_chain(miss_rate=0.0, election_interval_days=7)
+        assert len(np.unique(chain.producer_ids)) > 21
+
+    def test_misses_stay_within_committee(self):
+        closed = make_chain(miss_rate=0.3, election_interval_days=365)
+        assert len(np.unique(closed.producer_ids)) == 21
+
+    def test_custom_committee_size(self):
+        chain = make_chain(n_active=5, miss_rate=0.0, election_interval_days=365)
+        assert len(np.unique(chain.producer_ids)) == 5
+
+
+#: Finer slots (90 s) so per-day producer counts are large enough for the
+#: committee's equality to dominate sampling noise.
+FINE_DPOS = ChainSpec(
+    name="dpos",
+    start_height=1_000,
+    block_count=DAYS_IN_2019 * 960,
+    target_interval=90.0,
+    blocks_per_day=960,
+    window_day=960,
+    window_week=6_720,
+    window_month=28_800,
+)
+
+
+class TestMetricsSignature:
+    """The DPoS decentralization signature the extension bench reports."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        params = DposParams(spec=FINE_DPOS, seed=7)
+        return MeasurementEngine.from_chain(DposSimulator(params).run())
+
+    def test_daily_gini_near_zero(self, engine):
+        assert engine.measure_calendar("gini", "day").mean() < 0.05
+
+    def test_daily_entropy_is_log2_committee(self, engine):
+        series = engine.measure_calendar("entropy", "day")
+        assert series.mean() == pytest.approx(np.log2(21), abs=0.05)
+
+    def test_nakamoto_is_majority_of_committee(self, engine):
+        series = engine.measure_calendar("nakamoto", "day")
+        assert set(np.unique(series.values)) == {11.0}
+
+    def test_monthly_gini_reveals_election_churn(self, engine):
+        daily = engine.measure_calendar("gini", "day")
+        monthly = engine.measure_calendar("gini", "month")
+        assert monthly.mean() > 5 * daily.mean()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_active": 0},
+            {"n_active": 100, "candidate_count": 50},
+            {"miss_rate": 1.0},
+            {"election_interval_days": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            DposParams(spec=SMALL_DPOS, **kwargs)

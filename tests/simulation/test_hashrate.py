@@ -1,0 +1,92 @@
+"""Tests for the hashrate schedule."""
+
+import numpy as np
+import pytest
+
+from repro.chain.pools import PoolInfo, PoolRegistry
+from repro.errors import SimulationError
+from repro.simulation.hashrate import HashrateSchedule
+
+
+@pytest.fixture
+def registry() -> PoolRegistry:
+    return PoolRegistry(
+        [
+            PoolInfo("A", "a", 0.30, 0.10),
+            PoolInfo("B", "b", 0.20, 0.40),
+        ]
+    )
+
+
+class TestHashrateSchedule:
+    def test_shape(self, registry):
+        schedule = HashrateSchedule(registry, seed=1)
+        assert schedule.n_pools == 2
+        assert schedule.all_shares().shape == (365, 2)
+
+    def test_jitter_zero_matches_interpolation(self, registry):
+        schedule = HashrateSchedule(registry, seed=1, jitter_sigma=0.0)
+        shares = schedule.pool_shares(0)
+        assert shares[0] == pytest.approx(0.30)
+        assert shares[1] == pytest.approx(0.20)
+        end = schedule.pool_shares(364)
+        assert end[0] == pytest.approx(0.10)
+        assert end[1] == pytest.approx(0.40)
+
+    def test_jitter_stays_near_base(self, registry):
+        schedule = HashrateSchedule(registry, seed=1, jitter_sigma=0.05)
+        shares = schedule.all_shares()
+        base0 = np.asarray([0.30 + (0.10 - 0.30) * d / 364 for d in range(365)])
+        ratio = shares[:, 0] / base0
+        assert 0.7 < ratio.min() and ratio.max() < 1.4
+
+    def test_jitter_is_persistent_not_white(self, registry):
+        """AR(1) noise: adjacent days must be highly correlated."""
+        schedule = HashrateSchedule(registry, seed=3, jitter_sigma=0.2, jitter_phi=0.95)
+        log_shares = np.log(schedule.all_shares()[:, 0])
+        deltas = np.diff(log_shares)
+        assert np.abs(deltas).mean() < 0.1  # smooth day-to-day
+
+    def test_deterministic_per_seed(self, registry):
+        a = HashrateSchedule(registry, seed=9).all_shares()
+        b = HashrateSchedule(registry, seed=9).all_shares()
+        assert np.array_equal(a, b)
+
+    def test_day_out_of_range_rejected(self, registry):
+        schedule = HashrateSchedule(registry, seed=1)
+        with pytest.raises(SimulationError):
+            schedule.pool_shares(365)
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(SimulationError):
+            HashrateSchedule(PoolRegistry(), seed=1)
+
+    def test_invalid_phi_rejected(self, registry):
+        with pytest.raises(SimulationError):
+            HashrateSchedule(registry, seed=1, jitter_phi=1.0)
+
+
+class TestScalePool:
+    def test_scales_only_selected_days(self, registry):
+        schedule = HashrateSchedule(registry, seed=1, jitter_sigma=0.0)
+        schedule.scale_pool(0, start_day=10, n_days=5, factor=2.0)
+        base = PoolInfo("A", "a", 0.30, 0.10)
+        assert schedule.pool_shares(10)[0] == pytest.approx(2 * base.share_on_day(10))
+        assert schedule.pool_shares(15)[0] == pytest.approx(base.share_on_day(15))
+        assert schedule.pool_shares(9)[0] == pytest.approx(base.share_on_day(9))
+
+    def test_other_pools_untouched(self, registry):
+        schedule = HashrateSchedule(registry, seed=1, jitter_sigma=0.0)
+        before = schedule.pool_shares(12)[1]
+        schedule.scale_pool(0, 10, 5, 3.0)
+        assert schedule.pool_shares(12)[1] == pytest.approx(before)
+
+    def test_invalid_factor_rejected(self, registry):
+        schedule = HashrateSchedule(registry, seed=1)
+        with pytest.raises(SimulationError):
+            schedule.scale_pool(0, 0, 1, 0.0)
+
+    def test_out_of_year_spike_rejected(self, registry):
+        schedule = HashrateSchedule(registry, seed=1)
+        with pytest.raises(SimulationError):
+            schedule.scale_pool(0, 400, 5, 2.0)

@@ -1,0 +1,170 @@
+"""Tests for the miner population."""
+
+import numpy as np
+import pytest
+
+from repro.chain.pools import PoolInfo, PoolRegistry
+from repro.errors import SimulationError
+from repro.simulation.miners import MinerPopulation, TailConfig
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def registry() -> PoolRegistry:
+    return PoolRegistry(
+        [
+            PoolInfo("A", "addr-a", 0.5, 0.5),
+            PoolInfo("B", "addr-b", 0.3, 0.3),
+        ]
+    )
+
+
+def make_population(registry, **overrides) -> MinerPopulation:
+    config = {
+        "persistent_count": 4,
+        "persistent_share": 0.1,
+        "singleton_rate_early": 5.0,
+        "singleton_rate_late": 1.0,
+        "early_period_end": 50,
+    }
+    config.update(overrides)
+    return MinerPopulation("test", registry, TailConfig(**config), seed=7)
+
+
+class TestTailConfig:
+    def test_singleton_rate_regimes(self):
+        tail = TailConfig(0, 0.0, 5.0, 1.0, early_period_end=50)
+        assert tail.singleton_rate(0) == 5.0
+        assert tail.singleton_rate(49) == 5.0
+        assert tail.singleton_rate(50) == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"persistent_count": -1},
+            {"persistent_share": 1.0},
+            {"singleton_rate_early": -1.0},
+            {"early_period_end": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        config = {
+            "persistent_count": 1,
+            "persistent_share": 0.1,
+            "singleton_rate_early": 1.0,
+            "singleton_rate_late": 1.0,
+        }
+        config.update(kwargs)
+        with pytest.raises(SimulationError):
+            TailConfig(**config)
+
+
+class TestPopulationIdentity:
+    def test_entity_layout(self, registry):
+        population = make_population(registry)
+        assert population.n_pools == 2
+        assert population.n_persistent == 4
+        assert population.n_entities == 6
+        assert population.entity_names[0] == "addr-a"
+        assert population.entity_names[2].startswith("test-small-")
+
+    def test_pool_and_persistent_id_ranges(self, registry):
+        population = make_population(registry)
+        assert population.pool_entity_ids().tolist() == [0, 1]
+        assert population.persistent_entity_ids().tolist() == [2, 3, 4, 5]
+
+    def test_mint_singletons_extends_names(self, registry):
+        population = make_population(registry)
+        ids = population.mint_singletons(day=3, count=2)
+        assert ids.tolist() == [6, 7]
+        assert population.entity_names[6] == "test-1time-003-00000"
+
+    def test_mint_anomaly_addresses_use_kind(self, registry):
+        population = make_population(registry)
+        ids = population.mint_singletons(day=13, count=1, kind="cbout")
+        assert "cbout" in population.entity_names[int(ids[0])]
+
+    def test_negative_mint_rejected(self, registry):
+        with pytest.raises(SimulationError):
+            make_population(registry).mint_singletons(0, -1)
+
+
+class TestProbabilities:
+    def test_normalized(self, registry):
+        population = make_population(registry)
+        probabilities = population.recurring_probabilities(np.asarray([0.5, 0.3]))
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert probabilities.shape == (6,)
+
+    def test_persistent_share_respected(self, registry):
+        population = make_population(registry, persistent_share=0.2)
+        probabilities = population.recurring_probabilities(np.asarray([0.5, 0.3]))
+        assert probabilities[2:].sum() == pytest.approx(0.2 / (0.8 + 0.2))
+
+    def test_wrong_share_length_rejected(self, registry):
+        with pytest.raises(SimulationError):
+            make_population(registry).recurring_probabilities(np.asarray([0.5]))
+
+    def test_zero_total_rejected(self, registry):
+        population = make_population(registry, persistent_count=0, persistent_share=0.0)
+        with pytest.raises(SimulationError):
+            population.recurring_probabilities(np.asarray([0.0, 0.0]))
+
+
+class TestDrawDay:
+    def test_draws_correct_count(self, registry):
+        population = make_population(registry)
+        rng = derive_rng(1, "draw")
+        producers = population.draw_day(0, 500, np.asarray([0.5, 0.3]), rng)
+        assert producers.shape == (500,)
+        assert producers.min() >= 0
+
+    def test_zero_blocks(self, registry):
+        population = make_population(registry)
+        producers = population.draw_day(0, 0, np.asarray([0.5, 0.3]), derive_rng(1, "d"))
+        assert producers.shape == (0,)
+
+    def test_pool_shares_approximately_respected(self, registry):
+        population = make_population(
+            registry, persistent_count=0, persistent_share=0.0,
+            singleton_rate_early=0.0, singleton_rate_late=0.0,
+        )
+        rng = derive_rng(2, "draw")
+        producers = population.draw_day(100, 20_000, np.asarray([0.5, 0.3]), rng)
+        share_a = (producers == 0).mean()
+        assert share_a == pytest.approx(0.5 / 0.8, abs=0.02)
+
+    def test_singletons_appear_once_each(self, registry):
+        population = make_population(registry, singleton_rate_early=20.0)
+        rng = derive_rng(3, "draw")
+        producers = population.draw_day(0, 200, np.asarray([0.5, 0.3]), rng)
+        singles = producers[producers >= 6]
+        assert len(singles) > 0
+        assert len(set(singles.tolist())) == len(singles)
+
+    def test_share_override_applies_to_masked_blocks(self, registry):
+        population = make_population(
+            registry, persistent_count=0, persistent_share=0.0,
+            singleton_rate_early=0.0, singleton_rate_late=0.0,
+        )
+        rng = derive_rng(4, "draw")
+        n = 10_000
+        mask = np.zeros(n, dtype=bool)
+        mask[: n // 2] = True
+        # First half: pool B dominates 9:1; second half: base shares.
+        producers = population.draw_day(
+            0, n, np.asarray([0.5, 0.5]), rng,
+            share_overrides=[(mask, np.asarray([0.1, 0.9]))],
+        )
+        first_half_b = (producers[: n // 2] == 1).mean()
+        second_half_b = (producers[n // 2 :] == 1).mean()
+        assert first_half_b == pytest.approx(0.9, abs=0.03)
+        assert second_half_b == pytest.approx(0.5, abs=0.03)
+
+    def test_override_wrong_length_rejected(self, registry):
+        population = make_population(registry)
+        with pytest.raises(SimulationError):
+            population.draw_day(
+                0, 10, np.asarray([0.5, 0.3]), derive_rng(0, "d"),
+                share_overrides=[(np.zeros(5, dtype=bool), np.asarray([0.5, 0.3]))],
+            )

@@ -1,0 +1,171 @@
+"""Tests for the end-to-end chain simulator."""
+
+import numpy as np
+import pytest
+
+from repro.chain.pools import PoolInfo, PoolRegistry
+from repro.chain.specs import ChainSpec
+from repro.errors import SimulationError
+from repro.simulation.anomalies import MultiCoinbaseEvent, ShareSpike
+from repro.simulation.miners import TailConfig
+from repro.simulation.params import SimulationParams
+from repro.simulation.powsim import ChainSimulator
+from repro.util.timeutils import YEAR_2019_END, YEAR_2019_START
+
+SMALL_SPEC = ChainSpec(
+    name="smallchain",
+    start_height=100_000,
+    block_count=3_650,  # ~10 blocks/day
+    target_interval=8_640.0,
+    blocks_per_day=10,
+    window_day=10,
+    window_week=70,
+    window_month=300,
+)
+
+
+def make_params(**overrides) -> SimulationParams:
+    registry = PoolRegistry(
+        [
+            PoolInfo("A", "addr-a", 0.40, 0.40),
+            PoolInfo("B", "addr-b", 0.30, 0.30),
+            PoolInfo("C", "addr-c", 0.20, 0.20),
+        ]
+    )
+    config = dict(
+        spec=SMALL_SPEC,
+        registry=registry,
+        tail=TailConfig(2, 0.05, 1.0, 1.0, early_period_end=0),
+        seed=11,
+    )
+    config.update(overrides)
+    return SimulationParams(**config)
+
+
+class TestBasicSimulation:
+    def test_exact_block_count_and_heights(self):
+        chain = ChainSimulator(make_params()).run()
+        assert chain.n_blocks == 3_650
+        assert chain.start_height == 100_000
+        assert chain.end_height == 100_000 + 3_650 - 1
+
+    def test_timestamps_within_2019_and_sorted(self):
+        chain = ChainSimulator(make_params()).run()
+        assert chain.timestamps[0] >= YEAR_2019_START
+        assert chain.timestamps[-1] < YEAR_2019_END
+        assert np.all(np.diff(chain.timestamps) >= 0)
+
+    def test_deterministic_per_seed(self):
+        a = ChainSimulator(make_params(seed=3)).run()
+        b = ChainSimulator(make_params(seed=3)).run()
+        assert np.array_equal(a.producer_ids, b.producer_ids)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_different_seeds_differ(self):
+        a = ChainSimulator(make_params(seed=3)).run()
+        b = ChainSimulator(make_params(seed=4)).run()
+        assert not np.array_equal(a.producer_ids, b.producer_ids)
+
+    def test_pool_shares_approximately_reproduced(self):
+        chain = ChainSimulator(make_params()).run()
+        first = chain.producer_ids[chain.offsets[:-1]]
+        share_a = (first == 0).mean()
+        assert share_a == pytest.approx(0.40 / 0.95, abs=0.04)
+
+    def test_generic_chain_daily_rates(self):
+        rates = ChainSimulator(make_params()).daily_rates()
+        assert rates.shape == (365,)
+        assert rates.mean() == pytest.approx(10.0, rel=0.05)
+
+
+class TestMultiCoinbaseInjection:
+    def test_event_creates_multi_producer_block(self):
+        params = make_params(
+            multi_coinbase_events=(
+                MultiCoinbaseEvent(day=50, position=0.5, n_addresses=30),
+            )
+        )
+        chain = ChainSimulator(params).run()
+        anomalous = chain.anomalous_blocks(threshold=10)
+        assert len(anomalous) == 1
+        assert anomalous[0].producer_count == 31
+
+    def test_extra_addresses_are_fresh(self):
+        params = make_params(
+            multi_coinbase_events=(
+                MultiCoinbaseEvent(day=50, position=0.5, n_addresses=5),
+            )
+        )
+        chain = ChainSimulator(params).run()
+        block = chain.anomalous_blocks(threshold=5)[0]
+        assert len(set(block.producers)) == block.producer_count
+        assert sum("cbout" in p for p in block.producers) == 5
+
+    def test_two_events_same_day(self):
+        params = make_params(
+            multi_coinbase_events=(
+                MultiCoinbaseEvent(day=13, position=0.3, n_addresses=10),
+                MultiCoinbaseEvent(day=13, position=0.8, n_addresses=20),
+            )
+        )
+        chain = ChainSimulator(params).run()
+        assert len(chain.anomalous_blocks(threshold=10)) == 2
+
+    def test_credit_count_includes_extras(self):
+        params = make_params(
+            multi_coinbase_events=(
+                MultiCoinbaseEvent(day=10, position=0.0, n_addresses=7),
+            )
+        )
+        chain = ChainSimulator(params).run()
+        assert chain.n_credits == chain.n_blocks + 7
+
+
+class TestShareSpikes:
+    def test_spike_shifts_distribution_in_window(self):
+        params = make_params(
+            spec=ChainSpec("smallchain", 0, 36_500, 864.0, 100, 100, 700, 3_000),
+            share_spikes=(ShareSpike("C", start_day=100.0, n_days=10.0, factor=8.0),),
+        )
+        chain = ChainSimulator(params).run()
+        spiked = chain.slice_by_time(
+            YEAR_2019_START + 100 * 86_400, YEAR_2019_START + 110 * 86_400
+        )
+        normal = chain.slice_by_time(
+            YEAR_2019_START + 150 * 86_400, YEAR_2019_START + 160 * 86_400
+        )
+        share_spiked = (spiked.producer_ids[spiked.offsets[:-1]] == 2).mean()
+        share_normal = (normal.producer_ids[normal.offsets[:-1]] == 2).mean()
+        assert share_spiked > 2.5 * share_normal
+
+    def test_sub_day_spike_only_hits_matching_timestamps(self):
+        params = make_params(
+            spec=ChainSpec("smallchain", 0, 36_500, 864.0, 100, 100, 700, 3_000),
+            share_spikes=(ShareSpike("C", start_day=100.5, n_days=0.5, factor=20.0),),
+        )
+        chain = ChainSimulator(params).run()
+        first_half = chain.slice_by_time(
+            YEAR_2019_START + 100 * 86_400, YEAR_2019_START + 100 * 86_400 + 43_200
+        )
+        second_half = chain.slice_by_time(
+            YEAR_2019_START + 100 * 86_400 + 43_200, YEAR_2019_START + 101 * 86_400
+        )
+        share_first = (first_half.producer_ids[first_half.offsets[:-1]] == 2).mean()
+        share_second = (second_half.producer_ids[second_half.offsets[:-1]] == 2).mean()
+        assert share_second > 2 * share_first
+
+    def test_unknown_spike_pool_rejected(self):
+        with pytest.raises(SimulationError):
+            make_params(share_spikes=(ShareSpike("Nope", 1.0, 1.0, 2.0),))
+
+
+class TestParamsValidation:
+    def test_empty_registry_rejected(self):
+        with pytest.raises(SimulationError):
+            make_params(registry=PoolRegistry())
+
+    def test_pool_index_lookup(self):
+        params = make_params()
+        assert params.pool_index("B") == 1
+        with pytest.raises(SimulationError):
+            params.pool_index("Nope")

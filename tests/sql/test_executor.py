@@ -1,0 +1,325 @@
+"""End-to-end SQL execution tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SqlExecutionError, SqlPlanError
+from repro.sql import QueryEngine, query
+from repro.table import Table
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    blocks = Table(
+        {
+            "height": [1, 2, 3, 4, 5, 6],
+            "miner": ["a", "b", "a", "c", "b", "a"],
+            "day": [0, 0, 1, 1, 1, 2],
+            "reward": [12.5, 12.5, 12.5, 6.25, 6.25, 6.25],
+        }
+    )
+    pools = Table({"miner": ["a", "b"], "pool": ["P1", "P2"]})
+    return QueryEngine({"blocks": blocks, "pools": pools})
+
+
+class TestProjection:
+    def test_select_star(self, engine):
+        out = engine.execute("SELECT * FROM blocks")
+        assert out.num_rows == 6
+        assert out.column_names == ("height", "miner", "day", "reward")
+
+    def test_select_columns(self, engine):
+        out = engine.execute("SELECT miner, height FROM blocks")
+        assert out.column_names == ("miner", "height")
+
+    def test_expression_with_alias(self, engine):
+        out = engine.execute("SELECT height * 10 AS h FROM blocks LIMIT 1")
+        assert out.row(0) == {"h": 10}
+
+    def test_default_output_names(self, engine):
+        out = engine.execute("SELECT height, COUNT(*) FROM blocks GROUP BY height LIMIT 1")
+        assert out.column_names == ("height", "count")
+
+    def test_duplicate_names_uniquified(self, engine):
+        out = engine.execute("SELECT height, height FROM blocks LIMIT 1")
+        assert out.column_names == ("height", "height_1")
+
+    def test_literal_output(self, engine):
+        out = engine.execute("SELECT 7 AS seven FROM blocks LIMIT 2")
+        assert out["seven"].tolist() == [7, 7]
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SqlPlanError, match="unknown table"):
+            engine.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(SqlPlanError, match="unknown column"):
+            engine.execute("SELECT nope FROM blocks")
+
+
+class TestWhere:
+    def test_comparison(self, engine):
+        out = engine.execute("SELECT height FROM blocks WHERE day = 1")
+        assert out["height"].tolist() == [3, 4, 5]
+
+    def test_and_or(self, engine):
+        out = engine.execute(
+            "SELECT height FROM blocks WHERE day = 1 AND miner = 'b' OR height = 1"
+        )
+        assert out["height"].tolist() == [1, 5]
+
+    def test_between(self, engine):
+        out = engine.execute("SELECT height FROM blocks WHERE height BETWEEN 2 AND 4")
+        assert out["height"].tolist() == [2, 3, 4]
+
+    def test_in_list(self, engine):
+        out = engine.execute("SELECT height FROM blocks WHERE miner IN ('b', 'c')")
+        assert out["height"].tolist() == [2, 4, 5]
+
+    def test_not_in(self, engine):
+        out = engine.execute("SELECT height FROM blocks WHERE miner NOT IN ('a')")
+        assert out["height"].tolist() == [2, 4, 5]
+
+    def test_like(self, engine):
+        blocks = Table({"tag": ["/F2Pool/", "/ViaBTC/", "solo"]})
+        out = query("SELECT tag FROM t WHERE tag LIKE '/%/'", t=blocks)
+        assert out["tag"].tolist() == ["/F2Pool/", "/ViaBTC/"]
+
+    def test_not_condition(self, engine):
+        out = engine.execute("SELECT height FROM blocks WHERE NOT day = 0")
+        assert out.num_rows == 4
+
+    def test_not_like(self, engine):
+        blocks = Table({"tag": ["/F2Pool/", "/ViaBTC/", "solo"]})
+        out = query("SELECT tag FROM t WHERE tag NOT LIKE '/%/'", t=blocks)
+        assert out["tag"].tolist() == ["solo"]
+
+    def test_is_not_null(self, engine):
+        left = Table({"k": ["a", "b"]})
+        right = Table({"k": ["a"], "v": ["present"]})
+        joined = query(
+            "SELECT l.k FROM l LEFT JOIN r ON l.k = r.k WHERE r.v IS NOT NULL",
+            l=left,
+            r=right,
+        )
+        assert joined["k"].tolist() == ["a"]
+
+    def test_is_null_on_float_nan(self, engine):
+        table = Table({"v": [1.0, float("nan")]})
+        out = query("SELECT v FROM t WHERE v IS NULL", t=table)
+        assert out.num_rows == 1
+
+    def test_aggregate_in_where_rejected(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT height FROM blocks WHERE COUNT(*) > 1")
+
+
+class TestAggregation:
+    def test_group_by_with_count_sum(self, engine):
+        out = engine.execute(
+            "SELECT miner, COUNT(*) AS n, SUM(reward) AS r "
+            "FROM blocks GROUP BY miner ORDER BY miner"
+        )
+        assert out.to_rows() == [
+            {"miner": "a", "n": 3, "r": 31.25},
+            {"miner": "b", "n": 2, "r": 18.75},
+            {"miner": "c", "n": 1, "r": 6.25},
+        ]
+
+    def test_ungrouped_aggregates(self, engine):
+        out = engine.execute("SELECT COUNT(*) AS n, AVG(reward) AS m FROM blocks")
+        assert out.row(0) == {"n": 6, "m": pytest.approx(9.375)}
+
+    def test_count_distinct(self, engine):
+        out = engine.execute("SELECT COUNT(DISTINCT miner) AS u FROM blocks")
+        assert out.row(0)["u"] == 3
+
+    def test_min_max_median(self, engine):
+        out = engine.execute(
+            "SELECT MIN(height) lo, MAX(height) hi, MEDIAN(height) mid FROM blocks"
+        )
+        assert out.row(0) == {"lo": 1, "hi": 6, "mid": 3.5}
+
+    def test_having_with_alias(self, engine):
+        out = engine.execute(
+            "SELECT miner, COUNT(*) AS n FROM blocks GROUP BY miner HAVING n >= 2 "
+            "ORDER BY n DESC"
+        )
+        assert out["miner"].tolist() == ["a", "b"]
+
+    def test_having_with_aggregate_expr(self, engine):
+        out = engine.execute(
+            "SELECT miner FROM blocks GROUP BY miner HAVING SUM(reward) > 10"
+        )
+        assert sorted(out["miner"].tolist()) == ["a", "b"]
+
+    def test_arithmetic_over_aggregates(self, engine):
+        out = engine.execute(
+            "SELECT SUM(reward) / COUNT(*) AS mean_reward FROM blocks"
+        )
+        assert out.row(0)["mean_reward"] == pytest.approx(9.375)
+
+    def test_group_by_expression(self, engine):
+        out = engine.execute(
+            "SELECT day % 2 AS parity, COUNT(*) AS n FROM blocks GROUP BY day % 2 ORDER BY parity"
+        )
+        assert out.to_rows() == [{"parity": 0, "n": 3}, {"parity": 1, "n": 3}]
+
+    def test_group_by_position(self, engine):
+        out = engine.execute(
+            "SELECT miner, COUNT(*) AS n FROM blocks GROUP BY 1 ORDER BY 1"
+        )
+        assert out["miner"].tolist() == ["a", "b", "c"]
+
+    def test_group_by_alias_of_expression(self, engine):
+        out = engine.execute(
+            "SELECT day % 2 AS parity, COUNT(*) AS n FROM blocks GROUP BY parity ORDER BY parity"
+        )
+        assert out.num_rows == 2
+
+    def test_bare_column_outside_group_by_rejected(self, engine):
+        with pytest.raises(SqlPlanError, match="GROUP BY"):
+            engine.execute("SELECT height, COUNT(*) FROM blocks GROUP BY miner")
+
+    def test_having_without_group_rejected(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT height FROM blocks HAVING height > 1")
+
+    def test_star_with_group_by_rejected(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT * FROM blocks GROUP BY miner")
+
+    def test_nested_aggregates_rejected(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT SUM(COUNT(*)) FROM blocks")
+
+    def test_distinct_sum_rejected(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT SUM(DISTINCT reward) FROM blocks")
+
+    def test_empty_group_result(self, engine):
+        out = engine.execute(
+            "SELECT miner, COUNT(*) n FROM blocks WHERE height > 100 GROUP BY miner"
+        )
+        assert out.num_rows == 0
+
+    def test_count_on_empty_table_is_zero(self, engine):
+        out = engine.execute("SELECT COUNT(*) AS n FROM blocks WHERE height > 100")
+        assert out.row(0)["n"] == 0
+
+
+class TestOrderLimit:
+    def test_order_by_column_desc(self, engine):
+        out = engine.execute("SELECT height FROM blocks ORDER BY height DESC")
+        assert out["height"].tolist() == [6, 5, 4, 3, 2, 1]
+
+    def test_order_by_position(self, engine):
+        out = engine.execute("SELECT miner, height FROM blocks ORDER BY 2 DESC LIMIT 2")
+        assert out["height"].tolist() == [6, 5]
+
+    def test_order_by_expression_not_in_select(self, engine):
+        out = engine.execute("SELECT miner FROM blocks ORDER BY height DESC LIMIT 1")
+        assert out.row(0)["miner"] == "a"
+
+    def test_order_by_multiple_keys(self, engine):
+        out = engine.execute("SELECT day, height FROM blocks ORDER BY day DESC, height ASC")
+        assert out["height"].tolist() == [6, 3, 4, 5, 1, 2]
+
+    def test_limit_offset(self, engine):
+        out = engine.execute("SELECT height FROM blocks ORDER BY height LIMIT 2 OFFSET 3")
+        assert out["height"].tolist() == [4, 5]
+
+    def test_order_position_out_of_range(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT miner FROM blocks ORDER BY 5")
+
+    def test_stable_order_on_ties(self, engine):
+        out = engine.execute("SELECT height, day FROM blocks ORDER BY day")
+        assert out.filter(out["day"] == 1)["height"].tolist() == [3, 4, 5]
+
+
+class TestDistinct:
+    def test_distinct_rows(self, engine):
+        out = engine.execute("SELECT DISTINCT miner FROM blocks ORDER BY miner")
+        assert out["miner"].tolist() == ["a", "b", "c"]
+
+    def test_distinct_multi_column(self, engine):
+        out = engine.execute("SELECT DISTINCT day, miner FROM blocks")
+        assert out.num_rows == 6
+
+
+class TestJoins:
+    def test_inner_join(self, engine):
+        out = engine.execute(
+            "SELECT b.height, p.pool FROM blocks b JOIN pools p ON b.miner = p.miner "
+            "ORDER BY b.height"
+        )
+        assert out.num_rows == 5
+        assert out.row(0) == {"height": 1, "pool": "P1"}
+
+    def test_left_join_produces_null(self, engine):
+        out = engine.execute(
+            "SELECT b.miner, p.pool FROM blocks b LEFT JOIN pools p ON b.miner = p.miner "
+            "WHERE p.pool IS NULL"
+        )
+        assert out["miner"].tolist() == ["c"]
+
+    def test_join_with_aggregation(self, engine):
+        out = engine.execute(
+            "SELECT p.pool, COUNT(*) AS n FROM blocks b JOIN pools p ON b.miner = p.miner "
+            "GROUP BY p.pool ORDER BY n DESC"
+        )
+        assert out.to_rows() == [{"pool": "P1", "n": 3}, {"pool": "P2", "n": 2}]
+
+    def test_select_star_join_unqualifies_unambiguous(self, engine):
+        out = engine.execute("SELECT * FROM blocks b JOIN pools p ON b.miner = p.miner")
+        assert "pool" in out.column_names
+
+    def test_ambiguous_column_rejected(self, engine):
+        with pytest.raises(SqlPlanError, match="ambiguous"):
+            engine.execute("SELECT miner FROM blocks b JOIN pools p ON b.miner = p.miner")
+
+    def test_duplicate_binding_rejected(self, engine):
+        with pytest.raises(SqlPlanError):
+            engine.execute("SELECT 1 FROM blocks b JOIN pools b ON b.miner = b.miner")
+
+
+class TestScalarFunctionsInQueries:
+    def test_case_when(self, engine):
+        out = engine.execute(
+            "SELECT height, CASE WHEN reward > 10 THEN 'big' ELSE 'small' END AS size "
+            "FROM blocks ORDER BY height LIMIT 4"
+        )
+        assert out["size"].tolist() == ["big", "big", "big", "small"]
+
+    def test_upper_concat(self, engine):
+        out = engine.execute(
+            "SELECT CONCAT(UPPER(miner), '-', day) AS tag FROM blocks LIMIT 2"
+        )
+        assert out["tag"].tolist() == ["A-0", "B-0"]
+
+    def test_division_by_zero_raises(self, engine):
+        with pytest.raises(SqlExecutionError, match="division by zero"):
+            engine.execute("SELECT height / 0 FROM blocks")
+
+    def test_round_floor(self, engine):
+        out = engine.execute("SELECT ROUND(reward, 1) r, FLOOR(reward) f FROM blocks LIMIT 1")
+        assert out.row(0) == {"r": 12.5, "f": 12}
+
+
+class TestEngineApi:
+    def test_register_and_table_names(self, engine):
+        engine.register("extra", Table({"x": [1]}))
+        assert "extra" in engine.table_names()
+
+    def test_query_convenience(self):
+        out = query("SELECT COUNT(*) AS n FROM t", t=Table({"x": [1, 2]}))
+        assert out.row(0)["n"] == 2
+
+    def test_explain_mentions_stages(self, engine):
+        text = engine.explain(
+            "SELECT miner, COUNT(*) n FROM blocks WHERE day = 1 "
+            "GROUP BY miner HAVING n > 0 ORDER BY n LIMIT 5"
+        )
+        for fragment in ("FROM", "WHERE", "AGGREGATE", "HAVING", "ORDER BY", "LIMIT"):
+            assert fragment in text

@@ -1,0 +1,108 @@
+"""Tests for SQL scalar functions and LIKE matching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SqlExecutionError, SqlPlanError
+from repro.sql.functions import call_scalar_function, like_match
+
+
+def obj(*items):
+    array = np.empty(len(items), dtype=object)
+    for i, item in enumerate(items):
+        array[i] = item
+    return array
+
+
+class TestNumericFunctions:
+    def test_abs(self):
+        out = call_scalar_function("ABS", (np.asarray([-1, 2]),))
+        assert out.tolist() == [1, 2]
+
+    def test_round_default(self):
+        out = call_scalar_function("ROUND", (np.asarray([1.6]),))
+        assert out.tolist() == [2.0]
+
+    def test_round_digits(self):
+        out = call_scalar_function("ROUND", (np.asarray([1.2345]), 2))
+        assert out.tolist() == [1.23]
+
+    def test_floor_ceil(self):
+        values = np.asarray([1.5])
+        assert call_scalar_function("FLOOR", (values,)).tolist() == [1]
+        assert call_scalar_function("CEIL", (values,)).tolist() == [2]
+
+    def test_sqrt(self):
+        assert call_scalar_function("SQRT", (np.asarray([9.0]),)).tolist() == [3.0]
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(SqlExecutionError):
+            call_scalar_function("SQRT", (np.asarray([-1.0]),))
+
+    def test_log2(self):
+        assert call_scalar_function("LOG2", (np.asarray([8.0]),)).tolist() == [3.0]
+
+    def test_log2_nonpositive_raises(self):
+        with pytest.raises(SqlExecutionError):
+            call_scalar_function("LOG2", (np.asarray([0.0]),))
+
+    def test_power(self):
+        assert call_scalar_function("POWER", (np.asarray([2.0]), 10)).tolist() == [1024.0]
+
+
+class TestStringFunctions:
+    def test_lower_upper(self):
+        assert call_scalar_function("LOWER", (obj("AbC"),)).tolist() == ["abc"]
+        assert call_scalar_function("UPPER", (obj("AbC"),)).tolist() == ["ABC"]
+
+    def test_length(self):
+        assert call_scalar_function("LENGTH", (obj("miner", ""),)).tolist() == [5, 0]
+
+    def test_substr(self):
+        assert call_scalar_function("SUBSTR", (obj("bitcoin"), 1, 3)).tolist() == ["bit"]
+        assert call_scalar_function("SUBSTR", (obj("bitcoin"), 4)).tolist() == ["coin"]
+
+    def test_substr_zero_start_raises(self):
+        with pytest.raises(SqlExecutionError):
+            call_scalar_function("SUBSTR", (obj("x"), 0))
+
+    def test_concat_mixes_scalars_and_arrays(self):
+        out = call_scalar_function("CONCAT", (obj("a", "b"), "-", obj("1", "2")))
+        assert out.tolist() == ["a-1", "b-2"]
+
+    def test_none_passes_through_strings(self):
+        assert call_scalar_function("UPPER", (obj(None, "a"),)).tolist() == [None, "A"]
+
+    def test_coalesce(self):
+        out = call_scalar_function("COALESCE", (obj(None, "x"), "fallback"))
+        assert out.tolist() == ["fallback", "x"]
+
+
+class TestDispatch:
+    def test_unknown_function(self):
+        with pytest.raises(SqlPlanError, match="unknown function"):
+            call_scalar_function("FROBNICATE", (1,))
+
+    def test_wrong_arity(self):
+        with pytest.raises(SqlPlanError, match="argument"):
+            call_scalar_function("ABS", (1, 2))
+
+
+class TestLikeMatch:
+    def test_percent_wildcard(self):
+        out = like_match(obj("/F2Pool/", "solo"), "/%/")
+        assert out.tolist() == [True, False]
+
+    def test_underscore_single_char(self):
+        out = like_match(obj("abc", "abbc"), "a_c")
+        assert out.tolist() == [True, False]
+
+    def test_literal_star_not_special(self):
+        out = like_match(obj("a*b", "axb"), "a*b")
+        assert out.tolist() == [True, False]
+
+    def test_none_never_matches(self):
+        assert like_match(obj(None), "%").tolist() == [False]
+
+    def test_case_sensitive(self):
+        assert like_match(obj("ABC"), "abc").tolist() == [False]

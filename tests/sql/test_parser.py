@@ -1,0 +1,222 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.astnodes import (
+    Aggregate,
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    Star,
+    TableRef,
+    Unary,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        assert isinstance(parse("SELECT * FROM t").items, Star)
+
+    def test_column_list(self):
+        select = parse("SELECT a, b FROM t")
+        assert [item.expr.name for item in select.items] == ["a", "b"]
+
+    def test_alias_with_as(self):
+        select = parse("SELECT a AS x FROM t")
+        assert select.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        select = parse("SELECT a x FROM t")
+        assert select.items[0].alias == "x"
+
+    def test_qualified_column(self):
+        select = parse("SELECT t.a FROM t")
+        ref = select.items[0].expr
+        assert ref == ColumnRef(name="a", table="t")
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        return parse(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("a + b * c")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self.expr("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = self.expr("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = self.expr("NOT a = 1")
+        assert isinstance(expr, Unary) and expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = self.expr("-a")
+        assert isinstance(expr, Unary) and expr.op == "-"
+
+    def test_unary_plus_is_dropped(self):
+        assert self.expr("+a") == ColumnRef(name="a")
+
+    def test_between(self):
+        expr = self.expr("a BETWEEN 1 AND 5")
+        assert isinstance(expr, Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert self.expr("a NOT BETWEEN 1 AND 5").negated
+
+    def test_in_list(self):
+        expr = self.expr("a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert self.expr("a NOT IN (1)").negated
+
+    def test_is_null(self):
+        expr = self.expr("a IS NULL")
+        assert isinstance(expr, IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        assert self.expr("a IS NOT NULL").negated
+
+    def test_like(self):
+        expr = self.expr("a LIKE 'x%'")
+        assert isinstance(expr, Binary) and expr.op == "LIKE"
+
+    def test_neq_normalized(self):
+        assert self.expr("a <> 1").op == "!="
+
+    def test_literals(self):
+        assert self.expr("TRUE") == Literal(True)
+        assert self.expr("FALSE") == Literal(False)
+        assert self.expr("NULL") == Literal(None)
+        assert self.expr("'s'") == Literal("s")
+        assert self.expr("3.5") == Literal(3.5)
+
+    def test_case(self):
+        expr = self.expr("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, Case)
+        assert len(expr.whens) == 1
+        assert expr.default == Literal("small")
+
+    def test_case_without_else(self):
+        assert self.expr("CASE WHEN a = 1 THEN 1 END").default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE ELSE 1 END FROM t")
+
+
+class TestAggregatesAndFunctions:
+    def expr(self, text: str):
+        return parse(f"SELECT {text} FROM t").items[0].expr
+
+    def test_count_star(self):
+        assert self.expr("COUNT(*)") == Aggregate(func="COUNT", argument=None)
+
+    def test_count_distinct(self):
+        expr = self.expr("COUNT(DISTINCT a)")
+        assert expr.distinct and expr.func == "COUNT"
+
+    def test_sum(self):
+        expr = self.expr("SUM(a + 1)")
+        assert isinstance(expr, Aggregate) and expr.func == "SUM"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_scalar_function(self):
+        expr = self.expr("ROUND(a, 2)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "ROUND"
+        assert len(expr.args) == 2
+
+    def test_function_no_args(self):
+        expr = self.expr("LENGTH('x')")
+        assert len(expr.args) == 1
+
+
+class TestClauses:
+    def test_where(self):
+        assert parse("SELECT a FROM t WHERE a > 1").where is not None
+
+    def test_group_by_list(self):
+        select = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(select.group_by) == 2
+
+    def test_having(self):
+        assert parse("SELECT a, COUNT(*) n FROM t GROUP BY a HAVING n > 1").having is not None
+
+    def test_order_by_directions(self):
+        select = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.descending for o in select.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        select = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert select.limit == 10
+        assert select.offset == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+
+class TestFromClause:
+    def test_table_alias(self):
+        select = parse("SELECT a FROM blocks b")
+        assert select.source == TableRef(name="blocks", alias="b")
+
+    def test_inner_join(self):
+        select = parse("SELECT a FROM t JOIN u ON t.k = u.k")
+        assert isinstance(select.source, Join)
+        assert select.source.kind == "inner"
+
+    def test_left_join(self):
+        select = parse("SELECT a FROM t LEFT JOIN u ON t.k = u.k")
+        assert select.source.kind == "left"
+
+    def test_chained_joins(self):
+        select = parse("SELECT a FROM t JOIN u ON t.k = u.k JOIN v ON u.j = v.j")
+        assert isinstance(select.source.left, Join)
+
+    def test_join_condition_must_be_columns(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t JOIN u ON 1 = u.k")
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t extra ,")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a")
+
+    def test_empty_input(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT (a FROM t")

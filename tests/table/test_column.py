@@ -1,0 +1,122 @@
+"""Tests for the typed column wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, TableError
+from repro.table.column import Column, infer_kind
+
+
+class TestInferKind:
+    def test_int_list(self):
+        assert infer_kind([1, 2, 3]) == "int"
+
+    def test_float_list(self):
+        assert infer_kind([1.0, 2.5]) == "float"
+
+    def test_bool_list(self):
+        assert infer_kind([True, False]) == "bool"
+
+    def test_str_list(self):
+        assert infer_kind(["a", "b"]) == "str"
+
+    def test_numpy_dtypes(self):
+        assert infer_kind(np.asarray([1, 2], dtype=np.int32)) == "int"
+        assert infer_kind(np.asarray([1.0], dtype=np.float32)) == "float"
+        assert infer_kind(np.asarray([True])) == "bool"
+
+    def test_empty_defaults_to_str(self):
+        assert infer_kind([]) == "str"
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SchemaError):
+            infer_kind([object()])
+
+
+class TestColumnConstruction:
+    def test_int_column(self):
+        column = Column([1, 2, 3])
+        assert column.kind == "int"
+        assert column.values.dtype == np.int64
+
+    def test_str_column_uses_object_array(self):
+        column = Column(["miner-with-a-rather-long-name", "b"])
+        assert column.values.dtype == object
+        assert column.to_list()[0] == "miner-with-a-rather-long-name"
+
+    def test_explicit_kind_coerces(self):
+        column = Column([1, 2], kind="float")
+        assert column.kind == "float"
+        assert column.values.dtype == np.float64
+
+    def test_2d_rejected(self):
+        with pytest.raises(TableError):
+            Column(np.zeros((2, 2)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Column([1], kind="decimal")
+
+    def test_none_allowed_in_str_columns(self):
+        column = Column(["a", None])
+        assert column.to_list() == ["a", None]
+
+    def test_from_column_copies_identity(self):
+        base = Column([1, 2])
+        again = Column(base)
+        assert again == base
+
+
+class TestColumnEquality:
+    def test_equal_columns(self):
+        assert Column([1, 2]) == Column([1, 2])
+
+    def test_kind_mismatch(self):
+        assert Column([1, 2]) != Column([1.0, 2.0])
+
+    def test_nan_equal_nan(self):
+        assert Column([np.nan, 1.0]) == Column([np.nan, 1.0])
+
+    def test_length_mismatch(self):
+        assert Column([1]) != Column([1, 2])
+
+
+class TestColumnOps:
+    def test_take(self):
+        column = Column([10, 20, 30])
+        assert column.take(np.asarray([2, 0])).to_list() == [30, 10]
+
+    def test_len_and_iter(self):
+        column = Column(["x", "y"])
+        assert len(column) == 2
+        assert list(column) == ["x", "y"]
+
+    def test_repr_truncates(self):
+        column = Column(list(range(10)))
+        assert "..." in repr(column)
+
+
+class TestCast:
+    def test_int_to_float(self):
+        assert Column([1, 2]).cast("float").to_list() == [1.0, 2.0]
+
+    def test_int_to_str(self):
+        assert Column([1, 2]).cast("str").to_list() == ["1", "2"]
+
+    def test_str_to_int(self):
+        assert Column(["1", "2"]).cast("int").to_list() == [1, 2]
+
+    def test_str_to_bool(self):
+        assert Column(["true", "0", "yes"]).cast("bool").to_list() == [True, False, True]
+
+    def test_same_kind_is_identity(self):
+        column = Column([1])
+        assert column.cast("int") is column
+
+    def test_unparseable_str_raises(self):
+        with pytest.raises(SchemaError):
+            Column(["x"]).cast("int")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SchemaError):
+            Column([1]).cast("complex")

@@ -1,0 +1,81 @@
+"""Tests for vectorized column expressions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.table import Table, col, lit
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table({"x": [1, 2, 3, 4], "y": [4.0, 3.0, 2.0, 1.0], "m": ["a", "b", "a", "c"]})
+
+
+class TestComparisons:
+    def test_greater(self, table):
+        assert (col("x") > 2)(table).tolist() == [False, False, True, True]
+
+    def test_equality_strings(self, table):
+        assert (col("m") == "a")(table).tolist() == [True, False, True, False]
+
+    def test_not_equal(self, table):
+        assert (col("x") != 2)(table).tolist() == [True, False, True, True]
+
+    def test_column_vs_column(self, table):
+        assert (col("x") <= col("y"))(table).tolist() == [True, True, False, False]
+
+    def test_string_ordering_rejected(self, table):
+        with pytest.raises(TableError):
+            (col("m") < "b")(table)
+
+
+class TestArithmetic:
+    def test_add_scalar(self, table):
+        assert (col("x") + 10)(table).tolist() == [11, 12, 13, 14]
+
+    def test_combined(self, table):
+        out = (col("x") * 2 - col("y"))(table)
+        assert out.tolist() == [-2.0, 1.0, 4.0, 7.0]
+
+    def test_mod(self, table):
+        assert (col("x") % 2)(table).tolist() == [1, 0, 1, 0]
+
+    def test_negation(self, table):
+        assert (-col("x"))(table).tolist() == [-1, -2, -3, -4]
+
+    def test_arithmetic_on_strings_rejected(self, table):
+        with pytest.raises(TableError):
+            (col("m") + "suffix")(table)
+
+
+class TestBooleanCombinators:
+    def test_and(self, table):
+        expr = (col("x") > 1) & (col("x") < 4)
+        assert expr(table).tolist() == [False, True, True, False]
+
+    def test_or(self, table):
+        expr = (col("x") == 1) | (col("m") == "c")
+        assert expr(table).tolist() == [True, False, False, True]
+
+    def test_invert(self, table):
+        assert (~(col("x") > 2))(table).tolist() == [True, True, False, False]
+
+
+class TestPredicates:
+    def test_isin_numeric(self, table):
+        assert col("x").isin([1, 4])(table).tolist() == [True, False, False, True]
+
+    def test_isin_strings(self, table):
+        assert col("m").isin({"a"})(table).tolist() == [True, False, True, False]
+
+    def test_between(self, table):
+        assert col("x").between(2, 3)(table).tolist() == [False, True, True, False]
+
+
+class TestLiterals:
+    def test_lit_broadcasts(self, table):
+        assert (lit(3) > col("x"))(table).tolist() == [True, True, False, False]
+
+    def test_repr_is_descriptive(self):
+        assert "x" in repr(col("x") > 3)

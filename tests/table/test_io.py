@@ -1,0 +1,95 @@
+"""Tests for CSV/JSONL round-trips."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.table import Table, read_csv, read_jsonl, write_csv, write_jsonl
+from repro.table.schema import Schema
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        {
+            "height": [1, 2, 3],
+            "miner": ["a", "b,with,commas", 'c"quoted"'],
+            "reward": [12.5, 6.25, 6.25],
+            "valid": [True, False, True],
+        }
+    )
+
+
+class TestCsv:
+    def test_roundtrip_inferred(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        assert read_csv(path) == table
+
+    def test_roundtrip_with_schema(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        out = read_csv(path, schema=table.schema)
+        assert out == table
+
+    def test_schema_subset_selects_columns(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        out = read_csv(path, schema=Schema([("height", "int")]))
+        assert out.column_names == ("height",)
+
+    def test_schema_missing_column_raises(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        with pytest.raises(TableError):
+            read_csv(path, schema=Schema([("nope", "int")]))
+
+    def test_numeric_looking_strings_infer_as_int(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2\n")
+        assert read_csv(path).column("a").kind == "int"
+
+    def test_mixed_infers_as_str(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\nx\n")
+        assert read_csv(path).column("a").kind == "str"
+
+    def test_float_inference(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1.5\n2\n")
+        assert read_csv(path).column("a").kind == "float"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+
+class TestJsonl:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(table, path)
+        assert read_jsonl(path) == table
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path).num_rows == 2
+
+    def test_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\nnot-json\n')
+        with pytest.raises(TableError, match=":2"):
+            read_jsonl(path)
+
+    def test_non_object_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(TableError):
+            read_jsonl(path)

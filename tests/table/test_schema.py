@@ -1,0 +1,47 @@
+"""Tests for the table schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table.schema import Schema
+
+
+class TestSchema:
+    def test_names_and_kinds_in_order(self):
+        schema = Schema([("height", "int"), ("miner", "str")])
+        assert schema.names == ("height", "miner")
+        assert schema.kinds == ("int", "str")
+
+    def test_kind_of(self):
+        schema = Schema([("v", "float")])
+        assert schema.kind_of("v") == "float"
+
+    def test_kind_of_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([("v", "float")]).kind_of("w")
+
+    def test_contains(self):
+        schema = Schema([("a", "int")])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "int"), ("a", "str")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("", "int")])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "datetime")])
+
+    def test_equality(self):
+        assert Schema([("a", "int")]) == Schema([("a", "int")])
+        assert Schema([("a", "int")]) != Schema([("a", "float")])
+
+    def test_iter_and_len(self):
+        schema = Schema([("a", "int"), ("b", "str")])
+        assert len(schema) == 2
+        assert list(schema) == [("a", "int"), ("b", "str")]

@@ -1,0 +1,83 @@
+"""Tests for the BigQuery-facade client."""
+
+import pytest
+
+from repro.bigquery import BigQueryClient
+from repro.data.store import ChainStore
+from repro.errors import SqlPlanError
+
+
+@pytest.fixture(scope="module")
+def client() -> BigQueryClient:
+    return BigQueryClient(seed=2019)
+
+
+class TestCatalog:
+    def test_datasets(self, client):
+        assert client.list_datasets() == ("crypto_bitcoin", "crypto_ethereum")
+
+    def test_tables(self, client):
+        assert client.list_tables("crypto_bitcoin") == ("blocks", "credits")
+
+    def test_unknown_dataset(self, client):
+        with pytest.raises(SqlPlanError):
+            client.list_tables("crypto_dogecoin")
+        with pytest.raises(SqlPlanError):
+            client.chain("crypto_dogecoin")
+
+
+class TestQueries:
+    def test_paper_dataset_extraction(self, client):
+        """The paper's §II-A collection query, against the facade."""
+        job = client.query(
+            "SELECT COUNT(*) AS n, MIN(height) AS first, MAX(height) AS last "
+            "FROM crypto_bitcoin.blocks"
+        )
+        row = job.result().row(0)
+        assert row["n"] == 54_231
+        assert row["first"] == 556_459
+        assert row["last"] == 556_459 + 54_231 - 1
+
+    def test_backtick_quoted_table(self, client):
+        job = client.query("SELECT COUNT(*) AS n FROM `crypto_bitcoin.blocks`")
+        assert job.result().row(0)["n"] == 54_231
+
+    def test_alias_and_aggregation(self, client):
+        job = client.query(
+            "SELECT b.primary_producer AS miner, COUNT(*) AS n "
+            "FROM crypto_bitcoin.blocks b GROUP BY 1 ORDER BY n DESC LIMIT 3"
+        )
+        rows = job.to_rows()
+        assert len(rows) == 3
+        assert rows[0]["n"] >= rows[1]["n"] >= rows[2]["n"]
+
+    def test_credits_table_exposes_multi_producer_blocks(self, client):
+        job = client.query(
+            "SELECT COUNT(*) AS n FROM crypto_bitcoin.credits WHERE n_producers > 80"
+        )
+        # The two day-14 blocks contribute 85 + 96 credit rows.
+        assert job.result().row(0)["n"] == 85 + 96
+
+    def test_job_metadata(self, client):
+        job = client.query("SELECT 1 AS one FROM crypto_bitcoin.blocks LIMIT 1")
+        assert job.total_rows == 1
+        assert job.elapsed >= 0.0
+        next_job = client.query("SELECT 1 AS one FROM crypto_bitcoin.blocks LIMIT 1")
+        assert next_job.job_id == job.job_id + 1
+
+    def test_chain_cached_between_queries(self, client):
+        chain_a = client.chain("crypto_bitcoin")
+        chain_b = client.chain("crypto_bitcoin")
+        assert chain_a is chain_b
+
+
+class TestStoreIntegration:
+    def test_persists_to_store(self, tmp_path):
+        store = ChainStore(tmp_path)
+        client = BigQueryClient(seed=7, store=store)
+        client.query("SELECT COUNT(*) AS n FROM crypto_bitcoin.blocks")
+        assert store.exists("crypto_bitcoin-7")
+        # A fresh client reloads from the store instead of re-simulating.
+        reloaded = BigQueryClient(seed=7, store=store)
+        job = reloaded.query("SELECT COUNT(*) AS n FROM crypto_bitcoin.blocks")
+        assert job.result().row(0)["n"] == 54_231

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface.
+
+These drive ``repro.cli.main`` in-process.  The full-year simulations run
+once per invocation, so the suite keeps CLI runs to a handful.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_measure_args(self):
+        args = build_parser().parse_args(
+            ["measure", "--chain", "bitcoin", "--metric", "gini", "--windows", "fixed-day"]
+        )
+        assert args.command == "measure"
+        assert args.metric == "gini"
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["measure", "--chain", "bitcoin", "--metric", "bogus", "--windows", "fixed-day"]
+            )
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "study"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_measure_fixed(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "nakamoto",
+             "--windows", "fixed-month"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bitcoin/nakamoto/fixed-month" in out
+        assert "n=12" in out
+
+    def test_measure_sliding_with_step(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "sliding-4320/2160"]
+        )
+        assert code == 0
+        assert "sliding-4320/2160" in capsys.readouterr().out
+
+    def test_measure_bad_windows(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "rolling-10"]
+        )
+        assert code == 2
+
+    def test_measure_csv_output(self, tmp_path, capsys):
+        out_path = tmp_path / "series.csv"
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "fixed-month", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_figure_with_export(self, tmp_path, capsys):
+        code = main(["figure", "--id", "8", "--export-dir", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig8.json").exists()
+        assert "fig8" in capsys.readouterr().out
+
+    def test_query(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin",
+             "--sql", "SELECT COUNT(*) AS n FROM blocks", "--limit", "5"]
+        )
+        assert code == 0
+        assert "54231" in capsys.readouterr().out
+
+    def test_query_error_is_reported(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--sql", "SELECT nope FROM blocks"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_figure_all(self, capsys):
+        code = main(["figure", "--id", "all"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for i in range(1, 15):
+            assert f"fig{i}:" in out
+
+    def test_study_prints_findings(self, capsys):
+        code = main(["study"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "More decentralized: bitcoin" in out
+        assert "More stable:        ethereum" in out
+
+    def test_layers_summary(self, capsys):
+        code = main(["layers", "--chain", "bitcoin", "--nodes", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consensus layer" in out
+        assert "network layer" in out
+        assert "wealth layer" in out
+        assert "network nakamoto" in out
+
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        code = main(["report", "--out", str(out_path)])
+        assert code == 0
+        text = out_path.read_text(encoding="utf-8")
+        assert "# Decentralization study report" in text
+        assert "**More decentralized:** bitcoin" in text
+
+    def test_simulate_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "blocks.csv"
+        code = main(["simulate", "--chain", "btc", "--out", str(out_path)])
+        assert code == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header == "height,timestamp,primary_producer,n_producers"

@@ -1,0 +1,154 @@
+"""Tests for the partitioned chain store and cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.cache import cached_chain
+from repro.data.store import ChainStore, ChainStoreError
+from repro.util.timeutils import YEAR_2019_START, month_index
+from tests.conftest import make_tiny_chain
+
+
+@pytest.fixture
+def chain():
+    # Blocks spanning January and February 2019 (two partitions), with
+    # one multi-producer block.
+    producers = [["a"], ["b"], ["a", "x", "y"], ["c"], ["a"], ["b"]]
+    return make_tiny_chain(
+        producers,
+        start_ts=YEAR_2019_START + 20 * 86_400,  # Jan 21
+        spacing=4 * 86_400,  # every 4 days -> crosses into February
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ChainStore(tmp_path / "datasets")
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_preserves_everything(self, store, chain):
+        store.save("tiny", chain)
+        loaded = store.load("tiny")
+        assert loaded.n_blocks == chain.n_blocks
+        assert loaded.n_credits == chain.n_credits
+        assert np.array_equal(loaded.heights, chain.heights)
+        assert np.array_equal(loaded.timestamps, chain.timestamps)
+        assert np.array_equal(loaded.offsets, chain.offsets)
+        assert np.array_equal(loaded.producer_ids, chain.producer_ids)
+        assert loaded.producer_names == chain.producer_names
+        assert loaded.spec == chain.spec
+
+    def test_partitioned_by_month(self, store, chain):
+        directory = store.save("tiny", chain)
+        partitions = sorted(p.name for p in directory.glob("part-*.npz"))
+        months = sorted(set(np.asarray(month_index(chain.timestamps)).tolist()))
+        assert len(partitions) == len(months) == 2
+        assert partitions[0] == "part-2019-01.npz"
+        assert partitions[1] == "part-2019-02.npz"
+
+    def test_multi_producer_block_survives(self, store, chain):
+        store.save("tiny", chain)
+        loaded = store.load("tiny")
+        assert loaded.block(2).producers == ("a", "x", "y")
+
+
+class TestCatalog:
+    def test_names_and_exists(self, store, chain):
+        assert store.names() == []
+        store.save("one", chain)
+        store.save("two", chain)
+        assert store.names() == ["one", "two"]
+        assert store.exists("one")
+        assert not store.exists("three")
+
+    def test_delete(self, store, chain):
+        store.save("gone", chain)
+        store.delete("gone")
+        assert not store.exists("gone")
+        store.delete("gone")  # idempotent
+
+    def test_overwrite_flag(self, store, chain):
+        store.save("dup", chain)
+        with pytest.raises(ChainStoreError, match="already exists"):
+            store.save("dup", chain)
+        store.save("dup", chain, overwrite=True)
+
+    def test_invalid_name_rejected(self, store, chain):
+        with pytest.raises(ChainStoreError):
+            store.save("a/b", chain)
+
+
+class TestCorruptionDetection:
+    def test_missing_chain(self, store):
+        with pytest.raises(ChainStoreError, match="no stored chain"):
+            store.load("nope")
+
+    def test_corrupt_manifest(self, store, chain):
+        directory = store.save("bad", chain)
+        (directory / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ChainStoreError, match="corrupt manifest"):
+            store.load("bad")
+
+    def test_missing_partition(self, store, chain):
+        directory = store.save("bad", chain)
+        (directory / "part-2019-02.npz").unlink()
+        with pytest.raises(ChainStoreError, match="missing partition"):
+            store.load("bad")
+
+    def test_block_count_mismatch(self, store, chain):
+        directory = store.save("bad", chain)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["n_blocks"] += 1
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ChainStoreError, match="blocks"):
+            store.load("bad")
+
+    def test_unsupported_version(self, store, chain):
+        directory = store.save("bad", chain)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["version"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ChainStoreError, match="version"):
+            store.load("bad")
+
+
+class TestPartitionPruning:
+    def test_load_single_month(self, store, chain):
+        store.save("tiny", chain)
+        january = store.load_months("tiny", [0])
+        months = np.asarray(month_index(chain.timestamps))
+        assert january.n_blocks == int((months == 0).sum())
+        assert np.asarray(month_index(january.timestamps)).max() == 0
+
+    def test_load_missing_month_rejected(self, store, chain):
+        store.save("tiny", chain)
+        with pytest.raises(ChainStoreError, match="not present"):
+            store.load_months("tiny", [5])
+
+
+class TestCachedChain:
+    def test_builds_once(self, store, chain):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return chain
+
+        first = cached_chain(store, "cached", build)
+        second = cached_chain(store, "cached", build)
+        assert len(calls) == 1
+        assert np.array_equal(first.heights, second.heights)
+
+    def test_refresh_rebuilds(self, store, chain):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return chain
+
+        cached_chain(store, "cached", build)
+        cached_chain(store, "cached", build, refresh=True)
+        assert len(calls) == 2

@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ValidationError,
+            errors.SchemaError,
+            errors.TableError,
+            errors.SqlError,
+            errors.SqlSyntaxError,
+            errors.SqlPlanError,
+            errors.SqlExecutionError,
+            errors.ChainError,
+            errors.AttributionError,
+            errors.SimulationError,
+            errors.MetricError,
+            errors.WindowError,
+            errors.MeasurementError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_sql_errors_share_base(self):
+        for exc in (errors.SqlSyntaxError, errors.SqlPlanError, errors.SqlExecutionError):
+            assert issubclass(exc, errors.SqlError)
+
+    def test_validation_error_is_value_error(self):
+        """Callers using plain ``except ValueError`` still catch validation."""
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_syntax_error_carries_position(self):
+        exc = errors.SqlSyntaxError("bad token", position=17)
+        assert exc.position == 17
+        assert "offset 17" in str(exc)
+
+    def test_syntax_error_without_position(self):
+        exc = errors.SqlSyntaxError("bad token")
+        assert exc.position is None
+        assert "offset" not in str(exc)
+
+    def test_one_catch_all_at_api_boundary(self):
+        """The documented usage: one except clause for the whole library."""
+        from repro.metrics import gini_coefficient
+
+        with pytest.raises(errors.ReproError):
+            gini_coefficient([])
+
+    def test_store_error_is_repro_error(self):
+        from repro.data.store import ChainStoreError
+
+        assert issubclass(ChainStoreError, errors.ReproError)

@@ -1,0 +1,138 @@
+"""Tests for the network-layer substrate (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError, SimulationError
+from repro.network import (
+    NetworkParams,
+    betweenness_concentration,
+    degree_gini,
+    generate_network,
+    network_nakamoto,
+    propagation_report,
+    relay_dominance,
+    stale_rate,
+)
+from repro.network.topology import REGIONS, region_latency
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_network(
+        NetworkParams(n_nodes=400, pools=("P1", "P2", "P3"), seed=5)
+    )
+
+
+class TestTopology:
+    def test_shape(self, network):
+        assert network.n_nodes == 400
+        assert network.n_edges > 400  # attachment + random edges
+
+    def test_connected(self, network):
+        import networkx as nx
+
+        assert nx.is_connected(network.graph)
+
+    def test_deterministic(self):
+        a = generate_network(NetworkParams(n_nodes=100, seed=3))
+        b = generate_network(NetworkParams(n_nodes=100, seed=3))
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_heavy_tailed_degrees(self, network):
+        degrees = network.degrees()
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_every_node_has_region(self, network):
+        for node in network.graph.nodes:
+            assert network.region_of(node) in REGIONS
+
+    def test_edges_have_positive_latency(self, network):
+        for a, b in network.graph.edges:
+            assert network.graph.edges[a, b]["latency"] > 0
+
+    def test_pool_gateways_on_high_degree_nodes(self, network):
+        degrees = network.degrees()
+        median = np.median(degrees)
+        for node in network.pool_gateways.values():
+            assert network.graph.degree[node] > 3 * median
+
+    def test_region_latency_symmetric(self):
+        assert region_latency("na", "asia") == region_latency("asia", "na")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_nodes": 5},
+            {"n_nodes": 100, "attachment": 0},
+            {"n_nodes": 100, "region_weights": (0.5, 0.5, 0.5)},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            NetworkParams(**kwargs)
+
+
+class TestNetworkMetrics:
+    def test_degree_gini_in_range(self, network):
+        value = degree_gini(network)
+        assert 0.1 < value < 0.7  # scale-free but not degenerate
+
+    def test_betweenness_more_concentrated_than_degree(self, network):
+        """Relay traffic concentrates harder than connectivity — the [5]
+        observation that a small backbone mediates most relay."""
+        assert betweenness_concentration(network, sample=80) > degree_gini(network)
+
+    def test_relay_dominance_monotone_in_k(self, network):
+        d5 = relay_dominance(network, top_k=5, sample=80)
+        d50 = relay_dominance(network, top_k=50, sample=80)
+        assert 0 < d5 < d50 <= 1.0
+
+    def test_network_nakamoto_bounds(self, network):
+        n = network_nakamoto(network, sample=80)
+        assert 1 <= n < network.n_nodes
+
+    def test_nakamoto_monotone_in_threshold(self, network):
+        low = network_nakamoto(network, threshold=0.33, sample=80)
+        high = network_nakamoto(network, threshold=0.90, sample=80)
+        assert low <= high
+
+    def test_invalid_sample_rejected(self, network):
+        with pytest.raises(MetricError):
+            betweenness_concentration(network, sample=1)
+
+    def test_invalid_topk_rejected(self, network):
+        with pytest.raises(MetricError):
+            relay_dominance(network, top_k=0)
+
+
+class TestPropagation:
+    def test_report_percentiles_ordered(self, network):
+        source = next(iter(network.pool_gateways.values()))
+        report = propagation_report(network, source)
+        assert 0 < report.p50 <= report.p90 <= report.p99
+        assert report.unreachable == 0
+
+    def test_pool_gateways_reached_fast(self, network):
+        source = next(iter(network.pool_gateways.values()))
+        report = propagation_report(network, source)
+        assert report.mean_to_pools < report.p90
+
+    def test_unknown_source_rejected(self, network):
+        with pytest.raises(SimulationError):
+            propagation_report(network, 10_000)
+
+    def test_stale_rate_decreases_with_interval(self, network):
+        fast = stale_rate(network, block_interval_seconds=13.2)
+        slow = stale_rate(network, block_interval_seconds=600.0)
+        assert 0 < slow < fast < 0.2
+
+    def test_stale_rate_default_source_is_pool(self, network):
+        explicit = stale_rate(
+            network, 600.0, source=next(iter(network.pool_gateways.values()))
+        )
+        assert stale_rate(network, 600.0) == pytest.approx(explicit)
+
+    def test_invalid_interval_rejected(self, network):
+        with pytest.raises(SimulationError):
+            stale_rate(network, 0.0)

@@ -1,0 +1,52 @@
+"""Tests for the connectivity-advantage model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import NetworkParams, connectivity_advantage, generate_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_network(
+        NetworkParams(n_nodes=400, pools=("P1", "P2", "P3", "P4"), seed=9)
+    )
+
+
+class TestConnectivityAdvantage:
+    def test_adjustments_center_on_one(self, network):
+        report = connectivity_advantage(network, 600.0)
+        values = list(report.adjustment.values())
+        assert min(values) <= 1.0 <= max(values)
+        assert all(abs(v - 1.0) < 0.01 for v in values)  # 600s: negligible
+
+    def test_fast_chain_amplifies_advantage(self, network):
+        slow = connectivity_advantage(network, 600.0)
+        fast = connectivity_advantage(network, 2.0)
+        spread_slow = max(slow.adjustment.values()) - min(slow.adjustment.values())
+        spread_fast = max(fast.adjustment.values()) - min(fast.adjustment.values())
+        assert spread_fast > 10 * spread_slow
+
+    def test_lower_latency_means_higher_adjustment(self, network):
+        report = connectivity_advantage(network, 13.2)
+        pools = sorted(report.latency_ms, key=report.latency_ms.get)
+        adjustments = [report.adjustment[p] for p in pools]
+        assert adjustments == sorted(adjustments, reverse=True)
+
+    def test_effective_shares_renormalize(self, network):
+        report = connectivity_advantage(network, 13.2)
+        shares = {pool: 0.25 for pool in report.adjustment}
+        effective = report.effective_shares(shares)
+        assert sum(effective.values()) == pytest.approx(1.0)
+        # The best-connected pool gains share at the others' expense.
+        best = min(report.latency_ms, key=report.latency_ms.get)
+        assert effective[best] > 0.25
+
+    def test_invalid_interval_rejected(self, network):
+        with pytest.raises(SimulationError):
+            connectivity_advantage(network, 0.0)
+
+    def test_requires_two_gateways(self):
+        lonely = generate_network(NetworkParams(n_nodes=100, pools=("P1",), seed=1))
+        with pytest.raises(SimulationError):
+            connectivity_advantage(lonely, 600.0)

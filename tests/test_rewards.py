@@ -1,0 +1,126 @@
+"""Tests for reward schedules and wealth decentralization (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MeasurementEngine
+from repro.errors import MeasurementError, SimulationError
+from repro.rewards import (
+    BITCOIN_REWARDS_2019,
+    ETHEREUM_REWARDS_2019,
+    RewardSchedule,
+    cumulative_wealth_series,
+    reward_credits,
+    total_rewards_by_entity,
+)
+from tests.conftest import make_tiny_chain
+
+
+class TestRewardSchedule:
+    def test_draw_is_deterministic(self):
+        a = BITCOIN_REWARDS_2019.draw(100, seed=1)
+        b = BITCOIN_REWARDS_2019.draw(100, seed=1)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, BITCOIN_REWARDS_2019.draw(100, seed=2))
+
+    def test_rewards_exceed_subsidy(self):
+        rewards = BITCOIN_REWARDS_2019.draw(1_000, seed=1)
+        assert np.all(rewards > 12.5)
+
+    def test_fee_tail_is_heavy(self):
+        fees = BITCOIN_REWARDS_2019.draw(20_000, seed=1) - 12.5
+        assert fees.max() > 5 * np.median(fees)
+
+    def test_expected_reward_close_to_empirical(self):
+        rewards = BITCOIN_REWARDS_2019.draw(200_000, seed=3)
+        assert rewards.mean() == pytest.approx(
+            BITCOIN_REWARDS_2019.expected_reward(), rel=0.02
+        )
+
+    def test_zero_fee_schedule(self):
+        schedule = RewardSchedule("flat", subsidy=2.0, fee_median=0.0, fee_sigma=0.0)
+        assert schedule.draw(5, seed=0).tolist() == [2.0] * 5
+
+    def test_ethereum_constants(self):
+        assert ETHEREUM_REWARDS_2019.subsidy == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"subsidy": -1.0, "fee_median": 0.1, "fee_sigma": 0.5},
+            {"subsidy": 1.0, "fee_median": -0.1, "fee_sigma": 0.5},
+            {"subsidy": 1.0, "fee_median": 0.1, "fee_sigma": -0.5},
+        ],
+    )
+    def test_invalid_schedule_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            RewardSchedule("bad", **kwargs)
+
+    def test_negative_block_count_rejected(self):
+        with pytest.raises(SimulationError):
+            BITCOIN_REWARDS_2019.draw(-1, seed=0)
+
+
+class TestRewardCredits:
+    @pytest.fixture
+    def chain(self):
+        return make_tiny_chain([["a"], ["b"], ["a", "x"], ["a"]])
+
+    def test_total_income_matches_drawn_rewards(self, chain):
+        schedule = RewardSchedule("t", subsidy=10.0, fee_median=1.0, fee_sigma=0.5)
+        credits = reward_credits(chain, schedule, seed=1)
+        rewards = schedule.draw(chain.n_blocks, seed=1)
+        assert credits.total_weight == pytest.approx(rewards.sum())
+
+    def test_multi_coinbase_splits_reward(self, chain):
+        schedule = RewardSchedule("flat", subsidy=10.0, fee_median=0.0, fee_sigma=0.0)
+        credits = reward_credits(chain, schedule, seed=1)
+        lo, hi = credits.credit_range_for_blocks(2, 3)
+        assert credits.weights[lo:hi].tolist() == [5.0, 5.0]
+
+    def test_entity_totals(self, chain):
+        schedule = RewardSchedule("flat", subsidy=10.0, fee_median=0.0, fee_sigma=0.0)
+        credits = reward_credits(chain, schedule, seed=1)
+        totals = dict(total_rewards_by_entity(credits))
+        assert totals == {"a": 25.0, "b": 10.0, "x": 5.0}
+
+    def test_policy_name_tags_schedule(self, chain):
+        credits = reward_credits(chain, BITCOIN_REWARDS_2019)
+        assert credits.policy == "reward-bitcoin"
+
+    def test_measurable_by_engine(self, chain):
+        credits = reward_credits(chain, BITCOIN_REWARDS_2019)
+        engine = MeasurementEngine(credits)
+        series = engine.measure_sliding("gini", size=2, step=2)
+        assert len(series) == 2
+
+
+class TestCumulativeWealth:
+    @pytest.fixture(scope="class")
+    def wealth(self, btc_chain):
+        return reward_credits(btc_chain, BITCOIN_REWARDS_2019, seed=2019)
+
+    def test_series_shape(self, wealth):
+        series = cumulative_wealth_series(wealth, "gini", checkpoints=12)
+        assert len(series) == 12
+        assert series.window_desc == "cumulative-wealth[12]"
+        assert series.labels[-1] == "first 100% of blocks"
+
+    def test_wealth_gini_grows_with_history(self, wealth):
+        """Pools compound their advantage: cumulative wealth Gini rises."""
+        series = cumulative_wealth_series(wealth, "gini", checkpoints=12)
+        assert series.values[-1] > series.values[0]
+
+    def test_wealth_nakamoto_stable(self, wealth):
+        series = cumulative_wealth_series(wealth, "nakamoto", checkpoints=6)
+        assert series.min() >= 3
+        assert series.max() <= 8
+
+    def test_wealth_more_stable_than_production(self, wealth, btc_engine):
+        wealth_series = cumulative_wealth_series(wealth, "entropy", checkpoints=12)
+        production = btc_engine.measure_calendar("entropy", "day")
+        assert wealth_series.std() < production.std()
+
+    def test_invalid_checkpoints_rejected(self, wealth):
+        with pytest.raises(MeasurementError):
+            cumulative_wealth_series(wealth, "gini", checkpoints=0)

@@ -1,0 +1,104 @@
+"""Tests for uncle income (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MeasurementEngine
+from repro.errors import SimulationError
+from repro.metrics import nakamoto_coefficient
+from repro.rewards import (
+    ETHEREUM_REWARDS_2019,
+    UncleModel,
+    income_with_uncles,
+    reward_credits,
+    uncle_credits,
+)
+
+
+@pytest.fixture(scope="module")
+def eth_uncles(eth_chain):
+    return uncle_credits(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+
+
+class TestUncleModel:
+    def test_defaults_match_2019(self):
+        model = UncleModel()
+        assert model.rate == pytest.approx(0.068)
+        assert model.reward_fraction == pytest.approx(7 / 8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 1.0},
+            {"rate": -0.1},
+            {"reward_fraction": 0.0},
+            {"nephew_bonus": -0.1},
+        ],
+    )
+    def test_invalid_model_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            UncleModel(**kwargs)
+
+
+class TestUncleCredits:
+    def test_uncle_frequency_matches_rate(self, eth_chain, eth_uncles):
+        # Two credits (uncle + nephew) per hosting block.
+        hosting_blocks = eth_uncles.n_credits / 2
+        assert hosting_blocks / eth_chain.n_blocks == pytest.approx(0.068, abs=0.002)
+
+    def test_income_split_uncle_vs_nephew(self, eth_uncles):
+        weights = sorted(np.unique(eth_uncles.weights).tolist())
+        assert weights == [pytest.approx(2.0 / 32), pytest.approx(2.0 * 7 / 8)]
+
+    def test_positions_sorted_and_csr_consistent(self, eth_uncles):
+        assert np.all(np.diff(eth_uncles.block_positions) >= 0)
+        assert eth_uncles.block_offsets[0] == 0
+        assert eth_uncles.block_offsets[-1] == eth_uncles.n_credits
+
+    def test_uncle_producers_follow_hashrate_distribution(self, eth_chain, eth_uncles):
+        """The top uncle earner is also the top block producer."""
+        main_counts = np.bincount(
+            eth_chain.producer_ids, minlength=eth_chain.n_producers
+        )
+        uncle_weights = np.bincount(
+            eth_uncles.entity_ids,
+            weights=eth_uncles.weights,
+            minlength=eth_uncles.n_entities,
+        )
+        assert main_counts.argmax() == uncle_weights.argmax()
+
+    def test_deterministic(self, eth_chain):
+        a = uncle_credits(eth_chain, ETHEREUM_REWARDS_2019, seed=3)
+        b = uncle_credits(eth_chain, ETHEREUM_REWARDS_2019, seed=3)
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestIncomeWithUncles:
+    def test_total_is_main_plus_uncles(self, eth_chain, eth_uncles):
+        main = reward_credits(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+        combined = income_with_uncles(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+        assert combined.total_weight == pytest.approx(
+            main.total_weight + eth_uncles.total_weight
+        )
+
+    def test_uncle_income_share_is_material(self, eth_chain, eth_uncles):
+        combined = income_with_uncles(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+        share = eth_uncles.total_weight / combined.total_weight
+        assert 0.04 < share < 0.08  # ~6% of issuance flowed through uncles
+
+    def test_nakamoto_unchanged_by_uncles(self, eth_chain):
+        """Uncles mirror the hashrate distribution, so they do not move
+        the income Nakamoto coefficient."""
+        main = reward_credits(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+        combined = income_with_uncles(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+        n_main = nakamoto_coefficient(main.distribution(0, main.n_credits))
+        n_combined = nakamoto_coefficient(
+            combined.distribution(0, combined.n_credits)
+        )
+        assert n_combined == n_main
+
+    def test_measurable_by_engine(self, eth_chain):
+        combined = income_with_uncles(eth_chain, ETHEREUM_REWARDS_2019, seed=2019)
+        engine = MeasurementEngine(combined)
+        series = engine.measure_sliding("gini", size=180_000)
+        assert len(series) == 23

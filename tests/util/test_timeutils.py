@@ -1,0 +1,133 @@
+"""Tests for the 2019 calendar helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util import timeutils as tu
+
+
+class TestDayIndex:
+    def test_first_second_of_year_is_day_zero(self):
+        assert tu.day_index(tu.YEAR_2019_START) == 0
+
+    def test_last_second_of_year_is_day_364(self):
+        assert tu.day_index(tu.YEAR_2019_END - 1) == 364
+
+    def test_before_year_is_negative(self):
+        assert tu.day_index(tu.YEAR_2019_START - 1) == -1
+
+    def test_after_year_is_365(self):
+        assert tu.day_index(tu.YEAR_2019_END) == 365
+
+    def test_vectorized_matches_scalar(self):
+        stamps = np.asarray(
+            [tu.YEAR_2019_START, tu.YEAR_2019_START + 86_400 * 100 + 5]
+        )
+        result = tu.day_index(stamps)
+        assert isinstance(result, np.ndarray)
+        assert result.tolist() == [0, 100]
+
+
+class TestWeekIndex:
+    def test_first_week(self):
+        assert tu.week_index(tu.YEAR_2019_START) == 0
+        assert tu.week_index(tu.day_start(6)) == 0
+
+    def test_second_week_starts_on_day_7(self):
+        assert tu.week_index(tu.day_start(7)) == 1
+
+    def test_trailing_day_folds_into_last_week(self):
+        assert tu.week_index(tu.day_start(363)) == 51
+        assert tu.week_index(tu.day_start(364)) == 51
+
+    def test_all_indices_within_bounds(self):
+        days = np.arange(365)
+        weeks = tu.week_index(tu.YEAR_2019_START + days * tu.SECONDS_PER_DAY)
+        assert weeks.min() == 0
+        assert weeks.max() == 51
+
+
+class TestMonthIndex:
+    def test_january(self):
+        assert tu.month_index(tu.YEAR_2019_START) == 0
+        assert tu.month_index(tu.day_start(30)) == 0
+
+    def test_february_starts_day_31(self):
+        assert tu.month_index(tu.day_start(31)) == 1
+
+    def test_december_ends_year(self):
+        assert tu.month_index(tu.YEAR_2019_END - 1) == 11
+
+    def test_month_lengths_sum_to_365(self):
+        assert sum(tu.MONTH_LENGTHS_2019) == 365
+
+    def test_out_of_year_sentinels(self):
+        assert tu.month_index(tu.YEAR_2019_START - 1) == -1
+        assert tu.month_index(tu.YEAR_2019_END) == 12
+
+    def test_every_day_maps_to_correct_month(self):
+        day = 0
+        for month, length in enumerate(tu.MONTH_LENGTHS_2019):
+            assert tu.month_index(tu.day_start(day)) == month
+            assert tu.month_index(tu.day_start(day + length - 1)) == month
+            day += length
+
+
+class TestMonthBounds:
+    def test_january_bounds(self):
+        start, end = tu.month_bounds(0)
+        assert start == tu.YEAR_2019_START
+        assert end == tu.day_start(31)
+
+    def test_december_ends_at_year_end(self):
+        _, end = tu.month_bounds(11)
+        assert end == tu.YEAR_2019_END
+
+    def test_bounds_are_contiguous(self):
+        for month in range(11):
+            assert tu.month_bounds(month)[1] == tu.month_bounds(month + 1)[0]
+
+    def test_invalid_month_raises(self):
+        with pytest.raises(ValidationError):
+            tu.month_bounds(12)
+
+
+class TestIsoDates:
+    def test_day_zero_is_january_first(self):
+        assert tu.iso_date(0) == "2019-01-01"
+
+    def test_day_364_is_december_31(self):
+        assert tu.iso_date(364) == "2019-12-31"
+
+    def test_roundtrip(self):
+        for day in (0, 13, 100, 200, 364):
+            assert tu.parse_iso_date(tu.iso_date(day)) == day
+
+    def test_paper_day_14_example(self):
+        # The paper's day-14 anomaly is Jan 14, i.e. 0-based day 13.
+        assert tu.parse_iso_date("2019-01-14") == 13
+
+    def test_out_of_range_day_raises(self):
+        with pytest.raises(ValidationError):
+            tu.iso_date(365)
+
+    def test_non_2019_date_raises(self):
+        with pytest.raises(ValidationError):
+            tu.parse_iso_date("2020-01-01")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValidationError):
+            tu.parse_iso_date("not-a-date")
+
+
+class TestEnsureWithin2019:
+    def test_accepts_in_year(self):
+        tu.ensure_within_2019(np.asarray([tu.YEAR_2019_START, tu.YEAR_2019_END - 1]))
+
+    def test_accepts_empty(self):
+        tu.ensure_within_2019(np.asarray([], dtype=np.int64))
+
+    def test_rejects_out_of_year(self):
+        with pytest.raises(ValidationError):
+            tu.ensure_within_2019(np.asarray([tu.YEAR_2019_END]))

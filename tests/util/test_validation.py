@@ -1,0 +1,88 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.util import validation as v
+
+
+class TestEnsurePositive:
+    def test_accepts_positive_float(self):
+        assert v.ensure_positive(2.5, "x") == 2.5
+
+    def test_accepts_positive_int(self):
+        assert v.ensure_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, bad):
+        with pytest.raises(ValidationError):
+            v.ensure_positive(bad, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            v.ensure_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            v.ensure_positive("5", "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="window_size"):
+            v.ensure_positive(-1, "window_size")
+
+
+class TestEnsurePositiveInt:
+    def test_accepts_int(self):
+        assert v.ensure_positive_int(7, "n") == 7
+
+    def test_accepts_numpy_int(self):
+        assert v.ensure_positive_int(np.int64(7), "n") == 7
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, True, "7"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            v.ensure_positive_int(bad, "n")
+
+
+class TestEnsureProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert v.ensure_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValidationError):
+            v.ensure_probability(bad, "p")
+
+
+class TestEnsureInRange:
+    def test_accepts_bounds(self):
+        assert v.ensure_in_range(1.0, 1.0, 2.0, "x") == 1.0
+        assert v.ensure_in_range(2.0, 1.0, 2.0, "x") == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            v.ensure_in_range(2.1, 1.0, 2.0, "x")
+
+
+class TestEnsureNonnegativeArray:
+    def test_coerces_list(self):
+        out = v.ensure_nonnegative_array([1, 2, 3], "a")
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_accepts_empty(self):
+        assert v.ensure_nonnegative_array([], "a").shape == (0,)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            v.ensure_nonnegative_array([1, -1], "a")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            v.ensure_nonnegative_array([1, float("nan")], "a")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            v.ensure_nonnegative_array([[1, 2]], "a")

@@ -1,0 +1,67 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.viz.ascii import ascii_chart, ascii_histogram, multi_series_chart
+from tests.core.test_series import make_series
+
+
+class TestAsciiChart:
+    def test_renders_series(self):
+        text = ascii_chart(make_series([1.0, 2.0, 3.0, 2.0, 1.0]))
+        assert "testchain/gini/fixed-day" in text
+        assert "*" in text
+
+    def test_renders_plain_list(self):
+        text = ascii_chart([1, 5, 3], title="demo")
+        assert "demo" in text
+
+    def test_axis_labels_show_range(self):
+        text = ascii_chart([0.25, 0.75])
+        assert "0.75" in text
+        assert "0.25" in text
+
+    def test_respects_dimensions(self):
+        text = ascii_chart(list(range(200)), width=40, height=8)
+        lines = text.splitlines()
+        # height rows + axis line + legend line
+        assert len(lines) == 10
+        assert all(len(line) <= 40 + 12 for line in lines)
+
+    def test_constant_series_no_crash(self):
+        assert ascii_chart([5.0, 5.0, 5.0])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([1, 2], width=4, height=2)
+
+
+class TestMultiSeries:
+    def test_distinct_glyphs(self):
+        text = multi_series_chart({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*=a" in text
+        assert "+=b" in text
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValidationError):
+            multi_series_chart({})
+
+    def test_downsamples_long_series(self):
+        text = multi_series_chart({"long": list(range(10_000))}, width=30)
+        assert text  # just must not blow up
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        text = ascii_histogram([1, 2, 2, 3, 3, 3], bins=3)
+        assert len(text.splitlines()) == 3
+        assert text.splitlines()[-1].endswith("3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_histogram([])
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_histogram([1.0], bins=0)

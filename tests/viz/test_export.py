@@ -1,0 +1,78 @@
+"""Tests for series/figure export."""
+
+import json
+
+import pytest
+
+from repro.analysis.figures import FigureResult
+from repro.table.io import read_csv
+from repro.viz.export import export_figure, series_to_csv, series_to_json
+from tests.core.test_series import make_series
+
+
+class TestSeriesExport:
+    def test_csv_roundtrip(self, tmp_path):
+        series = make_series([0.5, 0.6, 0.7])
+        path = tmp_path / "series.csv"
+        series_to_csv(series, path)
+        table = read_csv(path)
+        assert table["value"].tolist() == [0.5, 0.6, 0.7]
+        assert table["label"].tolist() == ["w0", "w1", "w2"]
+
+    def test_json_payload(self, tmp_path):
+        series = make_series([1.0, 2.0])
+        path = tmp_path / "series.json"
+        series_to_json(series, path)
+        payload = json.loads(path.read_text())
+        assert payload["chain"] == "testchain"
+        assert payload["metric"] == "gini"
+        assert payload["summary"]["mean"] == 1.5
+        assert len(payload["points"]) == 2
+
+
+class TestFigureExport:
+    def test_writes_csvs_and_manifest(self, tmp_path):
+        figure = FigureResult(
+            figure_id="figX",
+            title="demo",
+            series={"day": make_series([1.0]), "N=144": make_series([2.0])},
+            notes={"mean_day": 1.0},
+        )
+        paths = export_figure(figure, tmp_path / "out")
+        names = sorted(p.name for p in paths)
+        assert "figX.json" in names
+        assert "figX_day.csv" in names
+        assert "figX_N-144.csv" in names
+        manifest = json.loads((tmp_path / "out" / "figX.json").read_text())
+        assert manifest["title"] == "demo"
+        assert manifest["notes"] == {"mean_day": 1.0}
+
+    def test_empty_figure_writes_only_manifest(self, tmp_path):
+        figure = FigureResult(figure_id="figY", title="notes only", notes={"L": 3.0})
+        paths = export_figure(figure, tmp_path)
+        assert [p.name for p in paths] == ["figY.json"]
+
+    def test_distributions_in_manifest(self, tmp_path):
+        from repro.analysis.distribution import DistributionSlice
+
+        figure = FigureResult(
+            figure_id="figZ",
+            title="pie",
+            distributions=(
+                DistributionSlice(
+                    window_label="2019-12-07",
+                    top=(("F2Pool", 0.2), ("Poolin", 0.15)),
+                    other_share=0.65,
+                    n_producers=25,
+                    total_weight=130.0,
+                ),
+            ),
+        )
+        export_figure(figure, tmp_path)
+        manifest = json.loads((tmp_path / "figZ.json").read_text())
+        assert manifest["distributions"][0]["window"] == "2019-12-07"
+        assert manifest["distributions"][0]["top"][0] == {
+            "producer": "F2Pool",
+            "share": 0.2,
+        }
+        assert manifest["distributions"][0]["n_producers"] == 25

@@ -1,0 +1,76 @@
+"""Tests for table rendering and sparklines."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.table import Table
+from repro.viz.tables import render_table, sparkline
+from tests.core.test_series import make_series
+
+
+class TestRenderTable:
+    def test_basic_grid(self):
+        text = render_table(Table({"m": ["a", "b"], "n": [1, 10]}))
+        lines = text.splitlines()
+        assert lines[0] == "m | n"
+        assert lines[1] == "--+---"
+        assert lines[2] == "a |  1"
+        assert lines[3] == "b | 10"
+
+    def test_numeric_right_aligned_strings_left(self):
+        text = render_table(Table({"name": ["xy", "a"], "v": [100, 1]}))
+        lines = text.splitlines()
+        assert lines[2].startswith("xy")
+        assert lines[3].endswith("  1")
+
+    def test_float_formatting(self):
+        text = render_table(Table({"v": [1.23456]}), float_format="{:.2f}")
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_truncation_marker(self):
+        table = Table({"v": list(range(30))})
+        text = render_table(table, max_rows=5)
+        assert "(25 more rows)" in text
+        assert text.count("\n") == 5 + 2  # 5 rows + header + rule
+
+    def test_none_rendered_as_null(self):
+        text = render_table(Table({"v": ["a", None]}))
+        assert "NULL" in text
+
+    def test_empty_table(self):
+        assert render_table(Table()) == "(empty table)"
+
+    def test_zero_row_table_keeps_header(self):
+        text = render_table(Table({"x": []}))
+        assert text.splitlines()[0].strip() == "x"
+
+    def test_invalid_max_rows(self):
+        with pytest.raises(ValidationError):
+            render_table(Table({"x": [1]}), max_rows=0)
+
+
+class TestSparkline:
+    def test_shape(self):
+        assert sparkline([1, 2, 3, 2, 1], width=5) == "▁▅█▅▁"
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_downsamples_to_width(self):
+        out = sparkline(list(range(1000)), width=20)
+        assert len(out) == 20
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_accepts_measurement_series(self):
+        out = sparkline(make_series([0.0, 1.0]), width=10)
+        assert out == "▁█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([1.0], width=0)

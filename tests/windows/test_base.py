@@ -1,0 +1,50 @@
+"""Tests for window value types."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.windows.base import BlockWindow, TimeWindow
+
+
+class TestTimeWindow:
+    def test_duration(self):
+        window = TimeWindow(index=0, label="d", start_ts=100, end_ts=200)
+        assert window.duration == 100
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(WindowError):
+            TimeWindow(index=0, label="d", start_ts=100, end_ts=100)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(WindowError):
+            TimeWindow(index=0, label="d", start_ts=200, end_ts=100)
+
+
+class TestBlockWindow:
+    def test_size(self):
+        window = BlockWindow(index=0, label="w", start_block=10, stop_block=30)
+        assert window.size == 20
+
+    def test_overlap_partial(self):
+        a = BlockWindow(index=0, label="a", start_block=0, stop_block=100)
+        b = BlockWindow(index=1, label="b", start_block=50, stop_block=150)
+        assert a.overlap(b) == 50
+        assert b.overlap(a) == 50
+
+    def test_overlap_disjoint(self):
+        a = BlockWindow(index=0, label="a", start_block=0, stop_block=10)
+        b = BlockWindow(index=1, label="b", start_block=10, stop_block=20)
+        assert a.overlap(b) == 0
+
+    def test_overlap_contained(self):
+        outer = BlockWindow(index=0, label="o", start_block=0, stop_block=100)
+        inner = BlockWindow(index=1, label="i", start_block=40, stop_block=60)
+        assert outer.overlap(inner) == 20
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(WindowError):
+            BlockWindow(index=0, label="w", start_block=-1, stop_block=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WindowError):
+            BlockWindow(index=0, label="w", start_block=5, stop_block=5)

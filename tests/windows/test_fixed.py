@@ -1,0 +1,97 @@
+"""Tests for fixed calendar and count windows."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.util.timeutils import SECONDS_PER_DAY, YEAR_2019_END, YEAR_2019_START
+from repro.windows.fixed import FixedBlockWindows, FixedCalendarWindows
+
+
+class TestCalendarDays:
+    def test_365_days(self):
+        windows = FixedCalendarWindows("day").generate()
+        assert len(windows) == 365
+
+    def test_day_bounds(self):
+        windows = FixedCalendarWindows("day").generate()
+        assert windows[0].start_ts == YEAR_2019_START
+        assert windows[0].end_ts == YEAR_2019_START + SECONDS_PER_DAY
+        assert windows[-1].end_ts == YEAR_2019_END
+
+    def test_labels_are_iso_dates(self):
+        windows = FixedCalendarWindows("day").generate()
+        assert windows[0].label == "2019-01-01"
+        assert windows[13].label == "2019-01-14"  # the paper's day 14
+        assert windows[-1].label == "2019-12-31"
+
+    def test_no_overlap_no_gap(self):
+        windows = FixedCalendarWindows("day").generate()
+        for a, b in zip(windows, windows[1:]):
+            assert a.end_ts == b.start_ts
+
+
+class TestCalendarWeeks:
+    def test_52_weeks(self):
+        windows = FixedCalendarWindows("week").generate()
+        assert len(windows) == 52
+
+    def test_last_week_covers_eight_days(self):
+        last = FixedCalendarWindows("week").generate()[-1]
+        assert last.duration == 8 * SECONDS_PER_DAY
+        assert last.end_ts == YEAR_2019_END
+
+    def test_other_weeks_cover_seven_days(self):
+        windows = FixedCalendarWindows("week").generate()
+        assert all(w.duration == 7 * SECONDS_PER_DAY for w in windows[:-1])
+
+
+class TestCalendarMonths:
+    def test_12_months(self):
+        windows = FixedCalendarWindows("month").generate()
+        assert len(windows) == 12
+
+    def test_labels(self):
+        windows = FixedCalendarWindows("month").generate()
+        assert windows[0].label == "2019-01"
+        assert windows[11].label == "2019-12"
+
+    def test_contiguous_cover_of_year(self):
+        windows = FixedCalendarWindows("month").generate()
+        assert windows[0].start_ts == YEAR_2019_START
+        assert windows[-1].end_ts == YEAR_2019_END
+        for a, b in zip(windows, windows[1:]):
+            assert a.end_ts == b.start_ts
+
+    def test_february_has_28_days(self):
+        feb = FixedCalendarWindows("month").generate()[1]
+        assert feb.duration == 28 * SECONDS_PER_DAY
+
+
+class TestGranularityValidation:
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(WindowError):
+            FixedCalendarWindows("fortnight")
+
+
+class TestFixedBlockWindows:
+    def test_partition(self):
+        windows = FixedBlockWindows(100).generate(350)
+        assert len(windows) == 3
+        assert windows[0].start_block == 0
+        assert windows[2].stop_block == 300
+
+    def test_trailing_partial_dropped(self):
+        assert len(FixedBlockWindows(100).generate(99)) == 0
+
+    def test_no_overlap(self):
+        windows = FixedBlockWindows(50).generate(200)
+        for a, b in zip(windows, windows[1:]):
+            assert a.overlap(b) == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(WindowError):
+            FixedBlockWindows(0)
+
+    def test_negative_n_blocks_rejected(self):
+        with pytest.raises(WindowError):
+            FixedBlockWindows(10).generate(-1)

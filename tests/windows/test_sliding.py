@@ -1,0 +1,93 @@
+"""Tests for sliding windows (paper §III-A, Eq. 5)."""
+
+import pytest
+
+from repro.chain.specs import BITCOIN, ETHEREUM
+from repro.errors import WindowError
+from repro.windows.sliding import SlidingBlockWindows, sliding_window_count
+
+
+class TestEquationFive:
+    def test_formula(self):
+        # L = (S - N) / M + 1
+        assert sliding_window_count(n_blocks=1_000, size=100, step=50) == 19
+
+    def test_too_few_blocks_yields_zero(self):
+        assert sliding_window_count(n_blocks=99, size=100, step=50) == 0
+
+    def test_exactly_one_window(self):
+        assert sliding_window_count(n_blocks=100, size=100, step=50) == 1
+
+    def test_paper_bitcoin_daily_count(self):
+        """~700 one-day sliding windows over 2019 Bitcoin (paper §III-B)."""
+        count = sliding_window_count(BITCOIN.block_count, 144, 72)
+        assert 700 <= count <= 760
+
+    def test_paper_ethereum_daily_count(self):
+        count = sliding_window_count(ETHEREUM.block_count, 6_000, 3_000)
+        assert 700 <= count <= 740
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WindowError):
+            sliding_window_count(100, 0, 10)
+        with pytest.raises(WindowError):
+            sliding_window_count(100, 10, 0)
+
+
+class TestSlidingBlockWindows:
+    def test_default_step_is_half(self):
+        generator = SlidingBlockWindows(144)
+        assert generator.step == 72
+        assert generator.overlap == 72
+
+    def test_generate_matches_expected_count(self):
+        generator = SlidingBlockWindows(100, 50)
+        windows = generator.generate(1_000)
+        assert len(windows) == generator.expected_count(1_000) == 19
+
+    def test_window_bounds(self):
+        windows = SlidingBlockWindows(100, 50).generate(250)
+        assert [(w.start_block, w.stop_block) for w in windows] == [
+            (0, 100),
+            (50, 150),
+            (100, 200),
+            (150, 250),
+        ]
+
+    def test_consecutive_overlap_is_n_minus_m(self):
+        generator = SlidingBlockWindows(100, 30)
+        windows = generator.generate(400)
+        for a, b in zip(windows, windows[1:]):
+            assert a.overlap(b) == 70 == generator.overlap
+
+    def test_step_equal_to_size_gives_fixed_partition(self):
+        windows = SlidingBlockWindows(100, 100).generate(300)
+        for a, b in zip(windows, windows[1:]):
+            assert a.overlap(b) == 0
+
+    def test_all_windows_have_full_size(self):
+        windows = SlidingBlockWindows(144).generate(1_000)
+        assert all(w.size == 144 for w in windows)
+
+    def test_doubles_points_vs_fixed(self):
+        """The paper's motivation for M = N/2."""
+        n_blocks = 52_560
+        sliding = len(SlidingBlockWindows(144).generate(n_blocks))
+        fixed = n_blocks // 144
+        assert sliding == pytest.approx(2 * fixed, abs=2)
+
+    def test_step_above_size_rejected(self):
+        with pytest.raises(WindowError):
+            SlidingBlockWindows(100, 101)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(WindowError):
+            SlidingBlockWindows(0)
+
+    def test_step_one_maximum_resolution(self):
+        windows = SlidingBlockWindows(10, 1).generate(12)
+        assert len(windows) == 3
+
+    def test_size_one_minimum_step_is_one(self):
+        generator = SlidingBlockWindows(1)
+        assert generator.step == 1

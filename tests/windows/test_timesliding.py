@@ -1,0 +1,72 @@
+"""Tests for time-based sliding windows."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.util.timeutils import SECONDS_PER_DAY, YEAR_2019_END, YEAR_2019_START
+from repro.windows.timesliding import SlidingTimeWindows
+
+
+class TestSlidingTimeWindows:
+    def test_default_step_is_half_duration(self):
+        generator = SlidingTimeWindows(SECONDS_PER_DAY)
+        assert generator.step == SECONDS_PER_DAY // 2
+        assert generator.overlap == SECONDS_PER_DAY // 2
+
+    def test_one_day_windows_over_2019(self):
+        generator = SlidingTimeWindows(SECONDS_PER_DAY)
+        windows = generator.generate()
+        # (365d - 1d) / 0.5d + 1 = 729 windows.
+        assert len(windows) == 729
+        assert windows[0].start_ts == YEAR_2019_START
+        assert windows[-1].end_ts <= YEAR_2019_END
+
+    def test_every_window_has_exact_duration(self):
+        windows = SlidingTimeWindows(7 * SECONDS_PER_DAY).generate()
+        assert all(w.duration == 7 * SECONDS_PER_DAY for w in windows)
+
+    def test_consecutive_starts_differ_by_step(self):
+        generator = SlidingTimeWindows(SECONDS_PER_DAY, 6 * 3_600)
+        windows = generator.generate()
+        for a, b in zip(windows, windows[1:]):
+            assert b.start_ts - a.start_ts == 6 * 3_600
+
+    def test_custom_span(self):
+        start = YEAR_2019_START
+        generator = SlidingTimeWindows(
+            100, 50, start_ts=start, end_ts=start + 400
+        )
+        assert generator.expected_count() == 7
+        assert len(generator.generate()) == 7
+
+    def test_span_shorter_than_duration_yields_zero(self):
+        generator = SlidingTimeWindows(
+            1_000, 500, start_ts=0, end_ts=999
+        )
+        assert generator.generate() == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration": 0},
+            {"duration": 100, "step": 0},
+            {"duration": 100, "step": 200},
+            {"duration": 100, "start_ts": 10, "end_ts": 10},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(WindowError):
+            SlidingTimeWindows(**kwargs)
+
+
+class TestEngineIntegration:
+    def test_measure_time_sliding(self, btc_engine):
+        series = btc_engine.measure_time_sliding("entropy", SECONDS_PER_DAY)
+        assert series.window_desc == f"time-sliding-{SECONDS_PER_DAY}/{SECONDS_PER_DAY // 2}"
+        assert len(series) == 729
+
+    def test_time_and_block_sliding_agree_on_average(self, btc_engine):
+        """24h windows and 144-block windows measure the same process."""
+        by_time = btc_engine.measure_time_sliding("entropy", SECONDS_PER_DAY)
+        by_blocks = btc_engine.measure_sliding("entropy", 144)
+        assert by_time.mean() == pytest.approx(by_blocks.mean(), abs=0.1)
