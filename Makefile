@@ -1,4 +1,4 @@
-.PHONY: install test bench examples report lint-docs all
+.PHONY: install test bench bench-perf examples report lint-docs all
 
 install:
 	python setup.py develop
@@ -8,6 +8,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-perf:
+	pytest benchmarks/bench_perf_pipeline.py --benchmark-only \
+		--benchmark-json=BENCH_pipeline.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done

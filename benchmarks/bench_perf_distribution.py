@@ -1,0 +1,129 @@
+"""Performance — sparse vs dense window-distribution extraction.
+
+``Credits.distribution()`` picks between two strategies:
+
+* **dense** — ``np.bincount`` over the full entity space, then compact.
+  Cost scales with ``n_entities`` regardless of how few credits the
+  window holds.
+* **sparse** — ``np.unique`` over just the window's credit rows.  Cost
+  scales with ``window_rows * log(window_rows)`` and ignores the entity
+  space entirely.
+
+The crossover constant (``attribution._SPARSE_CROSSOVER``) routes tiny
+windows to the sparse path.  This module benchmarks both strategies on
+real Bitcoin data and asserts the routing actually pays off where it is
+used.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.chain import attribution
+
+
+def _dense_extract(credits, lo, hi):
+    """The dense strategy, inlined so we can time it on any window size."""
+    totals = np.bincount(
+        credits.entity_ids[lo:hi],
+        weights=credits.weights[lo:hi],
+        minlength=credits.n_entities,
+    )
+    return totals[totals > 0]
+
+
+def _sparse_extract(credits, lo, hi):
+    """The sparse strategy, inlined so we can time it on any window size."""
+    ids = credits.entity_ids[lo:hi]
+    unique_ids, inverse = np.unique(ids, return_inverse=True)
+    totals = np.bincount(inverse, weights=credits.weights[lo:hi])
+    return totals[totals > 0]
+
+
+def _best_of(fn, *args, repeats=30):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_distribution_small_window(benchmark, btc):
+    """A 16-block window: far fewer rows than entities, sparse territory."""
+    credits = btc.credits
+    lo, hi = credits.credit_range_for_blocks(0, 16)
+    values = benchmark(credits.distribution, lo, hi)
+    assert values.sum() > 0
+
+
+def test_perf_distribution_large_window(benchmark, btc):
+    """A 4320-block window: dense bincount territory."""
+    credits = btc.credits
+    lo, hi = credits.credit_range_for_blocks(0, 4_320)
+    values = benchmark(credits.distribution, lo, hi)
+    assert values.sum() > 0
+
+
+def _wide_entity_credits(n_entities=262_144, n_blocks=64, seed=0):
+    """One-credit-per-block Credits over a deliberately huge entity space."""
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, n_entities, size=n_blocks).astype(np.int64)
+    return attribution.Credits(
+        chain_name="synthetic-wide",
+        policy="per-address",
+        entity_ids=ids,
+        weights=np.ones(n_blocks),
+        block_positions=np.arange(n_blocks, dtype=np.int64),
+        timestamps=np.arange(n_blocks, dtype=np.int64) * 600,
+        block_offsets=np.arange(n_blocks + 1, dtype=np.int64),
+        entity_names=[f"e{i}" for i in range(n_entities)],
+    )
+
+
+def test_crossover_dense_wins_on_narrow_entity_space(btc):
+    """~1.1k BTC entities: a dense bincount is a trivial 9 KB alloc, so
+    np.unique's ~10 µs sort floor loses — the router must stay dense."""
+    credits = btc.credits
+    assert credits.n_entities < attribution._SPARSE_MIN_ENTITIES
+    lo, hi = credits.credit_range_for_blocks(0, 8)
+    dense_t = _best_of(_dense_extract, credits, lo, hi)
+    sparse_t = _best_of(_sparse_extract, credits, lo, hi)
+    # Generous margin: timing in CI is noisy.
+    assert dense_t < sparse_t * 1.5, (dense_t, sparse_t)
+
+
+def test_crossover_sparse_wins_on_wide_entity_space():
+    """262k entities, 8-row window: the dense path's O(n_entities)
+    alloc+scan dominates and the unique-based path wins — the router
+    must go sparse past _SPARSE_MIN_ENTITIES."""
+    credits = _wide_entity_credits()
+    lo, hi = credits.credit_range_for_blocks(0, 8)
+    sparse_t = _best_of(_sparse_extract, credits, lo, hi)
+    dense_t = _best_of(_dense_extract, credits, lo, hi)
+    assert sparse_t < dense_t * 1.5, (sparse_t, dense_t)
+    # And the router actually routes it sparse:
+    assert credits.n_entities >= attribution._SPARSE_MIN_ENTITIES
+    assert (hi - lo) * attribution._SPARSE_CROSSOVER < credits.n_entities
+
+
+@pytest.mark.parametrize("n_blocks", [1, 4, 16, 144])
+def test_paths_agree_on_real_chain(btc, n_blocks):
+    """Whatever the router picks must equal the dense reference."""
+    credits = btc.credits
+    lo, hi = credits.credit_range_for_blocks(0, n_blocks)
+    assert np.array_equal(
+        credits.distribution(lo, hi), _dense_extract(credits, lo, hi)
+    )
+
+
+@pytest.mark.parametrize("n_blocks", [1, 8, 64])
+def test_paths_agree_on_wide_entity_space(n_blocks):
+    credits = _wide_entity_credits()
+    lo, hi = credits.credit_range_for_blocks(0, n_blocks)
+    assert np.array_equal(
+        credits.distribution(lo, hi), _dense_extract(credits, lo, hi)
+    )

@@ -31,6 +31,31 @@ def test_perf_btc_sliding_family(benchmark, btc):
     assert sum(len(s) for s in series) > 800
 
 
+def test_perf_btc_sliding_family_measure_many(benchmark, btc):
+    """Whole figure-suite sweep: three metrics across the three window
+    sizes in one batched call per size, sharing one sort per window."""
+    metrics = ("gini", "entropy", "nakamoto")
+
+    def full_sweep():
+        return [btc.measure_sliding_many(metrics, n) for n in (144, 1_008, 4_320)]
+
+    sweeps = benchmark(full_sweep)
+    assert all(set(sweep) == set(metrics) for sweep in sweeps)
+    assert sum(len(sweep["gini"]) for sweep in sweeps) > 800
+
+
+def test_perf_eth_sliding_family_measure_many(benchmark, eth):
+    metrics = ("gini", "entropy", "nakamoto")
+
+    def full_sweep():
+        return [
+            eth.measure_sliding_many(metrics, n) for n in (6_000, 42_000, 180_000)
+        ]
+
+    sweeps = benchmark.pedantic(full_sweep, rounds=3, iterations=1, warmup_rounds=1)
+    assert sum(len(sweep["entropy"]) for sweep in sweeps) > 500
+
+
 def test_perf_sql_groupby_over_credits(benchmark, study):
     table = study.chain("btc").to_table()
     engine = QueryEngine({"credits": table})

@@ -47,8 +47,9 @@ def event_timeline(
 ) -> list[Event]:
     """Detect and merge events across ``metrics``; sorted by position."""
     events: list[Event] = []
+    sweep = engine.measure_calendar_many(metrics, granularity)
     for metric in metrics:
-        series = engine.measure_calendar(metric, granularity)
+        series = sweep[metric]
         outliers = iqr_anomalies(series, k=iqr_k)
         for position, label, value in zip(
             outliers.positions, outliers.labels, outliers.values

@@ -76,6 +76,16 @@ def _sliding_figure(
     chain_label: str,
 ) -> FigureResult:
     series = {f"N={size}": engine.measure_sliding(metric, size) for size in sizes}
+    return _sliding_result(metric, series, sizes, figure_id, chain_label)
+
+
+def _sliding_result(
+    metric: str,
+    series: dict[str, MeasurementSeries],
+    sizes: tuple[int, int, int],
+    figure_id: str,
+    chain_label: str,
+) -> FigureResult:
     notes = {f"mean_N={size}": series[f"N={size}"].mean() for size in sizes}
     return FigureResult(
         figure_id=figure_id,
@@ -83,6 +93,36 @@ def _sliding_figure(
         series=series,
         notes=notes,
     )
+
+
+def sliding_figure_suite(
+    btc: MeasurementEngine, eth: MeasurementEngine
+) -> dict[str, FigureResult]:
+    """Figures 9-14 from one window sweep per (chain, size).
+
+    Instead of six independent sweeps (one per figure), each (chain, size)
+    family is measured once with :meth:`MeasurementEngine.measure_sliding_many`
+    evaluating all three paper metrics over shared distributions — the fast
+    path the figure suite rides on.
+    """
+    plans = (
+        (btc, "Bitcoin", (144, 1008, 4320), {"entropy": "fig9", "gini": "fig11", "nakamoto": "fig13"}),
+        (eth, "Ethereum", (6000, 42000, 180000), {"entropy": "fig10", "gini": "fig12", "nakamoto": "fig14"}),
+    )
+    results: dict[str, FigureResult] = {}
+    for engine, chain_label, sizes, figure_of in plans:
+        per_metric: dict[str, dict[str, MeasurementSeries]] = {
+            metric: {} for metric in figure_of
+        }
+        for size in sizes:
+            sweep = engine.measure_sliding_many(tuple(figure_of), size)
+            for metric, series in sweep.items():
+                per_metric[metric][f"N={size}"] = series
+        for metric, figure_id in figure_of.items():
+            results[figure_id] = _sliding_result(
+                metric, per_metric[metric], sizes, figure_id, chain_label
+            )
+    return results
 
 
 def figure_1(btc: MeasurementEngine) -> FigureResult:

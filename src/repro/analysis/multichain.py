@@ -48,9 +48,11 @@ class MultiChainComparison:
         self._metrics = metrics
         self._granularity = granularity
         self._series = {
-            (name, metric): engine.measure_calendar(metric, granularity)
+            (name, metric): series
             for name, engine in self._engines.items()
-            for metric in metrics
+            for metric, series in engine.measure_calendar_many(
+                metrics, granularity
+            ).items()
         }
 
     def table(self) -> Table:

@@ -149,8 +149,10 @@ def _anomaly_section(study: DecentralizationStudy) -> str:
     ]
     for which in ("btc", "eth"):
         engine = study.engine(which)
+        # One daily sweep serves all three metrics.
+        daily = engine.measure_calendar_many(("gini", "entropy", "nakamoto"), "day")
         for metric in ("gini", "entropy", "nakamoto"):
-            report = iqr_anomalies(engine.measure_calendar(metric, "day"))
+            report = iqr_anomalies(daily[metric])
             examples = ", ".join(report.labels[:3]) if report else "—"
             lines.append(
                 f"| {study.chain(which).spec.name} | {metric} "

@@ -41,9 +41,9 @@ def stability_report(
     granularity: str = "day",
 ) -> StabilityReport:
     """Compare per-metric stability of the two chains at ``granularity``."""
-    comparisons = []
-    for metric in metrics:
-        series_btc = btc.measure_calendar(metric, granularity)
-        series_eth = eth.measure_calendar(metric, granularity)
-        comparisons.append(compare_stability(series_btc, series_eth))
+    sweep_btc = btc.measure_calendar_many(metrics, granularity)
+    sweep_eth = eth.measure_calendar_many(metrics, granularity)
+    comparisons = [
+        compare_stability(sweep_btc[metric], sweep_eth[metric]) for metric in metrics
+    ]
     return StabilityReport(comparisons=tuple(comparisons))

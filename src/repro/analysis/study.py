@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.figures import FIGURE_IDS, FigureResult
+from repro.analysis.figures import FIGURE_IDS, FigureResult, sliding_figure_suite
 from repro.analysis.stability import StabilityReport, stability_report
 from repro.chain.chain import Chain
 from repro.core.comparison import LevelComparison, compare_level
@@ -103,38 +103,58 @@ class DecentralizationStudy:
         return generator(*engines)
 
     def all_figures(self) -> list[FigureResult]:
-        """Every figure of the paper, in order."""
-        return [self.figure(key) for key in FIGURE_IDS]
+        """Every figure of the paper, in order.
+
+        The six sliding figures (9-14) come from
+        :func:`~repro.analysis.figures.sliding_figure_suite`, which measures
+        every paper metric over one shared sweep per (chain, size) family.
+        """
+        sliding = sliding_figure_suite(self.engine("btc"), self.engine("eth"))
+        return [
+            sliding[key] if key in sliding else self.figure(key)
+            for key in FIGURE_IDS
+        ]
 
     # -- findings ------------------------------------------------------------------
 
     def findings(self, granularity: str = "day") -> StudyFindings:
         """Evaluate the paper's headline claims at ``granularity``."""
-        level = []
-        for metric, higher in HIGHER_IS_MORE_DECENTRALIZED.items():
-            series_btc = self.engine("btc").measure_calendar(metric, granularity)
-            series_eth = self.engine("eth").measure_calendar(metric, granularity)
-            level.append(compare_level(series_btc, series_eth, higher))
+        metrics = tuple(HIGHER_IS_MORE_DECENTRALIZED)
+        sweep_btc = self.engine("btc").measure_calendar_many(metrics, granularity)
+        sweep_eth = self.engine("eth").measure_calendar_many(metrics, granularity)
+        level = [
+            compare_level(sweep_btc[metric], sweep_eth[metric], higher)
+            for metric, higher in HIGHER_IS_MORE_DECENTRALIZED.items()
+        ]
         stability = stability_report(
             self.engine("btc"), self.engine("eth"), granularity=granularity
         )
         return StudyFindings(level=tuple(level), stability=stability)
 
     def summary_table(self) -> Table:
-        """One row per (chain, metric, window family) with summary stats."""
+        """One row per (chain, metric, window family) with summary stats.
+
+        Each window family is swept once for all three paper metrics.
+        """
+        metrics = tuple(HIGHER_IS_MORE_DECENTRALIZED)
         rows = []
         for which in ("btc", "eth"):
             engine = self.engine(which)
             sizes = (
                 (144, 1008, 4320) if which == "btc" else (6000, 42000, 180000)
             )
-            for metric in HIGHER_IS_MORE_DECENTRALIZED:
+            calendar = {
+                granularity: engine.measure_calendar_many(metrics, granularity)
+                for granularity in ("day", "week", "month")
+            }
+            sliding = {
+                size: engine.measure_sliding_many(metrics, size) for size in sizes
+            }
+            for metric in metrics:
                 for granularity in ("day", "week", "month"):
-                    rows.append(
-                        _summary_row(engine.measure_calendar(metric, granularity))
-                    )
+                    rows.append(_summary_row(calendar[granularity][metric]))
                 for size in sizes:
-                    rows.append(_summary_row(engine.measure_sliding(metric, size)))
+                    rows.append(_summary_row(sliding[size][metric]))
         return concat(rows)
 
 

@@ -25,7 +25,7 @@ are computed.  Four policies are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Final, Sequence
 
 import numpy as np
@@ -41,6 +41,24 @@ ATTRIBUTION_POLICIES: Final[tuple[str, ...]] = (
     "fractional",
     "pool",
 )
+
+#: Use the sparse ``np.unique`` distribution path when the window holds
+#: fewer than ``n_entities / _SPARSE_CROSSOVER`` credit rows AND the
+#: entity space is at least ``_SPARSE_MIN_ENTITIES`` wide.  The sparse
+#: path pays an O(m log m) sort with a ~10 µs floor but skips the dense
+#: O(n_entities) alloc+scan, which only starts to matter past roughly
+#: 16k entities; see ``benchmarks/bench_perf_distribution.py`` for the
+#: measured crossover.
+_SPARSE_CROSSOVER: Final[int] = 4
+_SPARSE_MIN_ENTITIES: Final[int] = 16_384
+
+#: Upper bound on dense histogram matrix cells (segments x entities or
+#: windows x entities, ~64 MB of float64) before the incremental sliding
+#: path falls back to per-window slices.
+_SEGMENT_BUDGET: Final[int] = 8_000_000
+
+#: How many distinct step sizes to keep segment histograms for.
+_SEGMENT_CACHE_SLOTS: Final[int] = 4
 
 
 @dataclass
@@ -61,6 +79,9 @@ class Credits:
     timestamps: np.ndarray
     block_offsets: np.ndarray
     entity_names: Sequence[str]
+    #: Per-step segment histograms keyed by step size (see
+    #: :meth:`segment_histograms`); bounded LRU-ish cache, oldest evicted.
+    _segment_cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     @property
     def n_blocks(self) -> int:
@@ -101,17 +122,22 @@ class Credits:
         """Per-entity weight totals over credit rows ``[lo, hi)``.
 
         Returns only the non-zero totals (the distribution the metrics
-        consume); entity identity is dropped.
+        consume); entity identity is dropped.  Narrow windows (far fewer
+        credit rows than entities) take a sparse ``np.unique`` path that
+        avoids allocating a dense ``n_entities`` array per call.
         """
-        totals = np.bincount(
-            self.entity_ids[lo:hi],
-            weights=self.weights[lo:hi],
-            minlength=self.n_entities,
-        )
-        return totals[totals > 0]
+        return self.distribution_with_entities(lo, hi)[1]
 
     def distribution_with_entities(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
         """Like :meth:`distribution` but also returns the entity ids."""
+        if (
+            self.n_entities >= _SPARSE_MIN_ENTITIES
+            and (hi - lo) * _SPARSE_CROSSOVER < self.n_entities
+        ):
+            ids, inverse = np.unique(self.entity_ids[lo:hi], return_inverse=True)
+            totals = np.bincount(inverse, weights=self.weights[lo:hi])
+            keep = totals > 0
+            return ids[keep], totals[keep]
         totals = np.bincount(
             self.entity_ids[lo:hi],
             weights=self.weights[lo:hi],
@@ -125,6 +151,74 @@ class Credits:
         ids, totals = self.distribution_with_entities(lo, hi)
         order = np.argsort(-totals, kind="stable")[:k]
         return [(self.entity_names[int(ids[i])], float(totals[i])) for i in order]
+
+    # -- incremental sliding-window histograms -------------------------------
+
+    def segment_histograms(self, step: int) -> np.ndarray | None:
+        """Dense per-segment entity histograms for segments of ``step`` blocks.
+
+        Row ``j`` holds the per-entity weight totals of block positions
+        ``[j*step, (j+1)*step)``; only full segments are materialized.  The
+        result is cached per ``step`` (the cache keeps the most recent
+        :data:`_SEGMENT_CACHE_SLOTS` steps), so one attribution pass serves
+        every sweep that shares a step — e.g. the gini, entropy and
+        nakamoto figures over the same window family.
+
+        Returns ``None`` when the dense matrix would exceed the memory
+        budget (tiny steps over huge entity spaces); callers must then fall
+        back to the per-window slice path.
+        """
+        if step <= 0:
+            raise AttributionError(f"step must be positive, got {step}")
+        cached = self._segment_cache.get(step)
+        if cached is not None:
+            return cached
+        n_segments = self.n_blocks // step
+        n_entities = self.n_entities
+        if n_segments == 0 or n_segments * n_entities > _SEGMENT_BUDGET:
+            return None
+        rows_end = int(self.block_offsets[n_segments * step])
+        segment_of = self.block_positions[:rows_end] // step
+        keys = segment_of * n_entities + self.entity_ids[:rows_end]
+        histograms = np.bincount(
+            keys,
+            weights=self.weights[:rows_end],
+            minlength=n_segments * n_entities,
+        ).reshape(n_segments, n_entities)
+        while len(self._segment_cache) >= _SEGMENT_CACHE_SLOTS:
+            self._segment_cache.pop(next(iter(self._segment_cache)))
+        self._segment_cache[step] = histograms
+        return histograms
+
+    def sliding_histograms(self, size: int, step: int) -> np.ndarray | None:
+        """Dense per-window histograms for the standard sliding family.
+
+        Window ``i`` covers block positions ``[i*step, i*step + size)`` —
+        exactly the family :class:`~repro.windows.sliding.SlidingBlockWindows`
+        generates.  Each window's histogram is derived from the shared
+        per-segment partial histograms (each credit row is touched once for
+        the whole sweep, instead of once per overlapping window), which is
+        what makes the sliding path O(credits) rather than O(L x N).
+
+        Returns ``None`` when the family doesn't decompose into aligned
+        segments (``size % step != 0``) or the dense matrices would be too
+        large; callers fall back to the per-window slice path.
+        """
+        if size <= 0 or step <= 0:
+            raise AttributionError("size and step must be positive")
+        if size % step != 0 or size > self.n_blocks:
+            return None
+        n_windows = (self.n_blocks - size) // step + 1
+        segments_per_window = size // step
+        if n_windows * self.n_entities > _SEGMENT_BUDGET:
+            return None
+        segments = self.segment_histograms(step)
+        if segments is None:
+            return None
+        windows = np.zeros((n_windows, self.n_entities), dtype=np.float64)
+        for j in range(segments_per_window):
+            windows += segments[j : j + n_windows]
+        return windows
 
 
 def attribute(

@@ -17,6 +17,7 @@ from repro.core.comparison import (
     granularity_ordering,
 )
 from repro.core.engine import MeasurementEngine
+from repro.core.rolling import RollingHistogram
 from repro.core.series import MeasurementSeries
 from repro.core.streaming import Alert, StreamingMonitor, ThresholdRule
 from repro.core.summary import SeriesSummary, summarize
@@ -30,6 +31,7 @@ __all__ = [
     "ThresholdRule",
     "ChangePointReport",
     "MeasurementEngine",
+    "RollingHistogram",
     "cusum_changepoints",
     "detrend",
     "linear_trend",

@@ -20,7 +20,7 @@ from repro.chain.chain import Chain
 from repro.chain.pools import PoolRegistry
 from repro.core.series import MeasurementSeries
 from repro.errors import MeasurementError
-from repro.metrics.base import Metric, get_metric
+from repro.metrics.base import DistributionBatch, Metric, compute_batch, get_metric
 from repro.windows.base import BlockWindow, TimeWindow, Window
 from repro.windows.fixed import FixedCalendarWindows
 from repro.windows.sliding import SlidingBlockWindows
@@ -30,8 +30,14 @@ from repro.windows.timesliding import SlidingTimeWindows
 class MeasurementEngine:
     """Computes decentralization series over one chain's credits."""
 
+    #: How many (size, step) sliding batches to keep per engine.
+    _SLIDING_CACHE_SLOTS = 8
+
     def __init__(self, credits: Credits) -> None:
         self.credits = credits
+        # (size, step) -> (batch, indices, labels, skipped); lets the figure
+        # suite evaluate gini/entropy/nakamoto over one shared sweep.
+        self._sliding_cache: dict[tuple[int, int], tuple] = {}
 
     @classmethod
     def from_chain(
@@ -51,7 +57,13 @@ class MeasurementEngine:
         windows: Sequence[Window],
         window_desc: str | None = None,
     ) -> MeasurementSeries:
-        """Compute ``metric`` over each window; empty windows are skipped."""
+        """Compute ``metric`` over each window; empty windows are skipped.
+
+        This is the reference per-window loop: it recomputes each window's
+        distribution from its credit slice and dispatches one metric call
+        per window.  :meth:`measure_many` and :meth:`measure_sliding` build
+        on faster batched/incremental paths that must agree with it.
+        """
         resolved = get_metric(metric) if isinstance(metric, str) else metric
         indices: list[int] = []
         labels: list[str] = []
@@ -74,6 +86,73 @@ class MeasurementEngine:
             labels=tuple(labels),
             values=np.asarray(values, dtype=np.float64),
             skipped=skipped,
+        )
+
+    def measure_many(
+        self,
+        metrics: Sequence[str | Metric],
+        windows: Sequence[Window],
+        window_desc: str | None = None,
+    ) -> dict[str, MeasurementSeries]:
+        """Compute several metrics over one window sweep.
+
+        Each window's distribution is built exactly once and every metric
+        is evaluated over the whole sweep at once through
+        :func:`~repro.metrics.base.compute_batch`, so metrics with
+        vectorized kernels share a single sort per window.  Returns one
+        series per metric, keyed by metric name.
+        """
+        resolved = [get_metric(m) if isinstance(m, str) else m for m in metrics]
+        distributions: list[np.ndarray] = []
+        indices: list[int] = []
+        labels: list[str] = []
+        skipped = 0
+        for window in windows:
+            lo, hi = self._credit_range(window)
+            if hi <= lo:
+                skipped += 1
+                continue
+            distributions.append(self.credits.distribution(lo, hi))
+            indices.append(window.index)
+            labels.append(window.label)
+        batch = DistributionBatch.from_distributions(distributions)
+        return self._series_from_batch(
+            resolved,
+            batch,
+            indices=np.asarray(indices, dtype=np.int64),
+            labels=tuple(labels),
+            skipped=skipped,
+            window_desc=window_desc or _describe(windows),
+        )
+
+    def measure_calendar_many(
+        self, metrics: Sequence[str | Metric], granularity: str
+    ) -> dict[str, MeasurementSeries]:
+        """Several metrics over one fixed-calendar sweep (one pass)."""
+        windows = FixedCalendarWindows(granularity).generate()
+        return self.measure_many(metrics, windows, window_desc=f"fixed-{granularity}")
+
+    def measure_sliding_many(
+        self,
+        metrics: Sequence[str | Metric],
+        size: int,
+        step: int | None = None,
+    ) -> dict[str, MeasurementSeries]:
+        """Several metrics over one sliding sweep.
+
+        Uses the incremental segment-histogram fast path when the family
+        decomposes into aligned segments (``size % step == 0``, the
+        paper's M = N/2 always does); otherwise falls back to the generic
+        batched sweep.
+        """
+        generator = SlidingBlockWindows(size, step)
+        resolved = [get_metric(m) if isinstance(m, str) else m for m in metrics]
+        fast = self._measure_sliding_fast(resolved, generator)
+        if fast is not None:
+            return fast
+        windows = generator.generate(self.credits.n_blocks)
+        return self.measure_many(
+            resolved, windows, window_desc=f"sliding-{generator.size}/{generator.step}"
         )
 
     def distribution_for(self, window: Window) -> np.ndarray:
@@ -99,11 +178,20 @@ class MeasurementEngine:
         size: int,
         step: int | None = None,
     ) -> MeasurementSeries:
-        """Count-based sliding windows (paper §III); ``step`` defaults to N/2."""
+        """Count-based sliding windows (paper §III); ``step`` defaults to N/2.
+
+        Routes through the incremental fast path when available (see
+        :meth:`measure_sliding_many`); results match the per-window
+        reference loop.
+        """
+        resolved = get_metric(metric) if isinstance(metric, str) else metric
         generator = SlidingBlockWindows(size, step)
+        fast = self._measure_sliding_fast([resolved], generator)
+        if fast is not None:
+            return fast[resolved.name]
         windows = generator.generate(self.credits.n_blocks)
         return self.measure(
-            metric, windows, window_desc=f"sliding-{generator.size}/{generator.step}"
+            resolved, windows, window_desc=f"sliding-{generator.size}/{generator.step}"
         )
 
     def measure_time_sliding(
@@ -123,6 +211,72 @@ class MeasurementEngine:
         )
 
     # -- internals -------------------------------------------------------------------
+
+    def _measure_sliding_fast(
+        self, metrics: Sequence[Metric], generator: SlidingBlockWindows
+    ) -> dict[str, MeasurementSeries] | None:
+        """The incremental sliding sweep, or ``None`` when it doesn't apply.
+
+        Derives every window's dense histogram from the credits' shared
+        segment partials (one attribution pass per step size) and hands
+        the whole sweep to the batched metric kernels.
+        """
+        size, step = generator.size, generator.step
+        cached = self._sliding_cache.get((size, step))
+        if cached is None:
+            matrix = self.credits.sliding_histograms(size, step)
+            if matrix is None:
+                return None
+            n_windows = matrix.shape[0]
+            offsets = self.credits.block_offsets
+            starts = np.arange(n_windows, dtype=np.int64) * step
+            nonempty = offsets[starts + size] > offsets[starts]
+            indices = np.flatnonzero(nonempty)
+            labels = tuple(
+                f"blocks[{int(i) * step}:{int(i) * step + size}]" for i in indices
+            )
+            rows = matrix if bool(nonempty.all()) else matrix[nonempty]
+            batch = DistributionBatch.from_dense(rows)
+            cached = (batch, indices, labels, int(n_windows - indices.size))
+            while len(self._sliding_cache) >= self._SLIDING_CACHE_SLOTS:
+                self._sliding_cache.pop(next(iter(self._sliding_cache)))
+            self._sliding_cache[(size, step)] = cached
+        batch, indices, labels, skipped = cached
+        return self._series_from_batch(
+            metrics,
+            batch,
+            indices=indices,
+            labels=labels,
+            skipped=skipped,
+            window_desc=f"sliding-{size}/{step}",
+        )
+
+    def _series_from_batch(
+        self,
+        metrics: Sequence[Metric],
+        batch: DistributionBatch,
+        indices: np.ndarray,
+        labels: tuple[str, ...],
+        skipped: int,
+        window_desc: str,
+    ) -> dict[str, MeasurementSeries]:
+        result: dict[str, MeasurementSeries] = {}
+        for metric in metrics:
+            values = (
+                compute_batch(metric, batch)
+                if batch.n_windows
+                else np.zeros(0, dtype=np.float64)
+            )
+            result[metric.name] = MeasurementSeries(
+                chain_name=self.credits.chain_name,
+                metric_name=metric.name,
+                window_desc=window_desc,
+                indices=indices,
+                labels=labels,
+                values=values,
+                skipped=skipped,
+            )
+        return result
 
     def _credit_range(self, window: Window) -> tuple[int, int]:
         if isinstance(window, TimeWindow):

@@ -1,0 +1,94 @@
+"""Incremental trailing-window credit histogram.
+
+The streaming monitor and any other online consumer of block feeds need
+the same thing the sliding measurement needs offline: the per-entity
+credit distribution of the trailing N blocks, maintained incrementally.
+:class:`RollingHistogram` interns producer names into dense slots, keeps
+per-entity weight totals *and* integer credit counts, and evicts the
+oldest block in O(producers-per-block).  The counts make removal exact:
+an entity leaves the window when its credit count reaches zero, not when
+a float subtraction happens to land within an epsilon of zero — which
+matters for fractional (1/k) weights.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+class RollingHistogram:
+    """Fixed-capacity trailing-block entity histogram with O(k) pushes."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise MeasurementError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._slot_of: dict[str, int] = {}
+        self._names: list[str] = []
+        self._weights = np.zeros(16, dtype=np.float64)
+        self._counts = np.zeros(16, dtype=np.int64)
+        self._ring: deque[tuple[tuple[int, ...], float]] = deque()
+        self._active = 0
+
+    def _slot(self, name: str) -> int:
+        slot = self._slot_of.get(name)
+        if slot is None:
+            slot = len(self._names)
+            self._slot_of[name] = slot
+            self._names.append(name)
+            if slot >= self._weights.shape[0]:
+                self._weights = np.concatenate(
+                    (self._weights, np.zeros(self._weights.shape[0]))
+                )
+                self._counts = np.concatenate(
+                    (self._counts, np.zeros(self._counts.shape[0], dtype=np.int64))
+                )
+        return slot
+
+    def push(self, producers: Sequence[str], weight_each: float = 1.0) -> None:
+        """Add one block's producers; evicts the oldest block when full."""
+        if not producers:
+            raise MeasurementError("a block needs at least one producer")
+        slots = tuple(self._slot(name) for name in producers)
+        for slot in slots:
+            if self._counts[slot] == 0:
+                self._active += 1
+            self._counts[slot] += 1
+            self._weights[slot] += weight_each
+        self._ring.append((slots, weight_each))
+        if len(self._ring) > self.capacity:
+            old_slots, old_weight = self._ring.popleft()
+            for slot in old_slots:
+                self._counts[slot] -= 1
+                if self._counts[slot] == 0:
+                    self._weights[slot] = 0.0
+                    self._active -= 1
+                else:
+                    self._weights[slot] -= old_weight
+
+    @property
+    def n_blocks(self) -> int:
+        """Blocks currently inside the window."""
+        return len(self._ring)
+
+    @property
+    def n_active(self) -> int:
+        """Entities holding non-zero credit in the window."""
+        return self._active
+
+    def distribution(self) -> np.ndarray:
+        """The window's per-entity credit totals (non-zero entries only)."""
+        used = self._weights[: len(self._names)]
+        return used[self._counts[: len(self._names)] > 0].copy()
+
+    def distribution_with_entities(self) -> tuple[list[str], np.ndarray]:
+        """Like :meth:`distribution`, with the matching entity names."""
+        counts = self._counts[: len(self._names)]
+        present = np.flatnonzero(counts > 0)
+        names = [self._names[int(i)] for i in present]
+        return names, self._weights[present].copy()

@@ -17,14 +17,12 @@ metric crosses a configured threshold.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
+from repro.core.rolling import RollingHistogram
 from repro.errors import MeasurementError
-from repro.metrics.base import Metric, get_metric
+from repro.metrics.base import DistributionBatch, Metric, compute_batch, get_metric
 
 
 @dataclass(frozen=True)
@@ -62,32 +60,6 @@ class Alert:
         return f"block {self.block_count}: {self.metric}={self.value:.4f}"
 
 
-@dataclass
-class _WindowState:
-    """The trailing window: per-block producers and live weight totals."""
-
-    capacity: int
-    blocks: deque = field(default_factory=deque)
-    weights: dict = field(default_factory=dict)
-
-    def push(self, producers: Sequence[str], weight_each: float) -> None:
-        entry = tuple(producers)
-        self.blocks.append((entry, weight_each))
-        for producer in entry:
-            self.weights[producer] = self.weights.get(producer, 0.0) + weight_each
-        if len(self.blocks) > self.capacity:
-            old_producers, old_weight = self.blocks.popleft()
-            for producer in old_producers:
-                remaining = self.weights[producer] - old_weight
-                if remaining <= 1e-12:
-                    del self.weights[producer]
-                else:
-                    self.weights[producer] = remaining
-
-    def distribution(self) -> np.ndarray:
-        return np.asarray(list(self.weights.values()), dtype=np.float64)
-
-
 class StreamingMonitor:
     """Incremental sliding-window measurement with threshold alerts."""
 
@@ -109,7 +81,7 @@ class StreamingMonitor:
             get_metric(metric) if isinstance(metric, str) else metric
             for metric in metrics
         ]
-        self._window = _WindowState(capacity=window_size)
+        self._window = RollingHistogram(capacity=window_size)
         self._rules: list[ThresholdRule] = []
         self._block_count = 0
         self._history: dict[str, list[tuple[int, float]]] = {
@@ -156,10 +128,12 @@ class StreamingMonitor:
         return alerts
 
     def _evaluate(self) -> list[Alert]:
-        distribution = self._window.distribution()
+        # One-row batch so every monitored metric shares a single sort of
+        # the current window's distribution.
+        batch = DistributionBatch.from_distributions([self._window.distribution()])
         alerts: list[Alert] = []
         for metric in self._metrics:
-            value = float(metric.compute(distribution))
+            value = float(compute_batch(metric, batch)[0])
             self._history[metric.name].append((self._block_count, value))
             for rule in self._rules:
                 if rule.metric == metric.name and rule.triggered(value):
@@ -182,7 +156,7 @@ class StreamingMonitor:
 
     def current(self, metric: str) -> float:
         """Compute ``metric`` over the current window immediately."""
-        if len(self._window.blocks) == 0:
+        if self._window.n_blocks == 0:
             raise MeasurementError("no blocks in the window yet")
         resolved = get_metric(metric)
         return float(resolved.compute(self._window.distribution()))
@@ -196,4 +170,4 @@ class StreamingMonitor:
 
     def producers_in_window(self) -> int:
         """Distinct producers currently in the window."""
-        return len(self._window.weights)
+        return self._window.n_active

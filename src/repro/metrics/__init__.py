@@ -9,10 +9,14 @@ registered in a common registry for the measurement engine.
 """
 
 from repro.metrics.base import (
+    DistributionBatch,
     FunctionMetric,
     Metric,
     available_metrics,
+    compute_batch,
     get_metric,
+    has_batch_kernel,
+    register_batch_kernel,
     register_metric,
 )
 from repro.metrics.registry import PAPER_METRICS
@@ -26,11 +30,15 @@ from repro.metrics.uncertainty import BootstrapCI, bootstrap_ci
 
 __all__ = [
     "BootstrapCI",
+    "DistributionBatch",
     "FunctionMetric",
     "Metric",
     "PAPER_METRICS",
     "bootstrap_ci",
     "available_metrics",
+    "compute_batch",
+    "has_batch_kernel",
+    "register_batch_kernel",
     "effective_producers_entropy",
     "effective_producers_hhi",
     "get_metric",

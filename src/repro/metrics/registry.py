@@ -15,7 +15,23 @@ from __future__ import annotations
 
 from functools import partial
 
-from repro.metrics.base import FunctionMetric, available_metrics, register_metric
+from repro.metrics.base import (
+    FunctionMetric,
+    available_metrics,
+    has_batch_kernel,
+    register_batch_kernel,
+    register_metric,
+)
+from repro.metrics.batch import (
+    batch_effective_producers,
+    batch_entropy,
+    batch_gini,
+    batch_hhi,
+    batch_nakamoto,
+    batch_normalized_entropy,
+    batch_theil,
+    batch_top_k_share,
+)
 from repro.metrics.entropy import (
     effective_producers_entropy,
     normalized_entropy,
@@ -47,6 +63,20 @@ def _register_defaults() -> None:
     for metric in defaults:
         if metric.name not in existing:
             register_metric(metric)
+    kernels = {
+        "gini": batch_gini,
+        "entropy": batch_entropy,
+        "nakamoto": batch_nakamoto,
+        "nakamoto-33": partial(batch_nakamoto, threshold=0.33),
+        "hhi": batch_hhi,
+        "theil": batch_theil,
+        "top4-share": partial(batch_top_k_share, k=4),
+        "normalized-entropy": batch_normalized_entropy,
+        "effective-producers": batch_effective_producers,
+    }
+    for name, kernel in kernels.items():
+        if not has_batch_kernel(name):
+            register_batch_kernel(name, kernel)
 
 
 _register_defaults()

@@ -14,6 +14,10 @@ number of windows over ``S`` blocks is the paper's Eq. 5:
 
 from __future__ import annotations
 
+from typing import Iterator, Sequence, overload
+
+import numpy as np
+
 from repro.errors import WindowError
 from repro.windows.base import BlockWindow
 
@@ -61,23 +65,79 @@ class SlidingBlockWindows:
         """Eq. 5 for this generator's parameters."""
         return sliding_window_count(n_blocks, self.size, self.step)
 
-    def generate(self, n_blocks: int) -> list[BlockWindow]:
-        """All windows over a chain of ``n_blocks`` blocks, in order."""
+    def generate(self, n_blocks: int) -> "BlockWindowSequence":
+        """All windows over a chain of ``n_blocks`` blocks, in order.
+
+        Returns a lazy sequence: windows are materialized on access, so the
+        large families (Ethereum's 4,320/2,160) don't allocate thousands of
+        dataclass instances just to be iterated once.
+        """
+        if n_blocks < 0:
+            raise WindowError(f"n_blocks must be >= 0, got {n_blocks}")
+        return BlockWindowSequence(self.size, self.step, self.expected_count(n_blocks))
+
+    def start_offsets(self, n_blocks: int) -> np.ndarray:
+        """Window start positions as an ndarray (the fast path's input)."""
         if n_blocks < 0:
             raise WindowError(f"n_blocks must be >= 0, got {n_blocks}")
         count = self.expected_count(n_blocks)
-        windows = []
-        for i in range(count):
-            start = i * self.step
-            windows.append(
-                BlockWindow(
-                    index=i,
-                    label=f"blocks[{start}:{start + self.size}]",
-                    start_block=start,
-                    stop_block=start + self.size,
-                )
-            )
-        return windows
+        return np.arange(count, dtype=np.int64) * self.step
 
     def __repr__(self) -> str:
         return f"SlidingBlockWindows(size={self.size}, step={self.step})"
+
+
+class BlockWindowSequence(Sequence):
+    """Lazy, re-iterable sequence of equally-spaced :class:`BlockWindow`.
+
+    Behaves like the list :meth:`SlidingBlockWindows.generate` used to
+    return (``len``, indexing, slicing, iteration) but builds each window
+    object only when accessed.
+    """
+
+    __slots__ = ("size", "step", "count")
+
+    def __init__(self, size: int, step: int, count: int) -> None:
+        self.size = size
+        self.step = step
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _window(self, i: int) -> BlockWindow:
+        start = i * self.step
+        return BlockWindow(
+            index=i,
+            label=f"blocks[{start}:{start + self.size}]",
+            start_block=start,
+            stop_block=start + self.size,
+        )
+
+    @overload
+    def __getitem__(self, index: int) -> BlockWindow: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[BlockWindow]: ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._window(i) for i in range(*index.indices(self.count))]
+        i = index + self.count if index < 0 else index
+        if not 0 <= i < self.count:
+            raise IndexError(f"window index {index} out of range for {self.count}")
+        return self._window(i)
+
+    def __iter__(self) -> Iterator[BlockWindow]:
+        for i in range(self.count):
+            yield self._window(i)
+
+    def start_offsets(self) -> np.ndarray:
+        """Window start positions as an int64 ndarray."""
+        return np.arange(self.count, dtype=np.int64) * self.step
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockWindowSequence(size={self.size}, step={self.step}, "
+            f"count={self.count})"
+        )

@@ -1,0 +1,66 @@
+"""Tests for multi-metric sweeps (measure_many and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MeasurementEngine
+from repro.errors import MetricError
+from repro.windows.sliding import SlidingBlockWindows
+
+
+class TestMeasureManyOnCalibratedChain:
+    def test_calendar_many_matches_single_metric_calls(self, btc_engine):
+        metrics = ("gini", "entropy", "nakamoto")
+        sweep = btc_engine.measure_calendar_many(metrics, "day")
+        assert set(sweep) == set(metrics)
+        for metric in metrics:
+            single = btc_engine.measure_calendar(metric, "day")
+            assert sweep[metric].labels == single.labels
+            np.testing.assert_allclose(
+                sweep[metric].values, single.values, rtol=1e-9, atol=1e-12
+            )
+
+    def test_sliding_many_matches_single_metric_calls(self, btc_engine):
+        metrics = ("gini", "entropy", "nakamoto")
+        sweep = btc_engine.measure_sliding_many(metrics, 144)
+        for metric in metrics:
+            single = btc_engine.measure_sliding(metric, 144)
+            assert sweep[metric].window_desc == "sliding-144/72"
+            np.testing.assert_allclose(
+                sweep[metric].values, single.values, rtol=1e-12, atol=1e-12
+            )
+
+    def test_sliding_fast_path_matches_reference_loop(self, btc_engine):
+        windows = SlidingBlockWindows(144, 72).generate(btc_engine.credits.n_blocks)
+        for metric in ("gini", "entropy", "nakamoto"):
+            reference = btc_engine.measure(metric, windows, window_desc="ref")
+            fast = btc_engine.measure_sliding(metric, 144)
+            assert fast.labels == reference.labels
+            assert fast.skipped == reference.skipped
+            np.testing.assert_allclose(
+                fast.values, reference.values, rtol=1e-12, atol=1e-12
+            )
+
+    def test_metric_objects_accepted(self, btc_engine):
+        from repro.metrics.base import get_metric
+
+        sweep = btc_engine.measure_sliding_many((get_metric("gini"), "entropy"), 1008)
+        assert set(sweep) == {"gini", "entropy"}
+
+    def test_unknown_metric_raises(self, btc_engine):
+        with pytest.raises(MetricError):
+            btc_engine.measure_calendar_many(("gini", "no-such-metric"), "day")
+
+    def test_sliding_cache_shared_across_metrics(self, btc_engine):
+        btc_engine.measure_sliding("gini", 1008)
+        assert (1008, 504) in btc_engine._sliding_cache
+        cached = btc_engine._sliding_cache[(1008, 504)][0]
+        btc_engine.measure_sliding("entropy", 1008)
+        assert btc_engine._sliding_cache[(1008, 504)][0] is cached
+
+
+class TestMeasureManyEmptyFamily:
+    def test_family_larger_than_chain_yields_empty_series(self, btc_engine):
+        n = btc_engine.credits.n_blocks
+        sweep = btc_engine.measure_sliding_many(("gini",), n + 10, n + 10)
+        assert len(sweep["gini"]) == 0

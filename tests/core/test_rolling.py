@@ -1,0 +1,75 @@
+"""Tests for the incremental trailing-window histogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.rolling import RollingHistogram
+from repro.errors import MeasurementError
+
+
+class TestRollingHistogram:
+    def test_counts_before_capacity(self):
+        rolling = RollingHistogram(capacity=10)
+        for name in ["a", "b", "a", "c"]:
+            rolling.push([name])
+        assert rolling.n_blocks == 4
+        assert rolling.n_active == 3
+        assert sorted(rolling.distribution().tolist()) == [1.0, 1.0, 2.0]
+
+    def test_eviction_removes_oldest_block(self):
+        rolling = RollingHistogram(capacity=2)
+        rolling.push(["a"])
+        rolling.push(["b"])
+        rolling.push(["c"])  # evicts a
+        assert rolling.n_blocks == 2
+        names, weights = rolling.distribution_with_entities()
+        assert names == ["b", "c"]
+        assert weights.tolist() == [1.0, 1.0]
+
+    def test_exact_zero_removal_with_fractional_weights(self):
+        """Count-based removal is exact even for 1/k weights that don't
+        subtract back to a clean zero."""
+        rolling = RollingHistogram(capacity=1)
+        rolling.push(["a", "b", "c"], weight_each=1.0 / 3.0)
+        rolling.push(["d"])  # evicts the fractional block entirely
+        assert rolling.n_active == 1
+        assert rolling.distribution().tolist() == [1.0]
+
+    def test_multi_producer_blocks(self):
+        rolling = RollingHistogram(capacity=3)
+        rolling.push(["a", "b"])
+        rolling.push(["a"])
+        assert rolling.n_active == 2
+        names, weights = rolling.distribution_with_entities()
+        assert dict(zip(names, weights.tolist())) == {"a": 2.0, "b": 1.0}
+
+    def test_slot_table_growth(self):
+        rolling = RollingHistogram(capacity=100)
+        for i in range(50):  # exceeds the initial 16 slots
+            rolling.push([f"p{i}"])
+        assert rolling.n_active == 50
+        assert rolling.distribution().shape == (50,)
+
+    def test_reference_equivalence_random_feed(self):
+        from collections import Counter
+
+        rng = np.random.default_rng(0)
+        names = [f"p{i}" for i in range(7)]
+        blocks = [
+            list(rng.choice(names, size=int(rng.integers(1, 4)), replace=False))
+            for _ in range(300)
+        ]
+        rolling = RollingHistogram(capacity=25)
+        for block in blocks:
+            rolling.push(block)
+        reference = Counter(p for block in blocks[-25:] for p in block)
+        got_names, got_weights = rolling.distribution_with_entities()
+        assert dict(zip(got_names, got_weights.tolist())) == {
+            name: float(count) for name, count in reference.items()
+        }
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(MeasurementError):
+            RollingHistogram(capacity=0)
+        with pytest.raises(MeasurementError):
+            RollingHistogram(capacity=4).push([])

@@ -1,0 +1,146 @@
+"""Tests for the batched metric layer (DistributionBatch / compute_batch)."""
+
+import numpy as np
+import pytest
+
+import repro.metrics  # noqa: F401  - installs the standard kernels
+from repro.errors import MetricError
+from repro.metrics.base import (
+    DistributionBatch,
+    FunctionMetric,
+    available_metrics,
+    compute_batch,
+    get_metric,
+    has_batch_kernel,
+    register_batch_kernel,
+)
+
+
+def random_rows(rng, n_rows=24, width=17):
+    matrix = rng.uniform(0.0, 5.0, size=(n_rows, width))
+    matrix[rng.uniform(size=matrix.shape) < 0.4] = 0.0
+    matrix[:, 0] = rng.uniform(0.5, 2.0, size=n_rows)  # keep rows non-empty
+    return matrix
+
+
+class TestDistributionBatch:
+    def test_counts_totals_and_sort_are_consistent(self):
+        rng = np.random.default_rng(0)
+        matrix = random_rows(rng)
+        batch = DistributionBatch(matrix)
+        assert batch.n_windows == matrix.shape[0]
+        np.testing.assert_allclose(batch.totals, matrix.sum(axis=1))
+        assert np.array_equal(batch.counts, (matrix > 0).sum(axis=1))
+        assert np.array_equal(batch.sorted_ascending, np.sort(matrix, axis=1))
+
+    def test_row_values_drops_zeros_in_entity_order(self):
+        batch = DistributionBatch(np.array([[0.0, 3.0, 0.0, 1.0]]))
+        assert batch.row_values(0).tolist() == [3.0, 1.0]
+
+    def test_from_distributions_pads_ragged_rows(self):
+        batch = DistributionBatch.from_distributions([[1.0, 2.0], [5.0], [3.0, 1.0, 2.0]])
+        assert batch.matrix.shape == (3, 3)
+        assert batch.row_values(1).tolist() == [5.0]
+
+    def test_from_dense_packs_sparse_rows(self):
+        matrix = np.zeros((4, 40))
+        matrix[0, 5] = 2.0
+        matrix[1, [3, 30]] = [1.0, 4.0]
+        matrix[2, 39] = 7.0
+        matrix[3, [0, 1, 2]] = [1.0, 2.0, 3.0]
+        packed = DistributionBatch.from_dense(matrix)
+        assert packed.matrix.shape == (4, 3)
+        assert packed.row_values(1).tolist() == [1.0, 4.0]
+        # Every metric must see identical distributions.
+        wide = DistributionBatch(matrix)
+        for name in available_metrics():
+            np.testing.assert_allclose(
+                compute_batch(name, packed), compute_batch(name, wide), rtol=1e-12
+            )
+
+    def test_from_dense_keeps_dense_rows_unpacked(self):
+        matrix = np.ones((3, 4))
+        batch = DistributionBatch.from_dense(matrix)
+        assert batch.matrix.shape == (3, 4)
+
+    def test_validation_rejects_bad_input(self):
+        with pytest.raises(MetricError):
+            DistributionBatch(np.ones(3))  # 1-D
+        with pytest.raises(MetricError):
+            DistributionBatch(np.array([[1.0, -1.0]]))
+        with pytest.raises(MetricError):
+            DistributionBatch(np.array([[np.inf, 1.0]]))
+        with pytest.raises(MetricError):
+            DistributionBatch.from_dense(np.array([[1.0, -2.0]]))
+
+
+class TestComputeBatch:
+    def test_every_registered_metric_matches_scalar_loop(self):
+        rng = np.random.default_rng(42)
+        batch = DistributionBatch(random_rows(rng))
+        for name in available_metrics():
+            metric = get_metric(name)
+            expected = [float(metric.compute(batch.row_values(i))) for i in range(len(batch))]
+            np.testing.assert_allclose(
+                compute_batch(name, batch), expected, rtol=1e-9, atol=1e-12, err_msg=name
+            )
+
+    def test_integer_weights_match_exactly(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.integers(0, 7, size=(30, 13)).astype(np.float64)
+        matrix[:, 0] += 1.0
+        batch = DistributionBatch(matrix)
+        for name in ("gini", "nakamoto", "nakamoto-33", "top4-share"):
+            metric = get_metric(name)
+            expected = np.asarray(
+                [float(metric.compute(batch.row_values(i))) for i in range(len(batch))]
+            )
+            assert np.array_equal(compute_batch(name, batch), expected), name
+
+    def test_single_entity_rows(self):
+        batch = DistributionBatch(np.array([[42.0, 0.0]]))
+        assert compute_batch("gini", batch)[0] == 0.0
+        assert compute_batch("entropy", batch)[0] == 0.0
+        assert compute_batch("normalized-entropy", batch)[0] == 1.0
+        assert compute_batch("nakamoto", batch)[0] == 1.0
+        assert compute_batch("hhi", batch)[0] == 1.0
+        assert compute_batch("top4-share", batch)[0] == 1.0
+
+    def test_accepts_raw_matrix_and_ragged_lists(self):
+        values = compute_batch("gini", np.array([[1.0, 1.0], [1.0, 3.0]]))
+        assert values[0] == 0.0 and values[1] > 0.0
+        values = compute_batch("entropy", [[1.0, 1.0, 1.0, 1.0], [2.0]])
+        np.testing.assert_allclose(values, [2.0, 0.0])
+
+    def test_empty_batch_returns_empty(self):
+        assert compute_batch("gini", np.zeros((0, 5))).shape == (0,)
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(MetricError):
+            compute_batch("gini", np.array([[1.0, 2.0], [0.0, 0.0]]))
+
+    def test_unregistered_metric_falls_back_to_loop(self):
+        metric = FunctionMetric("test-max-share", lambda v: float(v.max() / v.sum()))
+        assert not has_batch_kernel(metric.name)
+        rng = np.random.default_rng(9)
+        batch = DistributionBatch(random_rows(rng, n_rows=6))
+        expected = [float(metric.compute(batch.row_values(i))) for i in range(6)]
+        np.testing.assert_allclose(compute_batch(metric, batch), expected)
+
+
+class TestKernelRegistry:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MetricError):
+            register_batch_kernel("gini", lambda batch: batch.totals)
+
+    def test_overwrite_allowed_when_requested(self):
+        original = has_batch_kernel("gini")
+        assert original
+        from repro.metrics.batch import batch_gini
+
+        register_batch_kernel("gini", batch_gini, overwrite=True)
+        assert has_batch_kernel("gini")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricError):
+            register_batch_kernel("", lambda batch: batch.totals)

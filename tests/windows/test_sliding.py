@@ -1,10 +1,16 @@
 """Tests for sliding windows (paper §III-A, Eq. 5)."""
 
+import numpy as np
 import pytest
 
 from repro.chain.specs import BITCOIN, ETHEREUM
 from repro.errors import WindowError
-from repro.windows.sliding import SlidingBlockWindows, sliding_window_count
+from repro.windows.base import BlockWindow
+from repro.windows.sliding import (
+    BlockWindowSequence,
+    SlidingBlockWindows,
+    sliding_window_count,
+)
 
 
 class TestEquationFive:
@@ -91,3 +97,53 @@ class TestSlidingBlockWindows:
     def test_size_one_minimum_step_is_one(self):
         generator = SlidingBlockWindows(1)
         assert generator.step == 1
+
+
+class TestLazyWindowSequence:
+    """generate() is lazy: windows materialize on access, not up front."""
+
+    def test_generate_returns_lazy_sequence(self):
+        windows = SlidingBlockWindows(100, 50).generate(1_000)
+        assert isinstance(windows, BlockWindowSequence)
+        assert not isinstance(windows, list)
+        assert len(windows) == 19
+
+    def test_indexing_and_negative_indexing(self):
+        windows = SlidingBlockWindows(100, 50).generate(250)
+        assert isinstance(windows[0], BlockWindow)
+        assert windows[0].start_block == 0
+        assert windows[-1].stop_block == 250
+        assert windows[-1] == windows[3]
+
+    def test_out_of_range_raises_index_error(self):
+        windows = SlidingBlockWindows(100, 50).generate(250)
+        with pytest.raises(IndexError):
+            windows[4]
+        with pytest.raises(IndexError):
+            windows[-5]
+
+    def test_slicing_returns_windows(self):
+        windows = SlidingBlockWindows(100, 50).generate(300)
+        tail = windows[1:]
+        assert [w.start_block for w in tail] == [50, 100, 150, 200]
+
+    def test_reiterable(self):
+        windows = SlidingBlockWindows(10, 5).generate(40)
+        assert list(windows) == list(windows)
+
+    def test_labels_match_eager_construction(self):
+        windows = SlidingBlockWindows(10, 5).generate(30)
+        assert [w.label for w in windows] == [
+            "blocks[0:10]",
+            "blocks[5:15]",
+            "blocks[10:20]",
+            "blocks[15:25]",
+            "blocks[20:30]",
+        ]
+
+    def test_start_offsets_ndarray(self):
+        generator = SlidingBlockWindows(100, 50)
+        offsets = generator.start_offsets(300)
+        assert offsets.dtype == np.int64
+        assert offsets.tolist() == [0, 50, 100, 150, 200]
+        assert generator.generate(300).start_offsets().tolist() == offsets.tolist()
