@@ -1,24 +1,57 @@
-"""Reporting helpers shared by the figure benchmarks."""
+"""Reporting helpers shared by the figure benchmarks.
+
+The row formatting lives in :mod:`repro.viz.tables` (shared with the CLI
+``measure`` summary); these wrappers only print.  ``record_stage_timings``
+feeds stage-level span totals into pytest-benchmark's ``extra_info`` so
+``make bench-perf`` lands them in ``BENCH_pipeline.json`` alongside the
+headline numbers.
+"""
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.series import MeasurementSeries
-from repro.core.summary import summarize
+from repro.viz.tables import format_notes, format_series_rows
 
 
 def report_series(title: str, series_map: dict[str, MeasurementSeries]) -> None:
     """Print the per-series rows the paper quotes for a figure."""
-    print(f"\n=== {title} ===")
-    for label, series in series_map.items():
-        summary = summarize(series)
-        print(
-            f"  {label:<10s} n={summary.n_windows:<5d} mean={summary.mean:8.4f} "
-            f"std={summary.std:7.4f} min={summary.minimum:8.4f} "
-            f"max={summary.maximum:8.4f}"
-        )
+    print(f"\n{format_series_rows(series_map, title=title)}")
 
 
 def report_notes(notes: dict[str, float]) -> None:
     """Print a figure's named scalar statistics."""
-    for key, value in sorted(notes.items()):
-        print(f"  note {key} = {value:.4f}")
+    if notes:
+        print(format_notes(notes))
+
+
+def record_stage_timings(benchmark, fn: Callable[[], object]) -> None:
+    """Run ``fn`` once under tracing and stash span totals on ``benchmark``.
+
+    Aggregates the recorded spans by name into ``{count, total_seconds}``
+    entries under ``extra_info["stages"]`` (plus the tracer's counters
+    under ``extra_info["counters"]``), which pytest-benchmark serializes
+    into the ``--benchmark-json`` output.
+    """
+    from repro import obs
+    from repro.obs.report import aggregate_spans
+
+    tracer = obs.enable_tracing()
+    try:
+        fn()
+        stages: dict[str, dict] = {}
+
+        def collect(node, path: str) -> None:
+            for child in node.children.values():
+                key = f"{path}{child.name}"
+                entry = stages.setdefault(key, {"count": 0, "total_seconds": 0.0})
+                entry["count"] += child.count
+                entry["total_seconds"] += child.total
+                collect(child, f"{key}/")
+
+        collect(aggregate_spans(tracer.spans), "")
+        benchmark.extra_info["stages"] = stages
+        benchmark.extra_info["counters"] = tracer.metrics.snapshot()["counters"]
+    finally:
+        obs.disable_tracing()

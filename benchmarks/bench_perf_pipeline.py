@@ -3,17 +3,21 @@
 Times the hot paths a user of the library actually hits: a full fixed
 daily measurement over each chain, the full sliding family, a BigQuery-
 style SQL aggregation over the Bitcoin credit table, and the table
-engine's group-by on the same data.
+engine's group-by on the same data.  The headline benchmarks also run
+once under tracing (outside the timed rounds) so ``make bench-perf``
+lands per-stage span totals in ``BENCH_pipeline.json``.
 """
 
 import pytest
 
+from _bench_util import record_stage_timings
 from repro.sql import QueryEngine
 
 
 def test_perf_btc_daily_gini(benchmark, btc):
     series = benchmark(btc.measure_calendar, "gini", "day")
     assert len(series) == 365
+    record_stage_timings(benchmark, lambda: btc.measure_calendar("gini", "day"))
 
 
 def test_perf_eth_daily_gini(benchmark, eth):
@@ -42,6 +46,7 @@ def test_perf_btc_sliding_family_measure_many(benchmark, btc):
     sweeps = benchmark(full_sweep)
     assert all(set(sweep) == set(metrics) for sweep in sweeps)
     assert sum(len(sweep["gini"]) for sweep in sweeps) > 800
+    record_stage_timings(benchmark, full_sweep)
 
 
 def test_perf_eth_sliding_family_measure_many(benchmark, eth):

@@ -30,6 +30,7 @@ from typing import Final, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chain.chain import Chain
 from repro.chain.pools import PoolRegistry
 from repro.errors import AttributionError
@@ -172,19 +173,24 @@ class Credits:
             raise AttributionError(f"step must be positive, got {step}")
         cached = self._segment_cache.get(step)
         if cached is not None:
+            obs.counter("attribution.segment_cache.hit")
             return cached
+        obs.counter("attribution.segment_cache.miss")
         n_segments = self.n_blocks // step
         n_entities = self.n_entities
         if n_segments == 0 or n_segments * n_entities > _SEGMENT_BUDGET:
             return None
-        rows_end = int(self.block_offsets[n_segments * step])
-        segment_of = self.block_positions[:rows_end] // step
-        keys = segment_of * n_entities + self.entity_ids[:rows_end]
-        histograms = np.bincount(
-            keys,
-            weights=self.weights[:rows_end],
-            minlength=n_segments * n_entities,
-        ).reshape(n_segments, n_entities)
+        with obs.span(
+            "attribution.segment_histograms", step=step, segments=n_segments
+        ):
+            rows_end = int(self.block_offsets[n_segments * step])
+            segment_of = self.block_positions[:rows_end] // step
+            keys = segment_of * n_entities + self.entity_ids[:rows_end]
+            histograms = np.bincount(
+                keys,
+                weights=self.weights[:rows_end],
+                minlength=n_segments * n_entities,
+            ).reshape(n_segments, n_entities)
         while len(self._segment_cache) >= _SEGMENT_CACHE_SLOTS:
             self._segment_cache.pop(next(iter(self._segment_cache)))
         self._segment_cache[step] = histograms
@@ -233,6 +239,15 @@ def attribute(
         )
     if policy == "pool" and registry is None:
         raise AttributionError("the 'pool' policy requires a PoolRegistry")
+    with obs.span(
+        "attribution.attribute", chain=chain.spec.name, policy=policy
+    ):
+        return _attribute(chain, policy, registry)
+
+
+def _attribute(
+    chain: Chain, policy: str, registry: PoolRegistry | None
+) -> Credits:
     counts = chain.producer_counts()
     n = chain.n_blocks
     if policy == "per-address":

@@ -7,9 +7,13 @@ Subcommands::
     repro-decentralization figure   --id 9 --chart --export-dir out/
     repro-decentralization study
     repro-decentralization query    --chain bitcoin --sql "SELECT ..."
+    repro-decentralization trace    trace.json
 
 All commands simulate the calibrated 2019 datasets on demand (seeded, so
-repeated runs are identical).
+repeated runs are identical).  The global ``--trace FILE`` flag records a
+span trace of whatever the command did (``.jsonl`` for the line format,
+anything else for Chrome ``chrome://tracing`` JSON); ``repro trace FILE``
+summarizes or validates such a file afterwards.
 """
 
 from __future__ import annotations
@@ -18,14 +22,18 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.analysis.study import DecentralizationStudy
 from repro.core.summary import summarize
 from repro.errors import ReproError
 from repro.metrics import available_metrics
-from repro.sql import QueryEngine
+from repro.obs.export import validate_trace_file, write_trace
+from repro.obs.report import summarize_trace_file
+from repro.sql import QueryEngine, format_plan
 from repro.table.io import write_csv
 from repro.viz.ascii import ascii_chart
 from repro.viz.export import export_figure, series_to_csv
+from repro.viz.tables import format_series_rows
 
 _CHAIN_KEYS = {"bitcoin": "btc", "btc": "btc", "ethereum": "eth", "eth": "eth"}
 
@@ -37,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Measure decentralization in simulated 2019 Bitcoin/Ethereum.",
     )
     parser.add_argument("--seed", type=int, default=2019, help="simulation seed")
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a span trace of the command "
+        "(.jsonl = line format, otherwise Chrome trace JSON)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="simulate a chain and export blocks")
@@ -83,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
         "'credits' (one row per block-producer credit)",
     )
     query.add_argument("--limit", type=int, default=20, help="max rows to print")
+    query.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="print the executed plan tree with per-operator timings and row counts",
+    )
+
+    trace = sub.add_parser("trace", help="summarize or validate a recorded trace file")
+    trace.add_argument("file", help="trace file written with --trace")
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the file against the exporter schema instead of summarizing",
+    )
     return parser
 
 
@@ -90,14 +117,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace:
+        obs.enable_tracing()
     try:
-        return _dispatch(args)
+        with obs.span(f"cli.{args.command}"):
+            code = _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        code = 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 1
+    if args.trace:
+        # Flush the trace even when the command failed; a failed write
+        # only overrides a successful command's exit code.
+        trace_code = _write_trace_file(args.trace)
+        if code == 0:
+            code = trace_code
+    return code
+
+
+def _write_trace_file(path: str) -> int:
+    """Flush the recorded trace; returns a nonzero code if writing failed."""
+    tracer = obs.get_tracer()
+    try:
+        write_trace(tracer, path)
+        print(f"wrote trace ({len(tracer.spans)} spans) to {path}")
+        return 0
+    except OSError as exc:
+        print(f"error: could not write trace: {exc}", file=sys.stderr)
         return 1
+    finally:
+        obs.disable_tracing()
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "trace":
+        return _cmd_trace(args)
     study = DecentralizationStudy(seed=args.seed)
     if args.command == "simulate":
         return _cmd_simulate(study, args)
@@ -133,15 +189,25 @@ def _cmd_measure(study: DecentralizationStudy, args: argparse.Namespace) -> int:
         series = engine.measure_calendar(args.metric, windows.removeprefix("fixed-"))
     elif windows.startswith("sliding-"):
         spec = windows.removeprefix("sliding-")
-        if "/" in spec:
-            size_text, step_text = spec.split("/", 1)
-            series = engine.measure_sliding(args.metric, int(size_text), int(step_text))
-        else:
-            series = engine.measure_sliding(args.metric, int(spec))
+        try:
+            if "/" in spec:
+                size_text, step_text = spec.split("/", 1)
+                size, step = int(size_text), int(step_text)
+            else:
+                size, step = int(spec), None
+        except ValueError:
+            print(
+                f"error: bad sliding window spec {windows!r} "
+                "(expected sliding-<N> or sliding-<N>/<M>)",
+                file=sys.stderr,
+            )
+            return 2
+        series = engine.measure_sliding(args.metric, size, step)
     else:
         print(f"error: unknown window family {windows!r}", file=sys.stderr)
         return 2
     print(summarize(series))
+    print(format_series_rows({args.metric: series}))
     if args.chart:
         print(ascii_chart(series))
     if args.out:
@@ -269,11 +335,29 @@ def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
     engine = QueryEngine(
         {"blocks": chain.block_table(), "credits": chain.to_table()}
     )
-    result = engine.execute(args.sql)
+    if args.explain_analyze:
+        result, root = engine.explain_analyze(args.sql)
+        print(format_plan(root))
+        print()
+    else:
+        result = engine.execute(args.sql)
     for row in result.head(args.limit).to_rows():
         print(row)
     if result.num_rows > args.limit:
         print(f"... ({result.num_rows - args.limit} more rows)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.validate:
+        summary = validate_trace_file(args.file)
+        print(
+            f"{summary['path']}: valid {summary['format']} trace "
+            f"({summary['n_spans']} spans, {summary['n_counters']} counters, "
+            f"{summary['n_gauges']} gauges, {summary['n_timings']} timings)"
+        )
+    else:
+        print(summarize_trace_file(args.file))
     return 0
 
 

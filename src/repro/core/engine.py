@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chain.attribution import Credits, attribute
 from repro.chain.chain import Chain
 from repro.chain.pools import PoolRegistry
@@ -69,15 +70,18 @@ class MeasurementEngine:
         labels: list[str] = []
         values: list[float] = []
         skipped = 0
-        for window in windows:
-            lo, hi = self._credit_range(window)
-            if hi <= lo:
-                skipped += 1
-                continue
-            distribution = self.credits.distribution(lo, hi)
-            indices.append(window.index)
-            labels.append(window.label)
-            values.append(float(resolved.compute(distribution)))
+        with obs.span(
+            "engine.measure", metric=resolved.name, windows=len(windows)
+        ):
+            for window in windows:
+                lo, hi = self._credit_range(window)
+                if hi <= lo:
+                    skipped += 1
+                    continue
+                distribution = self.credits.distribution(lo, hi)
+                indices.append(window.index)
+                labels.append(window.label)
+                values.append(float(resolved.compute(distribution)))
         return MeasurementSeries(
             chain_name=self.credits.chain_name,
             metric_name=resolved.name,
@@ -107,15 +111,20 @@ class MeasurementEngine:
         indices: list[int] = []
         labels: list[str] = []
         skipped = 0
-        for window in windows:
-            lo, hi = self._credit_range(window)
-            if hi <= lo:
-                skipped += 1
-                continue
-            distributions.append(self.credits.distribution(lo, hi))
-            indices.append(window.index)
-            labels.append(window.label)
-        batch = DistributionBatch.from_distributions(distributions)
+        with obs.span(
+            "engine.measure_many",
+            metrics=[m.name for m in resolved],
+            windows=len(windows),
+        ):
+            for window in windows:
+                lo, hi = self._credit_range(window)
+                if hi <= lo:
+                    skipped += 1
+                    continue
+                distributions.append(self.credits.distribution(lo, hi))
+                indices.append(window.index)
+                labels.append(window.label)
+            batch = DistributionBatch.from_distributions(distributions)
         return self._series_from_batch(
             resolved,
             batch,
@@ -149,7 +158,9 @@ class MeasurementEngine:
         resolved = [get_metric(m) if isinstance(m, str) else m for m in metrics]
         fast = self._measure_sliding_fast(resolved, generator)
         if fast is not None:
+            obs.counter("engine.sliding.fast_path")
             return fast
+        obs.counter("engine.sliding.fallback")
         windows = generator.generate(self.credits.n_blocks)
         return self.measure_many(
             resolved, windows, window_desc=f"sliding-{generator.size}/{generator.step}"
@@ -188,7 +199,9 @@ class MeasurementEngine:
         generator = SlidingBlockWindows(size, step)
         fast = self._measure_sliding_fast([resolved], generator)
         if fast is not None:
+            obs.counter("engine.sliding.fast_path")
             return fast[resolved.name]
+        obs.counter("engine.sliding.fallback")
         windows = generator.generate(self.credits.n_blocks)
         return self.measure(
             resolved, windows, window_desc=f"sliding-{generator.size}/{generator.step}"
@@ -210,6 +223,26 @@ class MeasurementEngine:
             window_desc=f"time-sliding-{generator.duration}/{generator.step}",
         )
 
+    def measure_time_sliding_many(
+        self,
+        metrics: Sequence[str | Metric],
+        duration: int,
+        step: int | None = None,
+    ) -> dict[str, MeasurementSeries]:
+        """Several metrics over one wall-clock sliding sweep.
+
+        Builds each window's distribution once and shares it across all
+        metrics through the batched kernels — the time-window counterpart
+        of :meth:`measure_sliding_many`.
+        """
+        generator = SlidingTimeWindows(duration, step)
+        windows = generator.generate()
+        return self.measure_many(
+            metrics,
+            windows,
+            window_desc=f"time-sliding-{generator.duration}/{generator.step}",
+        )
+
     # -- internals -------------------------------------------------------------------
 
     def _measure_sliding_fast(
@@ -224,7 +257,9 @@ class MeasurementEngine:
         size, step = generator.size, generator.step
         cached = self._sliding_cache.get((size, step))
         if cached is None:
-            matrix = self.credits.sliding_histograms(size, step)
+            obs.counter("engine.sliding_cache.miss")
+            with obs.span("engine.sliding_sweep", size=size, step=step):
+                matrix = self.credits.sliding_histograms(size, step)
             if matrix is None:
                 return None
             n_windows = matrix.shape[0]
@@ -241,6 +276,8 @@ class MeasurementEngine:
             while len(self._sliding_cache) >= self._SLIDING_CACHE_SLOTS:
                 self._sliding_cache.pop(next(iter(self._sliding_cache)))
             self._sliding_cache[(size, step)] = cached
+        else:
+            obs.counter("engine.sliding_cache.hit")
         batch, indices, labels, skipped = cached
         return self._series_from_batch(
             metrics,

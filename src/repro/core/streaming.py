@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.core.rolling import RollingHistogram
 from repro.errors import MeasurementError
 from repro.metrics.base import DistributionBatch, Metric, compute_batch, get_metric
@@ -130,21 +131,27 @@ class StreamingMonitor:
     def _evaluate(self) -> list[Alert]:
         # One-row batch so every monitored metric shares a single sort of
         # the current window's distribution.
-        batch = DistributionBatch.from_distributions([self._window.distribution()])
-        alerts: list[Alert] = []
-        for metric in self._metrics:
-            value = float(compute_batch(metric, batch)[0])
-            self._history[metric.name].append((self._block_count, value))
-            for rule in self._rules:
-                if rule.metric == metric.name and rule.triggered(value):
-                    alerts.append(
-                        Alert(
-                            metric=metric.name,
-                            value=value,
-                            block_count=self._block_count,
-                            rule=rule,
+        with obs.span("streaming.evaluate", block_count=self._block_count):
+            batch = DistributionBatch.from_distributions(
+                [self._window.distribution()]
+            )
+            alerts: list[Alert] = []
+            for metric in self._metrics:
+                value = float(compute_batch(metric, batch)[0])
+                self._history[metric.name].append((self._block_count, value))
+                for rule in self._rules:
+                    if rule.metric == metric.name and rule.triggered(value):
+                        alerts.append(
+                            Alert(
+                                metric=metric.name,
+                                value=value,
+                                block_count=self._block_count,
+                                rule=rule,
+                            )
                         )
-                    )
+        obs.counter("streaming.evaluations")
+        if alerts:
+            obs.counter("streaming.alerts", len(alerts))
         return alerts
 
     # -- inspection -----------------------------------------------------------------

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
+from repro import obs
 from repro.chain.chain import Chain
 from repro.data.store import ChainStore
 
@@ -18,13 +20,19 @@ def cached_chain(
 
     ``build`` is only invoked on a cache miss (or when ``refresh`` is
     true), so expensive simulations — Ethereum's 2.2M blocks take several
-    seconds — run once per store.
+    seconds — run once per store.  Hits and misses are counted on the
+    :mod:`repro.obs` tracer (``chain_cache.hit`` / ``chain_cache.miss``),
+    and miss build time feeds the ``chain_cache.build_seconds`` histogram.
 
     >>> store = ChainStore(tmpdir)                              # doctest: +SKIP
     >>> eth = cached_chain(store, "eth-2019", simulate_ethereum_2019)  # doctest: +SKIP
     """
     if refresh or not store.exists(name):
+        obs.counter("chain_cache.miss")
+        start = time.perf_counter()
         chain = build()
+        obs.timing("chain_cache.build_seconds", time.perf_counter() - start)
         store.save(name, chain, overwrite=True)
         return chain
+    obs.counter("chain_cache.hit")
     return store.load(name)

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.chain.chain import Chain
 from repro.chain.specs import ChainSpec
 from repro.errors import ReproError
@@ -69,6 +70,10 @@ class ChainStore:
 
     def save(self, name: str, chain: Chain, overwrite: bool = False) -> Path:
         """Persist ``chain`` as ``name``; returns the chain directory."""
+        with obs.span("store.save", dataset=name, n_blocks=chain.n_blocks):
+            return self._save(name, chain, overwrite)
+
+    def _save(self, name: str, chain: Chain, overwrite: bool) -> Path:
         if not name or "/" in name:
             raise ChainStoreError(f"invalid chain name: {name!r}")
         directory = self.root / name
@@ -129,6 +134,10 @@ class ChainStore:
 
     def load(self, name: str) -> Chain:
         """Load a stored chain; raises :class:`ChainStoreError` if broken."""
+        with obs.span("store.load", dataset=name):
+            return self._load(name)
+
+    def _load(self, name: str) -> Chain:
         directory = self.root / name
         manifest_path = directory / "manifest.json"
         if not manifest_path.is_file():

@@ -69,3 +69,7 @@ class WindowError(ReproError):
 
 class MeasurementError(ReproError):
     """The measurement engine was asked for an impossible combination."""
+
+
+class ObservabilityError(ReproError):
+    """A trace file was missing, malformed, or failed schema validation."""

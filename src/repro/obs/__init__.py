@@ -1,0 +1,82 @@
+"""Observability: tracing, metrics and trace export for the pipeline.
+
+The measurement machinery is itself part of the experiment — a sweep that
+silently falls off its fast path, or a cache that never hits, changes how
+far the system scales without changing any result.  This package makes
+that machinery visible:
+
+* a process-wide :class:`~repro.obs.tracer.Tracer` with nested spans
+  (context-manager and decorator APIs) and counter/gauge/timing metrics,
+* JSONL and Chrome ``chrome://tracing`` exporters
+  (:mod:`repro.obs.export`) with schema validation, and
+* span-tree summaries with self/total times (:mod:`repro.obs.report`).
+
+Tracing is **off by default** and the disabled path is a shared no-op
+(one ``enabled`` check per call site; see
+``benchmarks/bench_perf_obs.py`` for the overhead budget), so the hot
+layers stay instrumented permanently::
+
+    from repro import obs
+
+    with obs.span("engine.sweep", chain="btc"):
+        ...
+    obs.counter("engine.sliding_cache.hit")
+
+Enable around a workload with :func:`enable_tracing` or, end to end, via
+the CLI's global ``--trace FILE`` flag.
+"""
+
+from repro.obs.export import (
+    load_trace_file,
+    validate_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimingHistogram
+from repro.obs.report import (
+    aggregate_spans,
+    format_span_tree,
+    summarize_trace_file,
+    summarize_tracer,
+)
+from repro.obs.tracer import (
+    SpanRecord,
+    Tracer,
+    counter,
+    disable_tracing,
+    enable_tracing,
+    gauge,
+    get_tracer,
+    span,
+    timing,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TimingHistogram",
+    "Tracer",
+    "aggregate_spans",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "format_span_tree",
+    "gauge",
+    "get_tracer",
+    "load_trace_file",
+    "span",
+    "summarize_trace_file",
+    "summarize_tracer",
+    "timing",
+    "traced",
+    "tracing_enabled",
+    "validate_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

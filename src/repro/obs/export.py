@@ -1,0 +1,301 @@
+"""Trace exporters, loaders and schema validation.
+
+Two on-disk formats are supported, chosen by file extension in
+:func:`write_trace`:
+
+``.jsonl`` — repro JSONL
+    One JSON object per line.  The first line is a ``meta`` record; every
+    other line is a ``span``, ``counter``, ``gauge`` or ``timing`` record.
+    Stream-friendly and trivially greppable.
+
+anything else — Chrome trace format
+    A single JSON object with a ``traceEvents`` list of complete
+    (``"ph": "X"``) events in microseconds, loadable directly in
+    ``chrome://tracing`` / Perfetto.  Metrics ride along as counter
+    (``"ph": "C"``) events and in ``otherData``.
+
+Both formats round-trip through :func:`load_trace_file` (used by the
+``repro trace`` summary subcommand) and are checked by
+:func:`validate_trace_file` (used by tests and the CI tracing smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.tracer import SpanRecord, Tracer
+
+#: Schema version stamped into both formats.
+TRACE_FORMAT_VERSION = 1
+
+#: Keys every JSONL span record must carry.
+_SPAN_KEYS = {"type", "id", "parent", "name", "start", "dur"}
+
+#: Keys every Chrome complete event must carry.
+_CHROME_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+# -- JSONL -----------------------------------------------------------------------
+
+
+def to_jsonl_records(tracer: Tracer) -> list[dict]:
+    """The tracer's data as a list of JSONL-ready record dicts."""
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "format": "repro-trace",
+            "version": TRACE_FORMAT_VERSION,
+            "n_spans": len(tracer.spans),
+        }
+    ]
+    for span in tracer.spans:
+        record = {
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "start": span.start,
+            "dur": span.duration,
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        records.append(record)
+    snapshot = tracer.metrics.snapshot()
+    for name, value in snapshot["counters"].items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        records.append({"type": "gauge", "name": name, "value": value})
+    for name, stats in snapshot["timings"].items():
+        records.append({"type": "timing", "name": name, **stats})
+    return records
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write the tracer's data as JSONL; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in to_jsonl_records(tracer):
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+# -- Chrome trace format -----------------------------------------------------------
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's data as a ``chrome://tracing`` JSON object."""
+    events: list[dict] = []
+    for span in tracer.spans:
+        event = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": 1,
+        }
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_span"] = span.parent_id
+        event["args"] = args
+        events.append(event)
+    snapshot = tracer.metrics.snapshot()
+    trace_end = max((s.end for s in tracer.spans), default=0.0) * 1e6
+    for name, value in snapshot["counters"].items():
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": trace_end,
+                "pid": 1,
+                "tid": 1,
+                "args": {name: value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro-trace",
+            "version": TRACE_FORMAT_VERSION,
+            "metrics": snapshot,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write the tracer's data in Chrome trace format; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer)), encoding="utf-8")
+    return path
+
+
+def write_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write ``tracer`` to ``path``, picking the format by extension.
+
+    ``*.jsonl`` gets the line-delimited format; everything else gets
+    Chrome trace JSON.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)
+
+
+# -- loading ------------------------------------------------------------------------
+
+
+def load_trace_file(path: str | Path) -> tuple[list[SpanRecord], dict]:
+    """Load a trace written by :func:`write_trace` in either format.
+
+    Returns ``(spans, metrics)`` where ``metrics`` maps instrument kind to
+    name/value entries (timings keep their full summary dicts).
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ObservabilityError(f"no trace file at {path}")
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        raise ObservabilityError(f"trace file {path} is empty")
+    if text.lstrip().startswith("{") and '"traceEvents"' in text:
+        return _load_chrome(path, text)
+    return _load_jsonl(path, text)
+
+
+def _load_jsonl(path: Path, text: str) -> tuple[list[SpanRecord], dict]:
+    spans: list[SpanRecord] = []
+    metrics: dict = {"counters": {}, "gauges": {}, "timings": {}}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+        kind = record.get("type")
+        if kind == "span":
+            missing = _SPAN_KEYS - record.keys()
+            if missing:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: span record missing keys {sorted(missing)}"
+                )
+            spans.append(
+                SpanRecord(
+                    span_id=record["id"],
+                    parent_id=record["parent"],
+                    name=record["name"],
+                    start=record["start"],
+                    duration=record["dur"],
+                    attrs=record.get("attrs", {}),
+                )
+            )
+        elif kind in ("counter", "gauge"):
+            metrics[kind + "s"][record["name"]] = record["value"]
+        elif kind == "timing":
+            metrics["timings"][record["name"]] = {
+                key: value for key, value in record.items() if key not in ("type", "name")
+            }
+        elif kind != "meta":
+            raise ObservabilityError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return spans, metrics
+
+
+def _load_chrome(path: Path, text: str) -> tuple[list[SpanRecord], dict]:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{path}: bad JSON: {exc}") from exc
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError(f"{path}: 'traceEvents' must be a list")
+    spans: list[SpanRecord] = []
+    metrics: dict = {"counters": {}, "gauges": {}, "timings": {}}
+    next_id = 0
+    for event in events:
+        if event.get("ph") == "C":
+            name = event.get("name", "?")
+            metrics["counters"][name] = (event.get("args") or {}).get(name, 0.0)
+            continue
+        if event.get("ph") != "X":
+            continue
+        next_id += 1
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id", next_id)
+        parent = args.pop("parent_span", None)
+        spans.append(
+            SpanRecord(
+                span_id=span_id,
+                parent_id=parent,
+                name=event["name"],
+                start=event["ts"] / 1e6,
+                duration=event.get("dur", 0.0) / 1e6,
+                attrs=args,
+            )
+        )
+    other = document.get("otherData", {})
+    if isinstance(other, dict) and isinstance(other.get("metrics"), dict):
+        stored = other["metrics"]
+        for kind in ("counters", "gauges", "timings"):
+            if isinstance(stored.get(kind), dict):
+                metrics[kind] = stored[kind]
+    return spans, metrics
+
+
+# -- validation ------------------------------------------------------------------------
+
+
+def validate_trace_file(path: str | Path) -> dict:
+    """Schema-check a trace file; returns a summary dict.
+
+    Raises :class:`~repro.errors.ObservabilityError` on a missing file,
+    malformed JSON, missing required keys, or structurally invalid spans
+    (negative durations, dangling parent ids).
+    """
+    path = Path(path)
+    if path.suffix != ".jsonl":
+        _validate_chrome_events(path)
+    spans, metrics = load_trace_file(path)
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        if span.duration < 0:
+            raise ObservabilityError(
+                f"{path}: span {span.name!r} has negative duration {span.duration}"
+            )
+        if span.parent_id is not None and span.parent_id not in ids:
+            raise ObservabilityError(
+                f"{path}: span {span.name!r} references unknown parent {span.parent_id}"
+            )
+    return {
+        "path": str(path),
+        "format": "jsonl" if path.suffix == ".jsonl" else "chrome",
+        "n_spans": len(spans),
+        "n_counters": len(metrics["counters"]),
+        "n_gauges": len(metrics["gauges"]),
+        "n_timings": len(metrics["timings"]),
+    }
+
+
+def _validate_chrome_events(path: Path) -> None:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{path}: bad JSON: {exc}") from exc
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError(f"{path}: 'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        missing = _CHROME_EVENT_KEYS - event.keys()
+        if missing:
+            raise ObservabilityError(
+                f"{path}: traceEvents[{i}] missing keys {sorted(missing)}"
+            )
+        if event["ph"] == "X" and "dur" not in event:
+            raise ObservabilityError(
+                f"{path}: traceEvents[{i}] is a complete event without 'dur'"
+            )

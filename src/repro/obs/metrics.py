@@ -1,0 +1,148 @@
+"""Metric instruments: counters, gauges and timing histograms.
+
+Instruments are created lazily through a :class:`MetricsRegistry` (the
+process-wide one lives on the tracer; see :mod:`repro.obs.tracer`) and
+aggregate in memory until exported.  A counter accumulates increments, a
+gauge keeps the last value, and a timing histogram records observations in
+seconds with exact count/total/min/max plus percentile estimates from a
+bounded sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Timing histograms keep at most this many raw observations for
+#: percentile estimates; count/total/min/max stay exact past the cap.
+_HISTOGRAM_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; each ``set`` overwrites the last."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class TimingHistogram:
+    """Distribution of durations (seconds).
+
+    >>> h = TimingHistogram("build")
+    >>> for t in (0.1, 0.2, 0.3):
+    ...     h.observe(t)
+    >>> h.count, round(h.total, 3), round(h.mean, 3)
+    (3, 0.6, 0.2)
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+        if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(seconds)
+
+    @property
+    def mean(self) -> float:
+        """Average observed duration (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the retained sample."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def as_dict(self) -> dict:
+        """Exportable summary of this histogram."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments, one namespace per kind."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.timings: dict[str, TimingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def timing(self, name: str) -> TimingHistogram:
+        """Get or create the timing histogram ``name``."""
+        instrument = self.timings.get(name)
+        if instrument is None:
+            instrument = self.timings[name] = TimingHistogram(name)
+        return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.timings.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument, sorted by name."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "timings": {name: t.as_dict() for name, t in sorted(self.timings.items())},
+        }

@@ -1,0 +1,135 @@
+"""Span-tree summaries: aggregate a trace into self/total times.
+
+Spans sharing a (parent-path, name) are merged into one
+:class:`SpanTreeNode` carrying call count, total wall time and *self*
+time (total minus the time spent in child spans), then rendered as an
+indented tree — the output of the ``repro trace`` subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.export import load_trace_file
+from repro.obs.tracer import SpanRecord, Tracer
+
+
+@dataclass
+class SpanTreeNode:
+    """Aggregated statistics for one span name at one tree position."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    child_time: float = 0.0
+    children: dict = field(default_factory=dict)
+
+    @property
+    def self_time(self) -> float:
+        """Wall time spent in this span outside any child span."""
+        return max(self.total - self.child_time, 0.0)
+
+
+def aggregate_spans(spans: Sequence[SpanRecord]) -> SpanTreeNode:
+    """Merge span records into a tree rooted at a synthetic ``<trace>``."""
+    root = SpanTreeNode("<trace>")
+    by_id = {span.span_id: span for span in spans}
+    node_of: dict[int | None, SpanTreeNode] = {}
+
+    def node_for(span: SpanRecord) -> SpanTreeNode:
+        cached = node_of.get(span.span_id)
+        if cached is not None:
+            return cached
+        parent_span = by_id.get(span.parent_id) if span.parent_id is not None else None
+        parent_node = node_for(parent_span) if parent_span is not None else root
+        node = parent_node.children.get(span.name)
+        if node is None:
+            node = parent_node.children[span.name] = SpanTreeNode(span.name)
+        node_of[span.span_id] = node
+        return node
+
+    for span in sorted(spans, key=lambda s: s.start):
+        node = node_for(span)
+        node.count += 1
+        node.total += span.duration
+        if span.parent_id in by_id:
+            node_of[span.parent_id].child_time += span.duration
+        else:
+            root.total += span.duration
+            root.count = max(root.count, 1)
+    return root
+
+
+def format_duration(seconds: float) -> str:
+    """Human duration: µs under 1 ms, ms under 1 s, seconds above."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_span_tree(root: SpanTreeNode) -> str:
+    """Render an aggregated tree with count, total and self columns."""
+    lines = [f"{'span':<52s} {'count':>6s} {'total':>10s} {'self':>10s}"]
+
+    def visit(node: SpanTreeNode, prefix: str, is_last: bool, depth: int) -> None:
+        if depth == 0:
+            label = node.name
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            label = prefix + connector + node.name
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(
+            f"{label:<52s} {node.count:>6d} "
+            f"{format_duration(node.total):>10s} {format_duration(node.self_time):>10s}"
+        )
+        ordered = sorted(node.children.values(), key=lambda n: -n.total)
+        for i, child in enumerate(ordered):
+            visit(child, child_prefix, i == len(ordered) - 1, depth + 1)
+
+    top_level = sorted(root.children.values(), key=lambda n: -n.total)
+    for i, node in enumerate(top_level):
+        visit(node, "", i == len(top_level) - 1, 0)
+    if len(lines) == 1:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: dict) -> str:
+    """Render a metrics snapshot (counters, gauges, timing histograms)."""
+    lines: list[str] = []
+    if metrics.get("counters"):
+        lines.append("counters:")
+        for name, value in sorted(metrics["counters"].items()):
+            lines.append(f"  {name:<48s} {value:>12g}")
+    if metrics.get("gauges"):
+        lines.append("gauges:")
+        for name, value in sorted(metrics["gauges"].items()):
+            lines.append(f"  {name:<48s} {value:>12g}")
+    if metrics.get("timings"):
+        lines.append("timings:")
+        for name, stats in sorted(metrics["timings"].items()):
+            lines.append(
+                f"  {name:<48s} count={stats.get('count', 0):<6g} "
+                f"total={format_duration(stats.get('total', 0.0))} "
+                f"mean={format_duration(stats.get('mean', 0.0))} "
+                f"p95={format_duration(stats.get('p95', 0.0))}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def summarize_tracer(tracer: Tracer) -> str:
+    """Span tree + metrics summary of a live tracer."""
+    tree = format_span_tree(aggregate_spans(tracer.spans))
+    return f"{tree}\n\n{format_metrics(tracer.metrics.snapshot())}"
+
+
+def summarize_trace_file(path: str | Path) -> str:
+    """Span tree + metrics summary of a trace file in either format."""
+    spans, metrics = load_trace_file(path)
+    tree = format_span_tree(aggregate_spans(spans))
+    return f"{tree}\n\n{format_metrics(metrics)}"

@@ -1,0 +1,240 @@
+"""The process-wide tracer: nested spans plus a metrics registry.
+
+Tracing is off by default and the disabled path is engineered to be a
+near-no-op: :meth:`Tracer.span` returns one shared null context manager
+and the metric helpers return after a single ``enabled`` check, so
+instrumented hot paths cost a guarded call per site (benchmarked in
+``benchmarks/bench_perf_obs.py``).
+
+When enabled, spans nest through an explicit stack::
+
+    tracer = enable_tracing()
+    with tracer.span("sweep", chain="btc"):
+        with tracer.span("window"):
+            ...
+    tracer.counter("cache.hit")
+
+and finished spans accumulate as flat :class:`SpanRecord` rows (id +
+parent id), ready for the exporters in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, in tracer-relative seconds."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """Start plus duration."""
+        return self.start + self.duration
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; records itself on the tracer when the block exits."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach attributes to this span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_span_id()
+        stack = tracer._stack
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        tracer.spans.append(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start=self._start - tracer._epoch,
+                duration=end - self._start,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans and metrics while enabled; inert otherwise."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.spans: list[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        self._stack: list[int] = []
+        self._next_id = 0
+        self._epoch = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> "Tracer":
+        """Clear prior data and start recording; returns self."""
+        self.reset()
+        self._epoch = time.perf_counter()
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        """Stop recording (data is kept until the next :meth:`enable`)."""
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics."""
+        self.spans.clear()
+        self.metrics.reset()
+        self._stack.clear()
+        self._next_id = 0
+
+    def _next_span_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- spans ----------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _Span | _NullSpan:
+        """A context manager timing one named span (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def traced(self, name: str | None = None) -> Callable:
+        """Decorator: wrap a function in a span named after it.
+
+        The enabled check happens per call, so decorating a function does
+        not slow it down while tracing is off.
+        """
+
+        def decorate(fn: Callable) -> Callable:
+            label = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- metrics -----------------------------------------------------------------
+
+    def counter(self, name: str, n: float = 1.0) -> None:
+        """Increment counter ``name`` by ``n`` (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def timing(self, name: str, seconds: float) -> None:
+        """Observe a duration on histogram ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.timing(name).observe(seconds)
+
+
+#: The process-wide tracer every instrumented module talks to.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer singleton."""
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    """Whether the process-wide tracer is currently recording."""
+    return _TRACER.enabled
+
+
+def enable_tracing() -> Tracer:
+    """Enable the process-wide tracer (clearing prior data); returns it."""
+    return _TRACER.enable()
+
+
+def disable_tracing() -> Tracer:
+    """Disable the process-wide tracer; recorded data stays readable."""
+    return _TRACER.disable()
+
+
+def span(name: str, **attrs: Any) -> _Span | _NullSpan:
+    """Open a span on the process-wide tracer (shared no-op when disabled)."""
+    return _TRACER.span(name, **attrs)
+
+
+def counter(name: str, n: float = 1.0) -> None:
+    """Increment a counter on the process-wide tracer."""
+    if _TRACER.enabled:
+        _TRACER.metrics.counter(name).inc(n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the process-wide tracer."""
+    if _TRACER.enabled:
+        _TRACER.metrics.gauge(name).set(value)
+
+
+def timing(name: str, seconds: float) -> None:
+    """Observe a duration on the process-wide tracer."""
+    if _TRACER.enabled:
+        _TRACER.metrics.timing(name).observe(seconds)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form of :func:`span` on the process-wide tracer."""
+    return _TRACER.traced(name)

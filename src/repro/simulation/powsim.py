@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.chain.chain import Chain
 from repro.errors import SimulationError
 from repro.simulation.arrivals import allocate_daily_counts, draw_timestamps_for_day
@@ -52,54 +53,66 @@ class ChainSimulator:
         """Simulate the full year and return the chain."""
         params = self.params
         spec = params.spec
-        counts = allocate_daily_counts(
-            spec.block_count,
-            self.daily_rates(),
-            derive_rng(params.seed, "arrivals/daily-counts"),
-        )
-        schedule = HashrateSchedule(
-            params.registry,
-            seed=params.seed,
-            jitter_sigma=params.jitter_sigma,
-            jitter_phi=params.jitter_phi,
-        )
-        population = MinerPopulation(
-            prefix=spec.name, registry=params.registry, tail=params.tail, seed=params.seed
-        )
-        ts_rng = derive_rng(params.seed, "arrivals/timestamps")
-        draw_rng = derive_rng(params.seed, "miners/draws")
-        day_timestamps: list[np.ndarray] = []
-        day_producers: list[np.ndarray] = []
-        for day in range(DAYS_IN_2019):
-            n_blocks = int(counts[day])
-            timestamps_of_day = draw_timestamps_for_day(day, n_blocks, ts_rng)
-            day_timestamps.append(timestamps_of_day)
-            base_shares = schedule.pool_shares(day)
-            overrides = self._spike_overrides(timestamps_of_day, base_shares)
-            day_producers.append(
-                population.draw_day(
-                    day, n_blocks, base_shares, draw_rng, share_overrides=overrides
+        with obs.span("simulate.run", chain=spec.name, seed=params.seed):
+            with obs.span("simulate.difficulty"):
+                rates = self.daily_rates()
+            with obs.span("simulate.arrivals"):
+                counts = allocate_daily_counts(
+                    spec.block_count,
+                    rates,
+                    derive_rng(params.seed, "arrivals/daily-counts"),
                 )
-            )
-        timestamps = np.concatenate(day_timestamps)
-        base_producers = np.concatenate(day_producers)
-        total = int(counts.sum())
-        if total != spec.block_count:
-            raise SimulationError(
-                f"internal error: generated {total} blocks, expected {spec.block_count}"
-            )
-        heights = spec.start_height + np.arange(total, dtype=np.int64)
-        offsets, producer_ids = self._assemble_credits(
-            base_producers, counts, population
-        )
-        return Chain(
-            spec,
-            heights,
-            timestamps,
-            offsets,
-            producer_ids,
-            population.entity_names,
-        )
+            with obs.span("simulate.pool_schedule"):
+                schedule = HashrateSchedule(
+                    params.registry,
+                    seed=params.seed,
+                    jitter_sigma=params.jitter_sigma,
+                    jitter_phi=params.jitter_phi,
+                )
+                population = MinerPopulation(
+                    prefix=spec.name,
+                    registry=params.registry,
+                    tail=params.tail,
+                    seed=params.seed,
+                )
+            ts_rng = derive_rng(params.seed, "arrivals/timestamps")
+            draw_rng = derive_rng(params.seed, "miners/draws")
+            day_timestamps: list[np.ndarray] = []
+            day_producers: list[np.ndarray] = []
+            with obs.span("simulate.draw_days", days=DAYS_IN_2019):
+                for day in range(DAYS_IN_2019):
+                    n_blocks = int(counts[day])
+                    timestamps_of_day = draw_timestamps_for_day(day, n_blocks, ts_rng)
+                    day_timestamps.append(timestamps_of_day)
+                    base_shares = schedule.pool_shares(day)
+                    overrides = self._spike_overrides(timestamps_of_day, base_shares)
+                    day_producers.append(
+                        population.draw_day(
+                            day, n_blocks, base_shares, draw_rng,
+                            share_overrides=overrides,
+                        )
+                    )
+            with obs.span("simulate.assemble"):
+                timestamps = np.concatenate(day_timestamps)
+                base_producers = np.concatenate(day_producers)
+                total = int(counts.sum())
+                if total != spec.block_count:
+                    raise SimulationError(
+                        f"internal error: generated {total} blocks, "
+                        f"expected {spec.block_count}"
+                    )
+                heights = spec.start_height + np.arange(total, dtype=np.int64)
+                offsets, producer_ids = self._assemble_credits(
+                    base_producers, counts, population
+                )
+                return Chain(
+                    spec,
+                    heights,
+                    timestamps,
+                    offsets,
+                    producer_ids,
+                    population.entity_names,
+                )
 
     def _spike_overrides(
         self, timestamps: np.ndarray, base_shares: np.ndarray

@@ -18,8 +18,17 @@ Example
 [{'miner': 'a', 'n': 2}, {'miner': 'b', 'n': 1}]
 """
 
+from repro.sql.analyze import ExecutionTrace, PlanNode, format_plan
 from repro.sql.executor import QueryEngine, query
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
 
-__all__ = ["QueryEngine", "parse", "query", "tokenize"]
+__all__ = [
+    "ExecutionTrace",
+    "PlanNode",
+    "QueryEngine",
+    "format_plan",
+    "parse",
+    "query",
+    "tokenize",
+]

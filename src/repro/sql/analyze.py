@@ -1,0 +1,176 @@
+"""EXPLAIN ANALYZE support: per-operator execution statistics.
+
+The executor's stages (scan, join, filter, aggregate, project, distinct,
+sort, limit) report into an :class:`ExecutionTrace` that builds a tree of
+:class:`PlanNode` rows — wall time plus rows in/out per operator — which
+:func:`format_plan` renders as the ``repro query --explain-analyze``
+output::
+
+    Query                                  time=3.96ms rows=20
+    ├─ Parse                               time=0.23ms
+    ├─ Plan                                time=0.02ms
+    └─ Execute                             time=3.70ms rows=20
+       ├─ Scan credits                     time=0.41ms rows=86305
+       ├─ Aggregate keys=1 aggregates=1    time=2.22ms in=86305 out=1137
+       ...
+
+When no trace is requested the executor's stage hooks short-circuit to a
+shared null operator, and when the process-wide tracer (:mod:`repro.obs`)
+is enabled the same hooks emit ``sql.*`` spans instead, so ``--trace``
+captures per-operator timing too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+
+
+@dataclass
+class PlanNode:
+    """One operator's measured execution statistics."""
+
+    op: str
+    detail: str = ""
+    rows_in: int | None = None
+    rows_out: int | None = None
+    seconds: float = 0.0
+    children: list = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """Operator name plus its detail, if any."""
+        return f"{self.op} {self.detail}".rstrip()
+
+
+class _OpHandle:
+    """Context manager timing one operator inside an :class:`ExecutionTrace`."""
+
+    __slots__ = ("_trace", "node", "_start")
+
+    def __init__(self, trace: "ExecutionTrace", node: PlanNode) -> None:
+        self._trace = trace
+        self.node = node
+
+    # Stage code sets rows through the handle so the null handle can
+    # absorb the writes with plain attributes.
+    @property
+    def rows_in(self) -> int | None:
+        return self.node.rows_in
+
+    @rows_in.setter
+    def rows_in(self, value: int) -> None:
+        self.node.rows_in = value
+
+    @property
+    def rows_out(self) -> int | None:
+        return self.node.rows_out
+
+    @rows_out.setter
+    def rows_out(self, value: int) -> None:
+        self.node.rows_out = value
+
+    def __enter__(self) -> "_OpHandle":
+        self._trace._stack.append(self.node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.node.seconds = time.perf_counter() - self._start
+        stack = self._trace._stack
+        if stack and stack[-1] is self.node:
+            stack.pop()
+        return False
+
+
+class _NullOp:
+    """Absorbs the stage hooks when neither analyze nor tracing is on."""
+
+    __slots__ = ("rows_in", "rows_out")
+
+    def __enter__(self) -> "_NullOp":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_OP = _NullOp()
+
+
+class _ObsOp:
+    """Adapts a stage hook onto a span of the process-wide tracer."""
+
+    __slots__ = ("_span", "rows_in", "rows_out")
+
+    def __init__(self, op: str, detail: str) -> None:
+        self._span = obs.span(f"sql.{op}", detail=detail) if detail else obs.span(f"sql.{op}")
+        self.rows_in: int | None = None
+        self.rows_out: int | None = None
+
+    def __enter__(self) -> "_ObsOp":
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self.rows_in is not None:
+            self._span.set(rows_in=self.rows_in)
+        if self.rows_out is not None:
+            self._span.set(rows_out=self.rows_out)
+        return self._span.__exit__(*exc_info)
+
+
+class ExecutionTrace:
+    """Collects a :class:`PlanNode` tree while a query executes."""
+
+    def __init__(self) -> None:
+        self.root = PlanNode("Query")
+        self._stack: list[PlanNode] = [self.root]
+
+    def op(self, op: str, detail: str = "") -> _OpHandle:
+        """Open a child operator under the currently executing one."""
+        node = PlanNode(op, detail)
+        self._stack[-1].children.append(node)
+        return _OpHandle(self, node)
+
+
+def stage_op(trace: ExecutionTrace | None, op: str, detail: str = ""):
+    """The stage hook the executor calls around each operator.
+
+    Routes to the analyze collector when one is active, to the process-wide
+    tracer when tracing is enabled, and to a shared no-op otherwise.
+    """
+    if trace is not None:
+        return trace.op(op, detail)
+    if obs.tracing_enabled():
+        return _ObsOp(op, detail)
+    return _NULL_OP
+
+
+def format_plan(node: PlanNode) -> str:
+    """Render a plan tree with per-operator wall time and row counts."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, prefix: str, connector: str, child_prefix: str) -> None:
+        stats = [f"time={node.seconds * 1e3:.2f}ms"]
+        if node.rows_in is not None and node.rows_in != node.rows_out:
+            stats.append(f"in={node.rows_in}")
+            if node.rows_out is not None:
+                stats.append(f"out={node.rows_out}")
+        elif node.rows_out is not None:
+            stats.append(f"rows={node.rows_out}")
+        label = f"{prefix}{connector}{node.label}"
+        lines.append(f"{label:<45s} {' '.join(stats)}")
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            visit(
+                child,
+                child_prefix,
+                "└─ " if last else "├─ ",
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    visit(node, "", "", "")
+    return "\n".join(lines)

@@ -11,10 +11,12 @@ value, ``IS NULL`` matches ``None`` and NaN, and ``COUNT(x)`` skips NULLs.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SqlExecutionError, SqlPlanError
 from repro.sql.astnodes import (
     Aggregate,
@@ -35,6 +37,7 @@ from repro.sql.astnodes import (
     Unary,
     Union,
 )
+from repro.sql.analyze import ExecutionTrace, PlanNode, stage_op
 from repro.sql.functions import AGGREGATE_FUNCTIONS, call_scalar_function, like_match
 from repro.sql.parser import parse
 from repro.sql.planner import QueryPlan, find_aggregates, plan, source_tables
@@ -68,15 +71,47 @@ class QueryEngine:
 
     def execute(self, sql: str) -> Table:
         """Parse, plan and execute one statement (SELECT or UNION ALL)."""
-        statement = parse(sql)
-        if isinstance(statement, Union):
-            return self._execute_union(statement)
-        return self.execute_plan(plan(statement))
+        with obs.span("sql.query"):
+            obs.counter("sql.queries")
+            statement = parse(sql)
+            if isinstance(statement, Union):
+                return self._execute_union(statement)
+            return self.execute_plan(plan(statement))
 
-    def _execute_union(self, union: Union) -> Table:
+    def explain_analyze(self, sql: str) -> tuple[Table, PlanNode]:
+        """Execute ``sql`` with per-operator instrumentation.
+
+        Returns the result table plus the root :class:`PlanNode` of the
+        measured plan tree (wall time and rows in/out per operator),
+        rendered by :func:`repro.sql.analyze.format_plan`.
+        """
+        trace = ExecutionTrace()
+        start = time.perf_counter()
+        with trace.op("Parse"):
+            statement = parse(sql)
+        if isinstance(statement, Union):
+            with trace.op("UnionAll", f"{len(statement.selects)} members") as op:
+                result = self._execute_union(statement, trace=trace)
+                op.rows_out = result.num_rows
+        else:
+            with trace.op("Plan"):
+                query_plan = plan(statement)
+            with trace.op("Execute") as op:
+                result = self.execute_plan(query_plan, trace=trace)
+                op.rows_out = result.num_rows
+        trace.root.seconds = time.perf_counter() - start
+        trace.root.rows_out = result.num_rows
+        return result, trace.root
+
+    def _execute_union(self, union: Union, trace: ExecutionTrace | None = None) -> Table:
         from repro.table import concat
 
-        parts = [self.execute_plan(plan(select)) for select in union.selects]
+        parts = []
+        for i, select in enumerate(union.selects):
+            with stage_op(trace, "Member", str(i + 1)) as op:
+                part = self.execute_plan(plan(select), trace=trace)
+                op.rows_out = part.num_rows
+            parts.append(part)
         schema = parts[0].schema
         for part in parts[1:]:
             if part.schema != schema:
@@ -117,48 +152,92 @@ class QueryEngine:
             lines.append(f"LIMIT {select.limit} OFFSET {select.offset or 0}")
         return "\n".join(lines)
 
-    def execute_plan(self, query_plan: QueryPlan) -> Table:
-        """Run a validated plan against the catalog."""
+    def execute_plan(
+        self, query_plan: QueryPlan, trace: ExecutionTrace | None = None
+    ) -> Table:
+        """Run a validated plan against the catalog.
+
+        ``trace`` (an :class:`~repro.sql.analyze.ExecutionTrace`) collects
+        per-operator wall time and row counts for EXPLAIN ANALYZE; when
+        omitted the stage hooks are no-ops (or ``sql.*`` spans if the
+        process-wide tracer is enabled).
+        """
         select = query_plan.select
-        scope = self._build_scope(select.source)
+        scope = self._build_scope(select.source, trace)
         table = scope.table
         if select.where is not None:
-            mask = _as_bool_mask(_evaluate(select.where, table, scope), table.num_rows)
-            table = table.filter(mask)
+            with stage_op(trace, "Filter") as op:
+                op.rows_in = table.num_rows
+                mask = _as_bool_mask(
+                    _evaluate(select.where, table, scope), table.num_rows
+                )
+                table = table.filter(mask)
+                op.rows_out = table.num_rows
         if query_plan.is_aggregation:
-            result = self._run_aggregation(query_plan, table, scope)
+            detail = (
+                f"keys={len(select.group_by)} aggregates={len(query_plan.aggregates)}"
+            )
+            with stage_op(trace, "Aggregate", detail) as op:
+                op.rows_in = table.num_rows
+                result = self._run_aggregation(query_plan, table, scope)
+                op.rows_out = result.num_rows
         else:
-            result = self._run_projection(query_plan, table, scope)
+            with stage_op(trace, "Project", _project_detail(query_plan)) as op:
+                result = self._run_projection(query_plan, table, scope)
+                op.rows_out = result.num_rows
         if select.distinct and result.num_rows:
-            result = result.distinct()
-        result = self._apply_order(query_plan, result, table, scope)
+            with stage_op(trace, "Distinct") as op:
+                op.rows_in = result.num_rows
+                result = result.distinct()
+                op.rows_out = result.num_rows
+        if select.order_by:
+            with stage_op(trace, "Sort", f"keys={len(select.order_by)}") as op:
+                result = self._apply_order(query_plan, result, table, scope)
+                op.rows_out = result.num_rows
         if select.offset is not None or select.limit is not None:
-            start = select.offset or 0
-            stop = None if select.limit is None else start + select.limit
-            result = result.slice(start, stop)
+            detail = f"{select.limit if select.limit is not None else 'ALL'}"
+            if select.offset:
+                detail += f" offset={select.offset}"
+            with stage_op(trace, "Limit", detail) as op:
+                op.rows_in = result.num_rows
+                start = select.offset or 0
+                stop = None if select.limit is None else start + select.limit
+                result = result.slice(start, stop)
+                op.rows_out = result.num_rows
         return result
 
     # -- FROM ------------------------------------------------------------------
 
-    def _build_scope(self, source: TableRef | SubquerySource | Join) -> "_Scope":
+    def _build_scope(
+        self,
+        source: TableRef | SubquerySource | Join,
+        trace: ExecutionTrace | None = None,
+    ) -> "_Scope":
         if isinstance(source, TableRef):
-            return _Scope.single(source.binding, self._lookup(source.name))
+            with stage_op(trace, "Scan", source.name) as op:
+                table = self._lookup(source.name)
+                op.rows_out = table.num_rows
+            return _Scope.single(source.binding, table)
         if isinstance(source, SubquerySource):
-            derived = self.execute_plan(plan(source.select))
+            with stage_op(trace, "Subquery", source.binding) as op:
+                derived = self.execute_plan(plan(source.select), trace)
+                op.rows_out = derived.num_rows
             return _Scope.single(source.binding, derived)
-        left_scope = self._build_scope(source.left)
-        right = self._build_scope(source.right)
-        left_qualified = left_scope.qualified()
-        right_qualified = right.qualified()
-        left_key = left_qualified.resolve(source.on_left)
-        right_key = right_qualified.resolve(source.on_right)
-        joined = _hash_join(
-            left_qualified.table,
-            left_key,
-            right_qualified.table,
-            right_key,
-            source.kind,
-        )
+        with stage_op(trace, "Join", source.kind.upper()) as op:
+            left_scope = self._build_scope(source.left, trace)
+            right = self._build_scope(source.right, trace)
+            left_qualified = left_scope.qualified()
+            right_qualified = right.qualified()
+            left_key = left_qualified.resolve(source.on_left)
+            right_key = right_qualified.resolve(source.on_right)
+            joined = _hash_join(
+                left_qualified.table,
+                left_key,
+                right_qualified.table,
+                right_key,
+                source.kind,
+            )
+            op.rows_out = joined.num_rows
         return _Scope.joined(joined)
 
     def _lookup(self, name: str) -> Table:
@@ -638,6 +717,15 @@ def _apply_case(expr: Case, evaluate: Any, length: int) -> np.ndarray:
 
 
 # -- small utilities -------------------------------------------------------------------
+
+
+def _project_detail(query_plan: QueryPlan) -> str:
+    names = query_plan.output_names
+    if not names:
+        return "*"
+    if len(names) > 4:
+        return f"[{', '.join(names[:4])}, ... +{len(names) - 4}]"
+    return f"[{', '.join(names)}]"
 
 
 def _broadcast(value: Any, length: int) -> np.ndarray:

@@ -7,12 +7,19 @@ writes them to CSV/JSON for external plotting.
 
 from repro.viz.ascii import ascii_chart, ascii_histogram, multi_series_chart
 from repro.viz.export import export_figure, series_to_csv, series_to_json
-from repro.viz.tables import render_table, sparkline
+from repro.viz.tables import (
+    format_notes,
+    format_series_rows,
+    render_table,
+    sparkline,
+)
 
 __all__ = [
     "ascii_chart",
     "ascii_histogram",
     "export_figure",
+    "format_notes",
+    "format_series_rows",
     "multi_series_chart",
     "render_table",
     "series_to_csv",

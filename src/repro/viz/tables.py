@@ -1,12 +1,13 @@
-"""Plain-text rendering of tables and sparklines."""
+"""Plain-text rendering of tables, sparklines and series statistics."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.series import MeasurementSeries
+from repro.core.summary import summarize
 from repro.errors import ValidationError
 from repro.table import Table
 
@@ -67,6 +68,33 @@ def render_table(
     if table.num_rows > max_rows:
         lines.append(f"... ({table.num_rows - max_rows} more rows)")
     return "\n".join(line.rstrip() for line in lines)
+
+
+def format_series_rows(
+    series_map: Mapping[str, MeasurementSeries], title: str | None = None
+) -> str:
+    """Aligned per-series statistic rows (the figure-report layout).
+
+    One row per labelled series with the count/mean/std/min/max the paper
+    quotes for each figure; shared by the benchmark reports and the CLI
+    ``measure`` summary.
+    """
+    lines = [] if title is None else [f"=== {title} ==="]
+    for label, series in series_map.items():
+        summary = summarize(series)
+        lines.append(
+            f"  {label:<10s} n={summary.n_windows:<5d} mean={summary.mean:8.4f} "
+            f"std={summary.std:7.4f} min={summary.minimum:8.4f} "
+            f"max={summary.maximum:8.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_notes(notes: Mapping[str, float]) -> str:
+    """A figure's named scalar statistics, one aligned row each."""
+    return "\n".join(
+        f"  note {key} = {value:.4f}" for key, value in sorted(notes.items())
+    )
 
 
 def sparkline(values: MeasurementSeries | Sequence[float], width: int = 60) -> str:

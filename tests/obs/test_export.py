@@ -1,0 +1,159 @@
+"""Tests for trace exporters, loaders and schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    load_trace_file,
+    to_chrome_trace,
+    to_jsonl_records,
+    validate_trace_file,
+    write_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def traced():
+    """A tracer with a small nested trace plus metrics recorded."""
+    tracer = Tracer().enable()
+    with tracer.span("sweep", chain="btc"):
+        with tracer.span("window"):
+            pass
+        with tracer.span("window"):
+            pass
+    tracer.counter("cache.hit", 3)
+    tracer.gauge("depth", 2.0)
+    tracer.timing("build", 0.125)
+    tracer.disable()
+    return tracer
+
+
+class TestJsonl:
+    def test_meta_record_first(self, traced):
+        records = to_jsonl_records(traced)
+        assert records[0]["type"] == "meta"
+        assert records[0]["version"] == TRACE_FORMAT_VERSION
+        assert records[0]["n_spans"] == 3
+
+    def test_round_trip(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.jsonl")
+        spans, metrics = load_trace_file(path)
+        assert [s.name for s in spans] == [s.name for s in traced.spans]
+        assert [s.parent_id for s in spans] == [s.parent_id for s in traced.spans]
+        assert metrics["counters"] == {"cache.hit": 3.0}
+        assert metrics["gauges"] == {"depth": 2.0}
+        assert metrics["timings"]["build"]["count"] == 1
+
+    def test_attrs_survive(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.jsonl")
+        spans, _ = load_trace_file(path)
+        sweep = next(s for s in spans if s.name == "sweep")
+        assert sweep.attrs == {"chain": "btc"}
+
+
+class TestChrome:
+    def test_events_are_complete_events_in_microseconds(self, traced):
+        document = to_chrome_trace(traced)
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        for event, span in zip(xs, traced.spans):
+            assert event["ts"] == pytest.approx(span.start * 1e6)
+            assert event["dur"] == pytest.approx(span.duration * 1e6)
+            assert event["args"]["span_id"] == span.span_id
+
+    def test_counters_ride_as_c_events(self, traced):
+        document = to_chrome_trace(traced)
+        cs = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert cs and cs[0]["args"] == {"cache.hit": 3.0}
+
+    def test_round_trip(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.json")
+        spans, metrics = load_trace_file(path)
+        by_id = {s.span_id: s for s in spans}
+        windows = [s for s in spans if s.name == "window"]
+        assert len(windows) == 2
+        assert all(by_id[w.parent_id].name == "sweep" for w in windows)
+        assert metrics["counters"] == {"cache.hit": 3.0}
+        assert metrics["timings"]["build"]["count"] == 1
+
+    def test_loadable_as_plain_json(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["otherData"]["format"] == "repro-trace"
+
+
+class TestValidation:
+    def test_valid_files_summarize(self, traced, tmp_path):
+        for name, fmt in (("t.jsonl", "jsonl"), ("t.json", "chrome")):
+            path = write_trace(traced, tmp_path / name)
+            summary = validate_trace_file(path)
+            assert summary["format"] == fmt
+            assert summary["n_spans"] == 3
+            assert summary["n_counters"] == 1
+            assert summary["n_gauges"] == 1
+            assert summary["n_timings"] == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no trace file"):
+            load_trace_file(tmp_path / "absent.json")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError, match="empty"):
+            load_trace_file(path)
+
+    def test_bad_jsonl_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match=":2"):
+            load_trace_file(path)
+
+    def test_jsonl_span_missing_keys(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "span", "id": 1, "name": "x"}\n')
+        with pytest.raises(ObservabilityError, match="missing keys"):
+            load_trace_file(path)
+
+    def test_jsonl_unknown_record_type(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ObservabilityError, match="unknown record type"):
+            load_trace_file(path)
+
+    def test_chrome_without_trace_events(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text('{"traceEvents": 5}')
+        with pytest.raises(ObservabilityError, match="traceEvents"):
+            validate_trace_file(path)
+
+    def test_chrome_event_missing_keys(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": [{"name": "x", "ph": "X"}]}))
+        with pytest.raises(ObservabilityError, match="missing keys"):
+            validate_trace_file(path)
+
+    def test_negative_duration_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record = {
+            "type": "span", "id": 1, "parent": None,
+            "name": "x", "start": 0.0, "dur": -1.0,
+        }
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ObservabilityError, match="negative duration"):
+            validate_trace_file(path)
+
+    def test_dangling_parent_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record = {
+            "type": "span", "id": 1, "parent": 99,
+            "name": "x", "start": 0.0, "dur": 1.0,
+        }
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ObservabilityError, match="unknown parent"):
+            validate_trace_file(path)

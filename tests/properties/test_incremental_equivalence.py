@@ -118,6 +118,29 @@ class TestSlidingFastPathEquivalence:
         assert (8, 4) in engine._sliding_cache
 
 
+class TestTimeSlidingEquivalence:
+    @pytest.mark.parametrize("policy,registry", POLICIES)
+    def test_batched_matches_per_window_loop(self, policy, registry):
+        rng = np.random.default_rng(23)
+        chain = make_tiny_chain(random_producers(rng, 64), spacing=6 * 3600)
+        engine = MeasurementEngine(attribute(chain, policy, registry=registry))
+        duration, step = 3 * 86_400, 86_400
+        metrics = available_metrics()
+        sweep = engine.measure_time_sliding_many(metrics, duration, step)
+        for metric in metrics:
+            naive = engine.measure_time_sliding(metric, duration, step)
+            assert_series_equal(sweep[metric], naive, metric)
+
+    def test_default_step_and_descriptor(self):
+        rng = np.random.default_rng(29)
+        chain = make_tiny_chain(random_producers(rng, 50), spacing=4 * 3600)
+        engine = MeasurementEngine(attribute(chain, "per-address"))
+        sweep = engine.measure_time_sliding_many(["gini"], 2 * 86_400)
+        naive = engine.measure_time_sliding("gini", 2 * 86_400)
+        assert sweep["gini"].window_desc == naive.window_desc
+        assert_series_equal(sweep["gini"], naive, "gini")
+
+
 class TestMeasureManyEquivalence:
     def test_time_windows_with_empty_windows_skip_counts(self):
         rng = np.random.default_rng(11)

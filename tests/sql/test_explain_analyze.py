@@ -1,0 +1,143 @@
+"""Tests for EXPLAIN ANALYZE: per-operator plan trees with timings/rows."""
+
+import pytest
+
+from repro import obs
+from repro.sql import QueryEngine, format_plan
+from repro.sql.analyze import ExecutionTrace, stage_op
+from repro.table import Table
+
+
+@pytest.fixture
+def engine():
+    blocks = Table(
+        {
+            "height": list(range(10)),
+            "producer": ["a", "b", "a", "c", "a", "b", "a", "c", "b", "a"],
+        }
+    )
+    extra = Table({"producer": ["a", "b", "c"], "region": ["x", "y", "x"]})
+    return QueryEngine({"blocks": blocks, "pools": extra})
+
+
+def ops(node, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(node.op)
+    for child in node.children:
+        ops(child, acc)
+    return acc
+
+
+class TestPlanTree:
+    def test_simple_select_stages(self, engine):
+        result, root = engine.explain_analyze(
+            "SELECT producer FROM blocks WHERE height > 4"
+        )
+        assert result.num_rows == 5
+        assert root.op == "Query"
+        assert root.rows_out == 5
+        names = ops(root)
+        assert names[:3] == ["Query", "Parse", "Plan"]
+        assert "Execute" in names
+        assert "Scan" in names
+        assert "Filter" in names
+
+    def test_rows_in_out_on_filter(self, engine):
+        _, root = engine.explain_analyze("SELECT * FROM blocks WHERE height > 4")
+        execute = next(c for c in root.children if c.op == "Execute")
+        filter_node = next(c for c in execute.children if c.op == "Filter")
+        assert filter_node.rows_in == 10
+        assert filter_node.rows_out == 5
+
+    def test_aggregate_sort_limit_stages(self, engine):
+        _, root = engine.explain_analyze(
+            "SELECT producer, COUNT(*) AS n FROM blocks "
+            "GROUP BY producer ORDER BY n DESC LIMIT 2"
+        )
+        names = ops(root)
+        for op in ("Aggregate", "Sort", "Limit"):
+            assert op in names, names
+        execute = next(c for c in root.children if c.op == "Execute")
+        aggregate = next(c for c in execute.children if c.op == "Aggregate")
+        assert aggregate.rows_in == 10
+        assert aggregate.rows_out == 3
+        limit = next(c for c in execute.children if c.op == "Limit")
+        assert limit.rows_out == 2
+
+    def test_join_nests_scans(self, engine):
+        _, root = engine.explain_analyze(
+            "SELECT b.producer, p.region FROM blocks b "
+            "JOIN pools p ON b.producer = p.producer"
+        )
+        execute = next(c for c in root.children if c.op == "Execute")
+        join = next(c for c in execute.children if c.op == "Join")
+        assert join.rows_out == 10
+        assert [c.op for c in join.children].count("Scan") == 2
+
+    def test_union_members(self, engine):
+        _, root = engine.explain_analyze(
+            "SELECT producer FROM blocks UNION ALL SELECT producer FROM pools"
+        )
+        union = next(c for c in root.children if c.op == "UnionAll")
+        members = [c for c in union.children if c.op == "Member"]
+        assert len(members) == 2
+
+    def test_timings_are_recorded(self, engine):
+        _, root = engine.explain_analyze("SELECT * FROM blocks")
+        assert root.seconds > 0
+        assert all(child.seconds >= 0 for child in root.children)
+
+
+class TestFormatPlan:
+    def test_rendering(self, engine):
+        _, root = engine.explain_analyze(
+            "SELECT producer, COUNT(*) AS n FROM blocks GROUP BY producer LIMIT 2"
+        )
+        text = format_plan(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("Query")
+        assert "time=" in lines[0]
+        assert any("Scan blocks" in line for line in lines)
+        assert any("in=10 out=3" in line for line in lines)
+        assert any("└─" in line for line in lines)
+
+
+class TestStageOpRouting:
+    def test_collector_takes_priority(self):
+        trace = ExecutionTrace()
+        with stage_op(trace, "Scan", "blocks") as op:
+            op.rows_out = 7
+        (node,) = trace.root.children
+        assert node.op == "Scan"
+        assert node.rows_out == 7
+        assert node.seconds >= 0
+
+    def test_null_op_when_nothing_active(self):
+        assert not obs.tracing_enabled()
+        with stage_op(None, "Scan") as op:
+            op.rows_in = 5
+            op.rows_out = 3
+        # accepts writes, records nothing
+
+    def test_obs_spans_when_tracing_enabled(self):
+        tracer = obs.enable_tracing()
+        try:
+            with stage_op(None, "Scan", "blocks") as op:
+                op.rows_out = 4
+            (span,) = tracer.spans
+            assert span.name == "sql.Scan"
+            assert span.attrs["rows_out"] == 4
+        finally:
+            obs.disable_tracing()
+
+    def test_execute_emits_sql_spans_under_tracing(self, engine):
+        tracer = obs.enable_tracing()
+        try:
+            engine.execute("SELECT * FROM blocks WHERE height > 4")
+            names = {s.name for s in tracer.spans}
+            assert "sql.query" in names
+            assert "sql.Scan" in names
+            assert "sql.Filter" in names
+            assert tracer.metrics.snapshot()["counters"]["sql.queries"] == 1.0
+        finally:
+            obs.disable_tracing()

@@ -125,3 +125,88 @@ class TestCommands:
         assert code == 0
         header = out_path.read_text().splitlines()[0]
         assert header == "height,timestamp,primary_producer,n_producers"
+
+
+class TestExitCodes:
+    """Every failure path returns a nonzero exit code."""
+
+    def test_bad_sliding_size(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "sliding-abc"]
+        )
+        assert code == 2
+        assert "sliding" in capsys.readouterr().err
+
+    def test_bad_sliding_step(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "sliding-100/xyz"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate_to_missing_directory(self, tmp_path, capsys):
+        out_path = tmp_path / "no-such-dir" / "blocks.csv"
+        code = main(["simulate", "--chain", "btc", "--out", str(out_path)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_figure_id(self, capsys):
+        code = main(["figure", "--id", "99"])
+        assert code == 1
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTracing:
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs.export import validate_trace_file
+
+        path = tmp_path / "trace.json"
+        code = main(
+            ["--trace", str(path), "measure", "--chain", "bitcoin",
+             "--metric", "gini", "--windows", "fixed-month"]
+        )
+        assert code == 0
+        assert not obs.tracing_enabled(), "tracing must be reset after the run"
+        assert f"wrote trace" in capsys.readouterr().out
+        summary = validate_trace_file(str(path))
+        assert summary["format"] == "chrome"
+        assert summary["n_spans"] >= 2  # cli.measure + at least one child
+
+    def test_trace_jsonl_and_summary_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["--trace", str(path), "measure", "--chain", "bitcoin",
+             "--metric", "nakamoto", "--windows", "fixed-week"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.measure" in out
+        assert main(["trace", str(path), "--validate"]) == 0
+        assert "valid jsonl trace" in capsys.readouterr().out
+
+
+class TestExplainAnalyze:
+    def test_plan_tree_printed_with_rows_and_times(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--explain-analyze",
+             "--sql", "SELECT primary_producer, COUNT(*) AS n FROM blocks "
+                      "GROUP BY primary_producer ORDER BY n DESC LIMIT 3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Query" in out
+        assert "Execute" in out
+        assert "Scan blocks" in out
+        assert "rows=54231" in out  # scan output cardinality
+        assert "time=" in out
+        assert "Limit 3" in out
