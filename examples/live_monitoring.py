@@ -8,15 +8,29 @@ on all three metrics, and prints the alert log an operator would have
 seen — the Jan 14 multi-coinbase anomaly fires within half a day of
 blocks instead of waiting for a week- or month-end batch measurement.
 
+While the replay runs, a :class:`~repro.serve.TelemetryServer` exposes
+the live state the way a deployment would — ``/status`` for humans and
+dashboards, ``/metrics`` for a Prometheus scraper — and the example
+scrapes its own endpoints mid-replay to show what an operator sees.
+
 Run with::
 
     python examples/live_monitoring.py
 """
 
-from repro import simulate_bitcoin_2019
+import json
+import urllib.request
+
+from repro import obs, simulate_bitcoin_2019
 from repro.core import StreamingMonitor, ThresholdRule
+from repro.serve import MonitorState, TelemetryServer
 from repro.util.timeutils import day_index
 from repro.viz import sparkline
+
+
+def scrape(port: int, path: str) -> str:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as r:
+        return r.read().decode("utf-8")
 
 
 def main() -> None:
@@ -29,16 +43,47 @@ def main() -> None:
     monitor.add_rule(ThresholdRule("gini", below=0.40))
     monitor.add_rule(ThresholdRule("nakamoto", below=3, above=20))
 
-    print(f"replaying {quarter.n_blocks} blocks (Q1 2019) ...")
+    registry = obs.get_tracer().metrics
+    state = MonitorState("bitcoin", 144, 72, total_blocks=quarter.n_blocks)
+    server = TelemetryServer(
+        registry, status_fn=state.snapshot, ready_fn=state.is_ready
+    )
+    port = server.start()
+    print(f"replaying {quarter.n_blocks} blocks (Q1 2019), "
+          f"telemetry on http://127.0.0.1:{port} ...")
+
     alert_log = []
-    for i in range(quarter.n_blocks):
-        start, stop = quarter.offsets[i], quarter.offsets[i + 1]
-        producers = [
-            quarter.producer_names[pid] for pid in quarter.producer_ids[start:stop]
-        ]
-        for alert in monitor.push(producers):
-            day = day_index(int(quarter.timestamps[i]))
-            alert_log.append((day, alert))
+    try:
+        for i in range(quarter.n_blocks):
+            start, stop = quarter.offsets[i], quarter.offsets[i + 1]
+            producers = [
+                quarter.producer_names[pid]
+                for pid in quarter.producer_ids[start:stop]
+            ]
+            alerts = monitor.push(producers)
+            state.record_push(monitor.blocks_seen)
+            registry.gauge("monitor.blocks_ingested").set(monitor.blocks_seen)
+            if monitor.evaluations > state.evaluations:
+                latest = monitor.latest()
+                for name, value in latest.items():
+                    registry.gauge(f"monitor.latest.{name}").set(value)
+                state.record_evaluation(latest, len(alerts))
+            for alert in alerts:
+                day = day_index(int(quarter.timestamps[i]))
+                alert_log.append((day, alert))
+            if i == quarter.n_blocks // 2:
+                status = json.loads(scrape(port, "/status"))
+                print(f"\nmid-replay GET /status: "
+                      f"{status['blocks_ingested']}/{status['total_blocks']} "
+                      f"blocks, {status['evaluations']} evaluations, "
+                      f"ready={status['ready']}, latest={status['latest']}")
+
+        print("\nfinal GET /metrics (monitor gauges):")
+        for line in scrape(port, "/metrics").splitlines():
+            if line.startswith("repro_monitor_"):
+                print(f"  {line}")
+    finally:
+        server.stop()
 
     print(f"\n{len(alert_log)} alerts fired:")
     last_day = None

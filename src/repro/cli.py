@@ -2,25 +2,35 @@
 
 Subcommands::
 
-    repro-decentralization simulate --chain bitcoin --out blocks.csv
-    repro-decentralization measure  --chain bitcoin --metric gini --windows fixed-day
-    repro-decentralization figure   --id 9 --chart --export-dir out/
+    repro-decentralization simulate   --chain bitcoin --out blocks.csv
+    repro-decentralization measure    --chain bitcoin --metric gini --windows fixed-day
+    repro-decentralization figure     --id 9 --chart --export-dir out/
     repro-decentralization study
-    repro-decentralization query    --chain bitcoin --sql "SELECT ..."
-    repro-decentralization trace    trace.json
+    repro-decentralization query      --chain bitcoin --sql "SELECT ..."
+    repro-decentralization trace      trace.json
+    repro-decentralization monitor    --chain bitcoin --serve 9464
+    repro-decentralization bench-diff OLD.json NEW.json --fail-over 1.25
 
 All commands simulate the calibrated 2019 datasets on demand (seeded, so
 repeated runs are identical).  The global ``--trace FILE`` flag records a
 span trace of whatever the command did (``.jsonl`` for the line format,
 anything else for Chrome ``chrome://tracing`` JSON); ``repro trace FILE``
-summarizes or validates such a file afterwards.
+summarizes or validates such a file afterwards.  ``--log-json`` and
+``--log-level`` configure structured logging (span-correlated records).
+
+Exit codes are part of the contract: ``2`` for argument/validation
+errors, ``1`` for runtime failures (I/O, unknown figures, a benchmark
+regression past ``--fail-over``), ``0`` otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
+import signal
 import sys
-from typing import Sequence
+import threading
+from typing import Callable, Iterator, Sequence
 
 from repro import obs
 from repro.analysis.study import DecentralizationStudy
@@ -28,6 +38,12 @@ from repro.core.summary import summarize
 from repro.errors import ReproError
 from repro.metrics import available_metrics
 from repro.obs.export import validate_trace_file, write_trace
+from repro.obs.logging import configure_logging
+from repro.obs.regression import (
+    compare_benchmarks,
+    format_comparison,
+    load_benchmark_file,
+)
 from repro.obs.report import summarize_trace_file
 from repro.sql import QueryEngine, format_plan
 from repro.table.io import write_csv
@@ -50,6 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record a span trace of the command "
         "(.jsonl = line format, otherwise Chrome trace JSON)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line (span-correlated)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="minimum level for repro.* loggers (default INFO)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -110,6 +137,65 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check the file against the exporter schema instead of summarizing",
     )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a chain through the streaming monitor, "
+        "optionally serving live telemetry",
+    )
+    monitor.add_argument("--chain", choices=sorted(_CHAIN_KEYS), required=True)
+    monitor.add_argument(
+        "--window", type=int, default=144, help="sliding window size N in blocks"
+    )
+    monitor.add_argument(
+        "--stride", type=int, default=None, help="evaluation stride M (default N/2)"
+    )
+    monitor.add_argument(
+        "--blocks", type=int, default=None,
+        help="replay only the first N blocks (default: the whole year)",
+    )
+    monitor.add_argument(
+        "--serve", type=int, metavar="PORT", default=None,
+        help="serve /metrics, /healthz, /readyz and /status on PORT "
+        "(0 picks an ephemeral port) while ingesting",
+    )
+    monitor.add_argument(
+        "--port-file", metavar="FILE", default=None,
+        help="write the bound telemetry port to FILE (for scripted scrapers)",
+    )
+    monitor.add_argument(
+        "--throttle", type=float, default=0.0,
+        help="sleep this many seconds between blocks (simulates a live feed)",
+    )
+    monitor.add_argument(
+        "--linger", type=float, default=0.0,
+        help="keep serving this many seconds after the replay ends "
+        "(-1 = until SIGINT/SIGTERM)",
+    )
+    monitor.add_argument(
+        "--alert-below", action="append", default=[], metavar="METRIC=VALUE",
+        help="alert when METRIC drops below VALUE (repeatable)",
+    )
+    monitor.add_argument(
+        "--alert-above", action="append", default=[], metavar="METRIC=VALUE",
+        help="alert when METRIC rises above VALUE (repeatable)",
+    )
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_pipeline.json files and gate on regressions",
+    )
+    bench_diff.add_argument("old", help="baseline pytest-benchmark JSON")
+    bench_diff.add_argument("new", help="candidate pytest-benchmark JSON")
+    bench_diff.add_argument(
+        "--fail-over", type=float, default=None, metavar="RATIO",
+        help="exit 1 when any median grew past RATIO x baseline (e.g. 1.25); "
+        "without it the diff is informational and always exits 0",
+    )
+    bench_diff.add_argument(
+        "--min-seconds", type=float, default=0.001,
+        help="ignore stages whose baseline median is below this (noise floor)",
+    )
     return parser
 
 
@@ -117,8 +203,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(json_lines=args.log_json, level=args.log_level)
+    exit_flush: Callable[[], None] | None = None
     if args.trace:
         obs.enable_tracing()
+        # A long-running `monitor --serve` may be killed mid-run; the
+        # atexit hook flushes whatever was recorded so --trace output is
+        # not lost (SIGTERM is converted to a normal exit by the monitor).
+        exit_flush = _register_trace_flush(args.trace)
     try:
         with obs.span(f"cli.{args.command}"):
             code = _dispatch(args)
@@ -132,9 +224,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Flush the trace even when the command failed; a failed write
         # only overrides a successful command's exit code.
         trace_code = _write_trace_file(args.trace)
+        atexit.unregister(exit_flush)
         if code == 0:
             code = trace_code
     return code
+
+
+def _register_trace_flush(path: str) -> Callable[[], None]:
+    """Arm an atexit hook that writes the trace if nobody else has."""
+
+    def flush() -> None:
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            _write_trace_file(path)
+
+    atexit.register(flush)
+    return flush
 
 
 def _write_trace_file(path: str) -> int:
@@ -154,7 +259,11 @@ def _write_trace_file(path: str) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench-diff":
+        return _cmd_bench_diff(args)
     study = DecentralizationStudy(seed=args.seed)
+    if args.command == "monitor":
+        return _cmd_monitor(study, args)
     if args.command == "simulate":
         return _cmd_simulate(study, args)
     if args.command == "measure":
@@ -345,6 +454,155 @@ def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
         print(row)
     if result.num_rows > args.limit:
         print(f"... ({result.num_rows - args.limit} more rows)")
+    return 0
+
+
+def _parse_alert_specs(
+    specs: Sequence[str], kind: str
+) -> list[tuple[str, float]] | None:
+    """Parse repeated ``METRIC=VALUE`` flags; None means a spec was bad."""
+    parsed: list[tuple[str, float]] = []
+    for spec in specs:
+        metric, _, value_text = spec.partition("=")
+        try:
+            value = float(value_text)
+        except ValueError:
+            print(
+                f"error: bad --alert-{kind} spec {spec!r} "
+                "(expected METRIC=VALUE)",
+                file=sys.stderr,
+            )
+            return None
+        parsed.append((metric, value))
+    return parsed
+
+
+def _block_feed(chain, limit: int | None) -> Iterator[list[str]]:
+    """Yield each block's producer names, optionally truncated to ``limit``."""
+    n_blocks = chain.n_blocks if limit is None else min(limit, chain.n_blocks)
+    offsets, ids, names = chain.offsets, chain.producer_ids, chain.producer_names
+    for i in range(n_blocks):
+        yield [names[pid] for pid in ids[offsets[i]:offsets[i + 1]]]
+
+
+def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    from repro.core.streaming import ThresholdRule
+    from repro.serve import run_monitor
+
+    if args.window <= 0:
+        print(f"error: --window must be positive, got {args.window}", file=sys.stderr)
+        return 2
+    if args.stride is not None and args.stride <= 0:
+        print(f"error: --stride must be positive, got {args.stride}", file=sys.stderr)
+        return 2
+    if args.blocks is not None and args.blocks <= 0:
+        print(f"error: --blocks must be positive, got {args.blocks}", file=sys.stderr)
+        return 2
+    if args.serve is not None and not 0 <= args.serve <= 65535:
+        print(f"error: --serve port out of range: {args.serve}", file=sys.stderr)
+        return 2
+    if args.throttle < 0:
+        print(f"error: --throttle must be >= 0, got {args.throttle}", file=sys.stderr)
+        return 2
+    below = _parse_alert_specs(args.alert_below, "below")
+    above = _parse_alert_specs(args.alert_above, "above")
+    if below is None or above is None:
+        return 2
+    monitored = ("gini", "entropy", "nakamoto")
+    rules = []
+    for metric, value in below:
+        if metric not in monitored:
+            print(f"error: unknown alert metric {metric!r}", file=sys.stderr)
+            return 2
+        rules.append(ThresholdRule(metric, below=value))
+    for metric, value in above:
+        if metric not in monitored:
+            print(f"error: unknown alert metric {metric!r}", file=sys.stderr)
+            return 2
+        rules.append(ThresholdRule(metric, above=value))
+
+    # `monitor --serve` is a long-running process: enable metric recording
+    # so counters/timings from the pipeline reach /metrics scrapes, and
+    # convert SIGINT/SIGTERM into a clean stop (flushing --trace output).
+    enabled_here = False
+    if args.serve is not None and not obs.tracing_enabled():
+        obs.enable_tracing()
+        enabled_here = True
+    stop_event = threading.Event()
+    previous_handlers: list[tuple[int, object]] = []
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers.append((signum, signal.getsignal(signum)))
+            signal.signal(signum, lambda *_: stop_event.set())
+    try:
+        chain_key = _CHAIN_KEYS[args.chain]
+        chain = study.chain(chain_key)
+        total = chain.n_blocks if args.blocks is None else min(args.blocks, chain.n_blocks)
+        print(
+            f"monitoring {chain.spec.name}: window={args.window} "
+            f"stride={args.stride or max(args.window // 2, 1)} "
+            f"blocks={total}",
+            flush=True,
+        )
+        result = run_monitor(
+            _block_feed(chain, args.blocks),
+            args.window,
+            args.stride,
+            chain=chain.spec.name,
+            rules=rules,
+            total_blocks=total,
+            serve_port=args.serve,
+            throttle=args.throttle,
+            linger=args.linger,
+            port_file=args.port_file,
+            stop_event=stop_event,
+            print_fn=lambda line: print(line, flush=True),
+        )
+    finally:
+        for signum, handler in previous_handlers:
+            signal.signal(signum, handler)
+        if enabled_here:
+            obs.disable_tracing()
+    latest = ", ".join(f"{k}={v:.4f}" for k, v in sorted(result.latest.items()))
+    print(
+        f"monitored {result.blocks} blocks: {result.evaluations} evaluations, "
+        f"{result.alerts} alerts"
+    )
+    if latest:
+        print(f"latest: {latest}")
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    if args.fail_over is not None and args.fail_over <= 1.0:
+        print(
+            f"error: --fail-over must be > 1.0 (a growth ratio), "
+            f"got {args.fail_over}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.min_seconds < 0:
+        print(
+            f"error: --min-seconds must be >= 0, got {args.min_seconds}",
+            file=sys.stderr,
+        )
+        return 2
+    old = load_benchmark_file(args.old)
+    new = load_benchmark_file(args.new)
+    report = compare_benchmarks(old, new, min_seconds=args.min_seconds)
+    print(format_comparison(report, tolerance=args.fail_over))
+    if args.fail_over is None:
+        return 0
+    regressions = report.regressions(args.fail_over)
+    if regressions:
+        worst = regressions[0]
+        print(
+            f"error: {len(regressions)} regression(s) past "
+            f"{args.fail_over:.2f}x; worst: {worst.key} at {worst.ratio:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no median regressed past {args.fail_over:.2f}x")
     return 0
 
 

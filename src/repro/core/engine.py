@@ -11,6 +11,7 @@ Binds a chain's credits to metrics and window families:
 
 from __future__ import annotations
 
+import logging
 from typing import Sequence
 
 import numpy as np
@@ -26,6 +27,8 @@ from repro.windows.base import BlockWindow, TimeWindow, Window
 from repro.windows.fixed import FixedCalendarWindows
 from repro.windows.sliding import SlidingBlockWindows
 from repro.windows.timesliding import SlidingTimeWindows
+
+logger = logging.getLogger(__name__)
 
 
 class MeasurementEngine:
@@ -161,6 +164,11 @@ class MeasurementEngine:
             obs.counter("engine.sliding.fast_path")
             return fast
         obs.counter("engine.sliding.fallback")
+        logger.warning(
+            "sliding sweep size=%d step=%d fell off the incremental fast path "
+            "(size %% step != 0); using the generic per-window sweep",
+            generator.size, generator.step,
+        )
         windows = generator.generate(self.credits.n_blocks)
         return self.measure_many(
             resolved, windows, window_desc=f"sliding-{generator.size}/{generator.step}"
@@ -202,6 +210,11 @@ class MeasurementEngine:
             obs.counter("engine.sliding.fast_path")
             return fast[resolved.name]
         obs.counter("engine.sliding.fallback")
+        logger.warning(
+            "sliding sweep size=%d step=%d fell off the incremental fast path "
+            "(size %% step != 0); using the generic per-window sweep",
+            generator.size, generator.step,
+        )
         windows = generator.generate(self.credits.n_blocks)
         return self.measure(
             resolved, windows, window_desc=f"sliding-{generator.size}/{generator.step}"

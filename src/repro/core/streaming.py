@@ -17,6 +17,7 @@ metric crosses a configured threshold.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -24,6 +25,8 @@ from repro import obs
 from repro.core.rolling import RollingHistogram
 from repro.errors import MeasurementError
 from repro.metrics.base import DistributionBatch, Metric, compute_batch, get_metric
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -152,6 +155,12 @@ class StreamingMonitor:
         obs.counter("streaming.evaluations")
         if alerts:
             obs.counter("streaming.alerts", len(alerts))
+            for alert in alerts:
+                logger.warning(
+                    "threshold alert: %s=%.4f at block %d (below=%s above=%s)",
+                    alert.metric, alert.value, alert.block_count,
+                    alert.rule.below, alert.rule.above,
+                )
         return alerts
 
     # -- inspection -----------------------------------------------------------------
@@ -160,6 +169,24 @@ class StreamingMonitor:
     def blocks_seen(self) -> int:
         """Total blocks pushed so far."""
         return self._block_count
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Names of the monitored metrics, in registration order."""
+        return tuple(self._history)
+
+    @property
+    def evaluations(self) -> int:
+        """How many window evaluations have run so far."""
+        return len(next(iter(self._history.values()), ()))
+
+    def latest(self) -> dict[str, float]:
+        """Most recent value per monitored metric (empty before 1st window)."""
+        return {
+            name: history[-1][1]
+            for name, history in self._history.items()
+            if history
+        }
 
     def current(self, metric: str) -> float:
         """Compute ``metric`` over the current window immediately."""

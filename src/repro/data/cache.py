@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Callable
 
 from repro import obs
 from repro.chain.chain import Chain
 from repro.data.store import ChainStore
+
+logger = logging.getLogger(__name__)
+
+#: Cache-miss rebuilds slower than this are worth an operator's attention:
+#: on a live monitor they mean scrapes see a stalled pipeline, not a bug.
+SLOW_BUILD_THRESHOLD_SECONDS = 5.0
 
 
 def cached_chain(
@@ -22,7 +29,9 @@ def cached_chain(
     true), so expensive simulations — Ethereum's 2.2M blocks take several
     seconds — run once per store.  Hits and misses are counted on the
     :mod:`repro.obs` tracer (``chain_cache.hit`` / ``chain_cache.miss``),
-    and miss build time feeds the ``chain_cache.build_seconds`` histogram.
+    miss build time feeds the ``chain_cache.build_seconds`` histogram, and
+    a rebuild slower than :data:`SLOW_BUILD_THRESHOLD_SECONDS` logs a
+    warning correlated to the active span.
 
     >>> store = ChainStore(tmpdir)                              # doctest: +SKIP
     >>> eth = cached_chain(store, "eth-2019", simulate_ethereum_2019)  # doctest: +SKIP
@@ -31,7 +40,14 @@ def cached_chain(
         obs.counter("chain_cache.miss")
         start = time.perf_counter()
         chain = build()
-        obs.timing("chain_cache.build_seconds", time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        obs.timing("chain_cache.build_seconds", elapsed)
+        if elapsed > SLOW_BUILD_THRESHOLD_SECONDS:
+            logger.warning(
+                "chain cache miss for %r took %.1fs to rebuild "
+                "(threshold %.1fs)",
+                name, elapsed, SLOW_BUILD_THRESHOLD_SECONDS,
+            )
         store.save(name, chain, overwrite=True)
         return chain
     obs.counter("chain_cache.hit")

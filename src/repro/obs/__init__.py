@@ -33,7 +33,14 @@ from repro.obs.export import (
     write_jsonl,
     write_trace,
 )
+from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimingHistogram
+from repro.obs.prometheus import render_prometheus, sanitize_metric_name
+from repro.obs.regression import (
+    compare_benchmarks,
+    format_comparison,
+    load_benchmark_file,
+)
 from repro.obs.report import (
     aggregate_spans,
     format_span_tree,
@@ -44,6 +51,7 @@ from repro.obs.tracer import (
     SpanRecord,
     Tracer,
     counter,
+    current_span,
     disable_tracing,
     enable_tracing,
     gauge,
@@ -62,13 +70,21 @@ __all__ = [
     "TimingHistogram",
     "Tracer",
     "aggregate_spans",
+    "compare_benchmarks",
+    "configure_logging",
     "counter",
+    "current_span",
     "disable_tracing",
     "enable_tracing",
+    "format_comparison",
     "format_span_tree",
     "gauge",
+    "get_logger",
     "get_tracer",
+    "load_benchmark_file",
     "load_trace_file",
+    "render_prometheus",
+    "sanitize_metric_name",
     "span",
     "summarize_trace_file",
     "summarize_tracer",

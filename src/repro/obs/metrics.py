@@ -10,11 +10,23 @@ bounded sample.
 
 from __future__ import annotations
 
+import bisect
+import threading
+
 import numpy as np
 
 #: Timing histograms keep at most this many raw observations for
 #: percentile estimates; count/total/min/max stay exact past the cap.
 _HISTOGRAM_SAMPLE_CAP = 4096
+
+#: Upper bounds (seconds) of the exposition buckets every timing histogram
+#: maintains exactly — counts are bumped on :meth:`TimingHistogram.observe`
+#: rather than reconstructed from the bounded sample, so bucket totals stay
+#: correct past the sample cap.  The implicit ``+Inf`` bucket rides along.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class Counter:
@@ -55,14 +67,20 @@ class TimingHistogram:
     (3, 0.6, 0.2)
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "_samples")
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "bucket_bounds", "_bucket_counts", "_samples")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, bucket_bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.bucket_bounds = tuple(sorted(bucket_bounds))
+        #: Per-bucket (non-cumulative) counts; the last slot is +Inf.
+        self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
         self._samples: list[float] = []
 
     def observe(self, seconds: float) -> None:
@@ -74,8 +92,27 @@ class TimingHistogram:
             self.minimum = seconds
         if seconds > self.maximum:
             self.maximum = seconds
+        self._bucket_counts[bisect.bisect_left(self.bucket_bounds, seconds)] += 1
         if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
             self._samples.append(seconds)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs ending at +Inf.
+
+        >>> h = TimingHistogram("t", bucket_bounds=(0.1, 1.0))
+        >>> for t in (0.05, 0.5, 2.0):
+        ...     h.observe(t)
+        >>> h.cumulative_buckets()
+        [(0.1, 1), (1.0, 2), (inf, 3)]
+        """
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(
+            (*self.bucket_bounds, float("inf")), self._bucket_counts
+        ):
+            running += count
+            out.append((bound, running))
+        return out
 
     @property
     def mean(self) -> float:
@@ -105,9 +142,17 @@ class TimingHistogram:
 
 
 class MetricsRegistry:
-    """Lazily-created named instruments, one namespace per kind."""
+    """Lazily-created named instruments, one namespace per kind.
+
+    Instrument creation and whole-registry reads take an internal lock so a
+    serving thread (the ``/metrics`` endpoint scraping mid-run) never
+    iterates a dict that an ingest thread is growing.  Updates on an
+    already-created instrument are plain attribute writes — each scrape
+    sees a consistent instrument list and at-least-as-old values.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.timings: dict[str, TimingHistogram] = {}
@@ -116,33 +161,47 @@ class MetricsRegistry:
         """Get or create the counter ``name``."""
         instrument = self.counters.get(name)
         if instrument is None:
-            instrument = self.counters[name] = Counter(name)
+            with self._lock:
+                instrument = self.counters.setdefault(name, Counter(name))
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name``."""
         instrument = self.gauges.get(name)
         if instrument is None:
-            instrument = self.gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self.gauges.setdefault(name, Gauge(name))
         return instrument
 
     def timing(self, name: str) -> TimingHistogram:
         """Get or create the timing histogram ``name``."""
         instrument = self.timings.get(name)
         if instrument is None:
-            instrument = self.timings[name] = TimingHistogram(name)
+            with self._lock:
+                instrument = self.timings.setdefault(name, TimingHistogram(name))
         return instrument
 
     def reset(self) -> None:
         """Drop every instrument."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.timings.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.timings.clear()
+
+    def instruments(self) -> tuple[list[Counter], list[Gauge], list[TimingHistogram]]:
+        """Name-sorted, point-in-time instrument lists (safe to iterate)."""
+        with self._lock:
+            return (
+                [c for _, c in sorted(self.counters.items())],
+                [g for _, g in sorted(self.gauges.items())],
+                [t for _, t in sorted(self.timings.items())],
+            )
 
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument, sorted by name."""
+        counters, gauges, timings = self.instruments()
         return {
-            "counters": {name: c.value for name, c in sorted(self.counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
-            "timings": {name: t.as_dict() for name, t in sorted(self.timings.items())},
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "timings": {t.name: t.as_dict() for t in timings},
         }

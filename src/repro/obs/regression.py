@@ -1,0 +1,165 @@
+"""Benchmark regression gate over ``BENCH_pipeline.json``-shaped files.
+
+``make bench-perf`` writes pytest-benchmark JSON whose entries carry a
+headline ``stats.median`` plus the per-stage span totals recorded by
+``benchmarks/_bench_util.record_stage_timings`` under
+``extra_info["stages"]``.  This module loads two such files, compares the
+medians (headline and per-stage seconds-per-invocation) as new/old
+ratios, and renders a human table — the CLI's ``bench-diff`` subcommand
+turns a ratio above ``--fail-over`` into a nonzero exit so the sliding
+sweep's 22x win from the incremental fast path cannot silently erode.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One benchmark: headline median plus per-stage per-call seconds."""
+
+    name: str
+    median: float
+    #: stage name -> mean seconds per invocation (total_seconds / count).
+    stages: dict[str, float]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One measured quantity in both files."""
+
+    key: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        """``new / old``; 1.0 when both are zero, inf when only old is."""
+        if self.old == 0.0:
+            return 1.0 if self.new == 0.0 else math.inf
+        return self.new / self.old
+
+    def regressed(self, tolerance: float) -> bool:
+        """True when the new median exceeds tolerance times the old one."""
+        return self.ratio > tolerance
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Every comparable quantity plus coverage drift between two runs."""
+
+    deltas: tuple[Delta, ...]
+    #: Benchmark names present only in the old file.
+    missing: tuple[str, ...]
+    #: Benchmark names present only in the new file.
+    added: tuple[str, ...]
+
+    def regressions(self, tolerance: float) -> list[Delta]:
+        """Deltas whose ratio exceeds ``tolerance``, worst first."""
+        found = [d for d in self.deltas if d.regressed(tolerance)]
+        return sorted(found, key=lambda d: d.ratio, reverse=True)
+
+
+def load_benchmark_file(path: str) -> dict[str, BenchEntry]:
+    """Parse one pytest-benchmark JSON file into name-keyed entries.
+
+    Raises :class:`OSError` when the file cannot be read and
+    :class:`~repro.errors.ObservabilityError` when it is not benchmark
+    JSON (malformed, or missing the ``benchmarks`` list / ``stats.median``).
+    """
+    with open(path, encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("benchmarks"), list):
+        raise ObservabilityError(f"{path}: missing pytest-benchmark 'benchmarks' list")
+    entries: dict[str, BenchEntry] = {}
+    for raw in payload["benchmarks"]:
+        try:
+            name = raw["name"]
+            median = float(raw["stats"]["median"])
+        except (KeyError, TypeError) as exc:
+            raise ObservabilityError(
+                f"{path}: benchmark entry without name/stats.median"
+            ) from exc
+        stages: dict[str, float] = {}
+        for stage, info in (raw.get("extra_info", {}).get("stages", {}) or {}).items():
+            count = float(info.get("count", 0) or 0)
+            if count > 0:
+                stages[stage] = float(info.get("total_seconds", 0.0)) / count
+        entries[name] = BenchEntry(name=name, median=median, stages=stages)
+    return entries
+
+
+def compare_benchmarks(
+    old: dict[str, BenchEntry],
+    new: dict[str, BenchEntry],
+    min_seconds: float = 0.0,
+) -> ComparisonReport:
+    """Pair up every benchmark and stage present in both files.
+
+    Quantities whose *old* value is under ``min_seconds`` are skipped —
+    micro-stage noise (a 40µs stage doubling) should not trip a gate meant
+    for real regressions.
+    """
+    deltas: list[Delta] = []
+    for name in sorted(set(old) & set(new)):
+        old_entry, new_entry = old[name], new[name]
+        if old_entry.median >= min_seconds:
+            deltas.append(Delta(name, old_entry.median, new_entry.median))
+        for stage in sorted(set(old_entry.stages) & set(new_entry.stages)):
+            old_stage = old_entry.stages[stage]
+            if old_stage >= min_seconds:
+                deltas.append(
+                    Delta(f"{name}::{stage}", old_stage, new_entry.stages[stage])
+                )
+    return ComparisonReport(
+        deltas=tuple(deltas),
+        missing=tuple(sorted(set(old) - set(new))),
+        added=tuple(sorted(set(new) - set(old))),
+    )
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}µs"
+
+
+def format_comparison(report: ComparisonReport, tolerance: float | None = None) -> str:
+    """A fixed-width table of every delta, flagging regressions.
+
+    With ``tolerance`` the verdict column marks ratios above it with
+    ``REGRESSED`` (and improvements below ``1/tolerance`` with ``faster``).
+    """
+    width = max((len(d.key) for d in report.deltas), default=20)
+    lines = [
+        f"{'benchmark / stage':<{width}s}  {'old':>10s}  {'new':>10s}  {'ratio':>7s}"
+    ]
+    for delta in report.deltas:
+        verdict = ""
+        if tolerance is not None:
+            if delta.regressed(tolerance):
+                verdict = "  REGRESSED"
+            elif delta.ratio < 1.0 / tolerance:
+                verdict = "  faster"
+        ratio = "inf" if math.isinf(delta.ratio) else f"{delta.ratio:.2f}x"
+        lines.append(
+            f"{delta.key:<{width}s}  {_format_seconds(delta.old)}  "
+            f"{_format_seconds(delta.new)}  {ratio:>7s}{verdict}"
+        )
+    for name in report.missing:
+        lines.append(f"{name:<{width}s}  (only in old run)")
+    for name in report.added:
+        lines.append(f"{name:<{width}s}  (only in new run)")
+    if not report.deltas:
+        lines.append("(no comparable benchmarks)")
+    return "\n".join(lines)

@@ -82,15 +82,15 @@ class _Span:
         tracer = self._tracer
         self.span_id = tracer._next_span_id()
         stack = tracer._stack
-        self.parent_id = stack[-1] if stack else None
-        stack.append(self.span_id)
+        self.parent_id = stack[-1][0] if stack else None
+        stack.append((self.span_id, self.name))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
         end = time.perf_counter()
         tracer = self._tracer
-        if tracer._stack and tracer._stack[-1] == self.span_id:
+        if tracer._stack and tracer._stack[-1][0] == self.span_id:
             tracer._stack.pop()
         tracer.spans.append(
             SpanRecord(
@@ -112,7 +112,8 @@ class Tracer:
         self.enabled = False
         self.spans: list[SpanRecord] = []
         self.metrics = MetricsRegistry()
-        self._stack: list[int] = []
+        #: Open spans as (span_id, name), innermost last.
+        self._stack: list[tuple[int, str]] = []
         self._next_id = 0
         self._epoch = 0.0
 
@@ -148,6 +149,16 @@ class Tracer:
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name, attrs)
+
+    def current_span(self) -> tuple[int, str] | None:
+        """The innermost open span as ``(span_id, name)``, or ``None``.
+
+        Structured log records join against exported traces through this:
+        see :class:`repro.obs.logging.SpanContextFilter`.
+        """
+        if self.enabled and self._stack:
+            return self._stack[-1]
+        return None
 
     def traced(self, name: str | None = None) -> Callable:
         """Decorator: wrap a function in a span named after it.
@@ -215,6 +226,11 @@ def disable_tracing() -> Tracer:
 def span(name: str, **attrs: Any) -> _Span | _NullSpan:
     """Open a span on the process-wide tracer (shared no-op when disabled)."""
     return _TRACER.span(name, **attrs)
+
+
+def current_span() -> tuple[int, str] | None:
+    """The process-wide tracer's innermost open ``(span_id, name)``, if any."""
+    return _TRACER.current_span()
 
 
 def counter(name: str, n: float = 1.0) -> None:

@@ -1,0 +1,320 @@
+"""Live telemetry for a long-running streaming monitor.
+
+The paper argues for *continuous* measurement; this module is the
+operational half of that argument — a dependency-free HTTP server
+(stdlib :class:`~http.server.ThreadingHTTPServer`) an operator can point
+Prometheus at while a :class:`~repro.core.streaming.StreamingMonitor`
+ingests blocks:
+
+``/metrics``
+    Prometheus text exposition rendered from the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+``/healthz``
+    Always 200 while the process serves — a liveness probe.
+``/readyz``
+    200 only once the monitor has completed its first window (503
+    before) — a readiness probe.
+``/status``
+    JSON snapshot of the monitor: current window, latest metric values,
+    blocks ingested, lag.
+
+:func:`run_monitor` drives a monitor over a block feed while serving
+scrapes concurrently; the CLI's ``repro monitor --serve PORT`` wires it
+to a simulated 2019 chain and shuts it down cleanly on SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, Sequence
+
+from repro import obs
+from repro.core.streaming import StreamingMonitor, ThresholdRule
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import render_prometheus
+
+logger = logging.getLogger(__name__)
+
+#: Content type mandated by the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MonitorState:
+    """Thread-safe status snapshot shared by ingest loop and HTTP handlers."""
+
+    def __init__(
+        self,
+        chain: str,
+        window_size: int,
+        stride: int,
+        total_blocks: int | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.chain = chain
+        self.window_size = window_size
+        self.stride = stride
+        self.total_blocks = total_blocks
+        self.blocks_ingested = 0
+        self.evaluations = 0
+        self.alerts = 0
+        self.latest: dict[str, float] = {}
+        self.ready = False
+        self.finished = False
+
+    def record_push(self, blocks_ingested: int) -> None:
+        """Note one ingested block."""
+        with self._lock:
+            self.blocks_ingested = blocks_ingested
+
+    def record_evaluation(self, latest: dict[str, float], n_alerts: int) -> None:
+        """Note one completed window evaluation; flips readiness."""
+        with self._lock:
+            self.evaluations += 1
+            self.alerts += n_alerts
+            self.latest = dict(latest)
+            self.ready = True
+
+    def mark_finished(self) -> None:
+        """The feed is exhausted (the server may linger for scrapes)."""
+        with self._lock:
+            self.finished = True
+
+    def is_ready(self) -> bool:
+        """Readiness: at least one full window has been evaluated."""
+        with self._lock:
+            return self.ready
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view for the ``/status`` endpoint."""
+        with self._lock:
+            lag = (
+                self.total_blocks - self.blocks_ingested
+                if self.total_blocks is not None
+                else None
+            )
+            return {
+                "chain": self.chain,
+                "window": {
+                    "size": self.window_size,
+                    "stride": self.stride,
+                    "start_block": max(self.blocks_ingested - self.window_size, 0),
+                    "end_block": self.blocks_ingested,
+                },
+                "blocks_ingested": self.blocks_ingested,
+                "total_blocks": self.total_blocks,
+                "lag_blocks": lag,
+                "evaluations": self.evaluations,
+                "alerts": self.alerts,
+                "latest": dict(self.latest),
+                "ready": self.ready,
+                "finished": self.finished,
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+            }
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the telemetry callbacks for handlers."""
+
+    daemon_threads = True
+
+    registry: MetricsRegistry
+    status_fn: Callable[[], dict]
+    ready_fn: Callable[[], bool]
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes the four telemetry endpoints; logs through ``repro.serve``."""
+
+    server: _TelemetryHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._reply(200, render_prometheus(self.server.registry),
+                        PROMETHEUS_CONTENT_TYPE)
+        elif path == "/healthz":
+            self._reply(200, "ok\n", "text/plain; charset=utf-8")
+        elif path == "/readyz":
+            if self.server.ready_fn():
+                self._reply(200, "ready\n", "text/plain; charset=utf-8")
+            else:
+                self._reply(503, "not ready\n", "text/plain; charset=utf-8")
+        elif path == "/status":
+            body = json.dumps(self.server.status_fn(), indent=2) + "\n"
+            self._reply(200, body, "application/json; charset=utf-8")
+        else:
+            self._reply(404, f"unknown path {path}\n", "text/plain; charset=utf-8")
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+
+class TelemetryServer:
+    """The scrape server, running on a daemon thread between start/stop.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("demo.hits").inc(3)
+    >>> server = TelemetryServer(registry, status_fn=dict, ready_fn=lambda: True)
+    >>> port = server.start()                                # doctest: +SKIP
+    >>> urlopen(f"http://127.0.0.1:{port}/metrics").read()   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        status_fn: Callable[[], dict] | None = None,
+        ready_fn: Callable[[], bool] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _TelemetryHTTPServer((host, port), _TelemetryHandler)
+        self._server.registry = (
+            registry if registry is not None else obs.get_tracer().metrics
+        )
+        self._server.status_fn = status_fn or dict
+        self._server.ready_fn = ready_fn or (lambda: True)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    def start(self) -> int:
+        """Begin serving on a daemon thread; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("serving telemetry on port %d", self.port)
+        return self.port
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass(frozen=True)
+class MonitorRun:
+    """What :func:`run_monitor` did, for the CLI summary."""
+
+    blocks: int
+    evaluations: int
+    alerts: int
+    latest: dict[str, float] = field(default_factory=dict)
+    port: int | None = None
+
+
+def run_monitor(
+    feed: Iterable[Sequence[str]],
+    window_size: int,
+    stride: int | None = None,
+    *,
+    chain: str = "unknown",
+    rules: Sequence[ThresholdRule] = (),
+    metrics: Sequence[str] = ("gini", "entropy", "nakamoto"),
+    total_blocks: int | None = None,
+    serve_port: int | None = None,
+    throttle: float = 0.0,
+    linger: float = 0.0,
+    port_file: str | None = None,
+    stop_event: threading.Event | None = None,
+    print_fn: Callable[[str], None] = print,
+) -> MonitorRun:
+    """Replay ``feed`` through a streaming monitor, optionally serving scrapes.
+
+    ``feed`` yields one block's producer names at a time.  With
+    ``serve_port`` (0 = ephemeral) a :class:`TelemetryServer` answers
+    ``/metrics``, ``/healthz``, ``/readyz`` and ``/status`` concurrently;
+    ``port_file`` gets the bound port written to it for scripted scrapers.
+    ``throttle`` sleeps that many seconds between blocks, ``linger`` keeps
+    the server up that long after the feed ends (interrupted by
+    ``stop_event``), and ``stop_event`` aborts ingestion between blocks —
+    the CLI sets it from SIGINT/SIGTERM.
+    """
+    monitor = StreamingMonitor(window_size, stride, metrics=metrics)
+    for rule in rules:
+        monitor.add_rule(rule)
+    state = MonitorState(chain, monitor.window_size, monitor.stride, total_blocks)
+    stop_event = stop_event or threading.Event()
+    registry = obs.get_tracer().metrics
+    alerts_total = 0
+    server: TelemetryServer | None = None
+    if serve_port is not None:
+        server = TelemetryServer(
+            registry, status_fn=state.snapshot, ready_fn=state.is_ready,
+            port=serve_port,
+        )
+        port = server.start()
+        print_fn(f"serving telemetry on http://127.0.0.1:{port}")
+        if port_file:
+            with open(port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{port}\n")
+    try:
+        blocks_gauge = registry.gauge("monitor.blocks_ingested")
+        lag_gauge = registry.gauge("monitor.lag_blocks")
+        push_timing = registry.timing("monitor.push_seconds")
+        for producers in feed:
+            if stop_event.is_set():
+                logger.info("monitor stopping early at block %d", monitor.blocks_seen)
+                break
+            start = time.perf_counter()
+            alerts = monitor.push(producers)
+            push_timing.observe(time.perf_counter() - start)
+            blocks_gauge.set(monitor.blocks_seen)
+            state.record_push(monitor.blocks_seen)
+            if total_blocks is not None:
+                lag_gauge.set(total_blocks - monitor.blocks_seen)
+            if monitor.evaluations > state.evaluations:
+                latest = monitor.latest()
+                for name, value in latest.items():
+                    registry.gauge(f"monitor.latest.{name}").set(value)
+                state.record_evaluation(latest, len(alerts))
+            if alerts:
+                alerts_total += len(alerts)
+                registry.counter("monitor.alerts_total").inc(len(alerts))
+                for alert in alerts:
+                    print_fn(f"ALERT {alert}")
+            if throttle > 0.0:
+                stop_event.wait(throttle)
+        state.mark_finished()
+        if server is not None and linger != 0.0 and not stop_event.is_set():
+            stop_event.wait(None if linger < 0 else linger)
+    finally:
+        if server is not None:
+            server.stop()
+    return MonitorRun(
+        blocks=monitor.blocks_seen,
+        evaluations=monitor.evaluations,
+        alerts=alerts_total,
+        latest=monitor.latest(),
+        port=server.port if server is not None else None,
+    )

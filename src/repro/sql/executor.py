@@ -11,6 +11,7 @@ value, ``IS NULL`` matches ``None`` and NaN, and ``COUNT(x)`` skips NULLs.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Any, Mapping
 
@@ -44,6 +45,11 @@ from repro.sql.planner import QueryPlan, find_aggregates, plan, source_tables
 from repro.table import Table
 from repro.table.aggregates import grouped_aggregate
 from repro.table.column import Column
+
+logger = logging.getLogger(__name__)
+
+#: Object-dtype comparisons below this many rows skip the fallback warning.
+_OBJECT_COMPARE_WARN_ROWS = 100_000
 
 
 def query(sql: str, **tables: Table) -> Table:
@@ -650,6 +656,13 @@ def _compare_object(op: str, left: Any, right: Any) -> np.ndarray:
     left_arr = left if isinstance(left, np.ndarray) else None
     right_arr = right if isinstance(right, np.ndarray) else None
     length = len(left_arr) if left_arr is not None else len(right_arr)
+    if length >= _OBJECT_COMPARE_WARN_ROWS:
+        obs.counter("sql.object_compare_fallback")
+        logger.warning(
+            "object-dtype %r comparison fell back to a Python row loop "
+            "over %d rows; consider filtering earlier or comparing numerics",
+            op, length,
+        )
     out = np.empty(length, dtype=bool)
     for i in range(length):
         lhs = left_arr[i] if left_arr is not None else left

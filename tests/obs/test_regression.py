@@ -1,0 +1,176 @@
+"""Tests for the benchmark regression gate."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.regression import (
+    BenchEntry,
+    Delta,
+    compare_benchmarks,
+    format_comparison,
+    load_benchmark_file,
+)
+
+
+def write_bench(path, entries):
+    """Write a minimal pytest-benchmark JSON file.
+
+    ``entries`` maps name -> (median, {stage: (count, total_seconds)}).
+    """
+    benchmarks = []
+    for name, (median, stages) in entries.items():
+        benchmarks.append(
+            {
+                "name": name,
+                "stats": {"median": median},
+                "extra_info": {
+                    "stages": {
+                        stage: {"count": count, "total_seconds": total}
+                        for stage, (count, total) in stages.items()
+                    }
+                },
+            }
+        )
+    path.write_text(json.dumps({"benchmarks": benchmarks}), encoding="utf-8")
+    return str(path)
+
+
+class TestDelta:
+    def test_ratio(self):
+        assert Delta("k", old=2.0, new=3.0).ratio == pytest.approx(1.5)
+
+    def test_both_zero_is_flat(self):
+        assert Delta("k", old=0.0, new=0.0).ratio == 1.0
+
+    def test_growth_from_zero_is_infinite(self):
+        delta = Delta("k", old=0.0, new=0.1)
+        assert math.isinf(delta.ratio)
+        assert delta.regressed(1000.0)
+
+    def test_regressed_is_strict(self):
+        delta = Delta("k", old=1.0, new=1.25)
+        assert not delta.regressed(1.25)
+        assert delta.regressed(1.2)
+
+
+class TestLoad:
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_benchmark_file(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_raises_observability_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            load_benchmark_file(str(path))
+
+    def test_missing_benchmarks_list(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"results": []}', encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="benchmarks"):
+            load_benchmark_file(str(path))
+
+    def test_entry_without_median(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(
+            '{"benchmarks": [{"name": "t", "stats": {}}]}', encoding="utf-8"
+        )
+        with pytest.raises(ObservabilityError, match="stats.median"):
+            load_benchmark_file(str(path))
+
+    def test_stages_become_per_call_seconds(self, tmp_path):
+        path = write_bench(
+            tmp_path / "bench.json",
+            {"test_sweep": (0.5, {"attribute": (10, 2.0), "idle": (0, 0.0)})},
+        )
+        entries = load_benchmark_file(path)
+        entry = entries["test_sweep"]
+        assert entry.median == 0.5
+        assert entry.stages == {"attribute": pytest.approx(0.2)}
+
+    def test_entries_without_extra_info_load_fine(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(
+            '{"benchmarks": [{"name": "t", "stats": {"median": 0.25}}]}',
+            encoding="utf-8",
+        )
+        assert load_benchmark_file(str(path))["t"].stages == {}
+
+
+class TestCompare:
+    def test_headline_and_stage_deltas(self):
+        old = {"b": BenchEntry("b", 1.0, {"s1": 0.5, "s2": 0.1})}
+        new = {"b": BenchEntry("b", 2.0, {"s1": 0.6, "s3": 0.2})}
+        report = compare_benchmarks(old, new)
+        assert {d.key for d in report.deltas} == {"b", "b::s1"}
+        headline = next(d for d in report.deltas if d.key == "b")
+        assert headline.ratio == pytest.approx(2.0)
+
+    def test_min_seconds_skips_micro_quantities(self):
+        old = {"b": BenchEntry("b", 0.5, {"micro": 4e-5})}
+        new = {"b": BenchEntry("b", 0.5, {"micro": 8e-5})}
+        report = compare_benchmarks(old, new, min_seconds=1e-3)
+        assert [d.key for d in report.deltas] == ["b"]
+
+    def test_coverage_drift_is_reported(self):
+        old = {"gone": BenchEntry("gone", 1.0, {})}
+        new = {"fresh": BenchEntry("fresh", 1.0, {})}
+        report = compare_benchmarks(old, new)
+        assert report.missing == ("gone",)
+        assert report.added == ("fresh",)
+        assert report.deltas == ()
+
+    def test_regressions_sorted_worst_first(self):
+        old = {
+            "a": BenchEntry("a", 1.0, {}),
+            "b": BenchEntry("b", 1.0, {}),
+            "c": BenchEntry("c", 1.0, {}),
+        }
+        new = {
+            "a": BenchEntry("a", 1.5, {}),
+            "b": BenchEntry("b", 3.0, {}),
+            "c": BenchEntry("c", 0.9, {}),
+        }
+        regressions = compare_benchmarks(old, new).regressions(1.25)
+        assert [d.key for d in regressions] == ["b", "a"]
+
+
+class TestFormat:
+    def test_table_flags_regressions_and_improvements(self):
+        report = compare_benchmarks(
+            {"slow": BenchEntry("slow", 1.0, {}), "fast": BenchEntry("fast", 1.0, {})},
+            {"slow": BenchEntry("slow", 2.0, {}), "fast": BenchEntry("fast", 0.5, {})},
+        )
+        text = format_comparison(report, tolerance=1.25)
+        assert "REGRESSED" in text
+        assert "faster" in text
+        assert "2.00x" in text
+
+    def test_without_tolerance_no_verdicts(self):
+        report = compare_benchmarks(
+            {"b": BenchEntry("b", 1.0, {})}, {"b": BenchEntry("b", 2.0, {})}
+        )
+        assert "REGRESSED" not in format_comparison(report)
+
+    def test_drift_and_empty_reports_render(self):
+        report = compare_benchmarks(
+            {"gone": BenchEntry("gone", 1.0, {})},
+            {"fresh": BenchEntry("fresh", 1.0, {})},
+        )
+        text = format_comparison(report)
+        assert "(only in old run)" in text
+        assert "(only in new run)" in text
+        assert "(no comparable benchmarks)" in text
+
+    def test_unit_scaling(self):
+        report = compare_benchmarks(
+            {"b": BenchEntry("b", 2.5, {"µ": 5e-5, "m": 5e-3})},
+            {"b": BenchEntry("b", 2.5, {"µ": 5e-5, "m": 5e-3})},
+        )
+        text = format_comparison(report)
+        assert "s " in text
+        assert "ms" in text
+        assert "µs" in text

@@ -4,9 +4,23 @@ These drive ``repro.cli.main`` in-process.  The full-year simulations run
 once per invocation, so the suite keeps CLI runs to a handful.
 """
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def write_bench_file(path, medians):
+    """A minimal pytest-benchmark JSON file: name -> headline median."""
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"median": median}, "extra_info": {}}
+            for name, median in medians.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
 
 
 class TestParser:
@@ -162,6 +176,50 @@ class TestExitCodes:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    def test_trace_subcommand_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not a trace\n", encoding="utf-8")
+        code = main(["trace", str(path), "--validate"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--window", "0"],
+            ["--stride", "-5"],
+            ["--blocks", "0"],
+            ["--serve", "70000"],
+            ["--throttle", "-1"],
+            ["--alert-below", "gini"],
+            ["--alert-above", "bogus=1.0"],
+        ],
+    )
+    def test_monitor_validation_failures(self, flags, capsys):
+        code = main(["monitor", "--chain", "bitcoin", *flags])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_diff_missing_file(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", {"t": 1.0})
+        code = main(["bench-diff", old, str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_diff_malformed_file(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", {"t": 1.0})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken", encoding="utf-8")
+        code = main(["bench-diff", old, str(bad)])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bench_diff_fail_over_must_exceed_one(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", {"t": 1.0})
+        code = main(["bench-diff", old, old, "--fail-over", "0.5"])
+        assert code == 2
+        assert "--fail-over" in capsys.readouterr().err
+
 
 class TestTracing:
     def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
@@ -193,6 +251,72 @@ class TestTracing:
         assert "cli.measure" in out
         assert main(["trace", str(path), "--validate"]) == 0
         assert "valid jsonl trace" in capsys.readouterr().out
+
+
+class TestMonitorCommand:
+    def test_monitor_replays_blocks_and_summarizes(self, capsys):
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--window", "144",
+             "--stride", "72", "--blocks", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monitoring bitcoin: window=144 stride=72 blocks=1000" in out
+        assert "monitored 1000 blocks:" in out
+        assert "latest: entropy=" in out
+
+    def test_monitor_alert_rules_fire(self, capsys):
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--window", "144",
+             "--blocks", "500", "--alert-above", "gini=0.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALERT block " in out
+
+
+class TestBenchDiff:
+    def test_identical_runs_pass_the_gate(self, tmp_path, capsys):
+        path = write_bench_file(tmp_path / "bench.json", {"t_sweep": 0.5})
+        code = main(["bench-diff", path, path, "--fail-over", "1.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1.00x" in out
+        assert "ok: no median regressed past 1.25x" in out
+
+    def test_regression_past_tolerance_fails(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", {"t_sweep": 0.1})
+        new = write_bench_file(tmp_path / "new.json", {"t_sweep": 0.2})
+        code = main(["bench-diff", old, new, "--fail-over", "1.25"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "t_sweep at 2.00x" in captured.err
+
+    def test_without_fail_over_the_diff_is_informational(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", {"t_sweep": 0.1})
+        new = write_bench_file(tmp_path / "new.json", {"t_sweep": 0.4})
+        code = main(["bench-diff", old, new])
+        assert code == 0
+        assert "4.00x" in capsys.readouterr().out
+
+    def test_improvement_passes_and_is_flagged(self, tmp_path, capsys):
+        old = write_bench_file(tmp_path / "old.json", {"t_sweep": 0.4})
+        new = write_bench_file(tmp_path / "new.json", {"t_sweep": 0.1})
+        code = main(["bench-diff", old, new, "--fail-over", "1.25"])
+        assert code == 0
+        assert "faster" in capsys.readouterr().out
+
+    def test_committed_baseline_self_diff_is_clean(self, capsys):
+        from pathlib import Path
+
+        baseline = str(
+            Path(__file__).resolve().parents[1]
+            / "benchmarks" / "baselines" / "BENCH_pipeline_baseline.json"
+        )
+        code = main(["bench-diff", baseline, baseline, "--fail-over", "1.25"])
+        assert code == 0
+        assert "ok: no median regressed" in capsys.readouterr().out
 
 
 class TestExplainAnalyze:

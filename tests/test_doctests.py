@@ -6,6 +6,8 @@ import pytest
 
 import repro.chain.tags
 import repro.metrics.entropy
+import repro.obs.metrics
+import repro.obs.prometheus
 import repro.metrics.gini
 import repro.metrics.hhi
 import repro.metrics.nakamoto
@@ -18,6 +20,8 @@ import repro.windows.sliding
 MODULES = [
     repro.chain.tags,
     repro.metrics.entropy,
+    repro.obs.metrics,
+    repro.obs.prometheus,
     repro.metrics.gini,
     repro.metrics.hhi,
     repro.metrics.nakamoto,

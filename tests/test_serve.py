@@ -1,0 +1,296 @@
+"""Tests for the live telemetry server and the monitor runner.
+
+The HTTP tests bind an ephemeral port on localhost and drive the real
+:class:`~repro.serve.TelemetryServer` with ``urllib``; the monitor tests
+feed synthetic blocks so they stay fast and deterministic.  One
+subprocess test covers the acceptance path the in-process tests cannot:
+SIGTERM mid-run must still flush ``--trace`` output.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.streaming import ThresholdRule
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    PROMETHEUS_CONTENT_TYPE,
+    MonitorState,
+    TelemetryServer,
+    run_monitor,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def clean_global_registry():
+    """run_monitor writes to the process-wide registry; keep tests isolated."""
+    obs.get_tracer().metrics.reset()
+    yield
+    obs.get_tracer().metrics.reset()
+
+
+def http_get(port: int, path: str, timeout: float = 5.0):
+    """GET localhost:port/path -> (status, content_type, body_text)."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read().decode("utf-8")
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestMonitorState:
+    def test_ready_flips_on_first_evaluation(self):
+        state = MonitorState("bitcoin", 144, 72, total_blocks=1000)
+        assert not state.is_ready()
+        state.record_push(144)
+        assert not state.is_ready()
+        state.record_evaluation({"gini": 0.8}, n_alerts=1)
+        assert state.is_ready()
+
+    def test_snapshot_reports_window_and_lag(self):
+        state = MonitorState("bitcoin", 144, 72, total_blocks=1000)
+        state.record_push(200)
+        state.record_evaluation({"gini": 0.8, "nakamoto": 4.0}, n_alerts=0)
+        snap = state.snapshot()
+        assert snap["window"] == {
+            "size": 144, "stride": 72, "start_block": 56, "end_block": 200,
+        }
+        assert snap["lag_blocks"] == 800
+        assert snap["latest"] == {"gini": 0.8, "nakamoto": 4.0}
+        assert snap["evaluations"] == 1
+        assert not snap["finished"]
+        json.dumps(snap)  # the /status payload must be JSON-serializable
+
+    def test_unknown_total_means_no_lag(self):
+        snap = MonitorState("x", 10, 5).snapshot()
+        assert snap["total_blocks"] is None
+        assert snap["lag_blocks"] is None
+
+
+class TestTelemetryServer:
+    def test_endpoints(self):
+        registry = MetricsRegistry()
+        registry.counter("demo.hits").inc(3)
+        ready = threading.Event()
+        server = TelemetryServer(
+            registry,
+            status_fn=lambda: {"chain": "demo"},
+            ready_fn=ready.is_set,
+        )
+        with server:
+            port = server.port
+            status, ctype, body = http_get(port, "/metrics")
+            assert status == 200
+            assert ctype == PROMETHEUS_CONTENT_TYPE
+            assert "repro_demo_hits_total 3" in body
+
+            status, _, body = http_get(port, "/healthz")
+            assert (status, body) == (200, "ok\n")
+
+            status, _, _ = http_get(port, "/readyz")
+            assert status == 503
+            ready.set()
+            status, _, _ = http_get(port, "/readyz")
+            assert status == 200
+
+            status, ctype, body = http_get(port, "/status")
+            assert status == 200
+            assert ctype.startswith("application/json")
+            assert json.loads(body) == {"chain": "demo"}
+
+            status, _, _ = http_get(port, "/nope")
+            assert status == 404
+
+    def test_query_strings_are_ignored(self):
+        with TelemetryServer(MetricsRegistry()) as server:
+            status, _, _ = http_get(server.port, "/healthz?verbose=1")
+            assert status == 200
+
+    def test_stop_releases_the_port_and_is_idempotent(self):
+        server = TelemetryServer(MetricsRegistry())
+        port = server.start()
+        assert http_get(port, "/healthz")[0] == 200
+        server.stop()
+        server.stop()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=0.5
+            )
+
+
+def synthetic_feed(n_blocks: int, n_producers: int = 5):
+    """Round-robin producers: perfectly even, low gini, high entropy."""
+    for i in range(n_blocks):
+        yield [f"pool-{i % n_producers}"]
+
+
+class TestRunMonitor:
+    def test_counts_and_latest_without_server(self):
+        lines = []
+        result = run_monitor(
+            synthetic_feed(100),
+            window_size=20,
+            stride=10,
+            chain="synthetic",
+            rules=[ThresholdRule("entropy", above=1.0)],
+            total_blocks=100,
+            print_fn=lines.append,
+        )
+        assert result.blocks == 100
+        assert result.evaluations == 9  # blocks 20, 30, ..., 100
+        assert result.alerts == 9  # even split: entropy log2(5) > 1 every time
+        assert set(result.latest) == {"gini", "entropy", "nakamoto"}
+        assert result.port is None
+        assert sum(line.startswith("ALERT") for line in lines) == 9
+
+    def test_registry_gauges_track_progress(self):
+        run_monitor(
+            synthetic_feed(40), window_size=10, stride=5, total_blocks=40
+        )
+        registry = obs.get_tracer().metrics
+        snap = registry.snapshot()
+        assert snap["gauges"]["monitor.blocks_ingested"] == 40.0
+        assert snap["gauges"]["monitor.lag_blocks"] == 0.0
+        assert snap["gauges"]["monitor.latest.gini"] >= 0.0
+        assert snap["timings"]["monitor.push_seconds"]["count"] == 40
+
+    def test_stop_event_aborts_ingestion(self):
+        stop = threading.Event()
+        stop.set()
+        result = run_monitor(
+            synthetic_feed(1000), window_size=10, stride=5, stop_event=stop
+        )
+        assert result.blocks == 0
+        assert result.evaluations == 0
+
+
+class TestServedMonitor:
+    def test_readyz_flips_after_first_window(self, tmp_path):
+        """Acceptance: /readyz is 503 until the first window completes."""
+        window = 10
+        gate = threading.Event()
+        stop = threading.Event()
+        port_file = tmp_path / "port"
+        results = []
+
+        def gated_feed():
+            for i in range(window - 1):
+                yield ["pool-a"]
+            assert gate.wait(timeout=30.0)
+            yield ["pool-b"]  # completes the first window
+
+        def run():
+            results.append(
+                run_monitor(
+                    gated_feed(),
+                    window_size=window,
+                    stride=5,
+                    chain="gated",
+                    total_blocks=window,
+                    serve_port=0,
+                    linger=-1.0,
+                    port_file=str(port_file),
+                    stop_event=stop,
+                    print_fn=lambda _line: None,
+                )
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            assert wait_until(port_file.exists), "port file never appeared"
+            port = int(port_file.read_text().strip())
+            assert wait_until(
+                lambda: json.loads(http_get(port, "/status")[2])[
+                    "blocks_ingested"
+                ] == window - 1
+            )
+            # Mid-run scrapes work while the monitor is one block short...
+            assert http_get(port, "/healthz")[0] == 200
+            assert http_get(port, "/readyz")[0] == 503
+            status, _, body = http_get(port, "/metrics")
+            assert status == 200
+            assert "repro_monitor_blocks_ingested 9" in body
+            # ...and readiness flips once the window evaluates.
+            gate.set()
+            assert wait_until(lambda: http_get(port, "/readyz")[0] == 200)
+            snapshot = json.loads(http_get(port, "/status")[2])
+            assert snapshot["ready"] and snapshot["finished"]
+            assert snapshot["evaluations"] == 1
+        finally:
+            gate.set()
+            stop.set()
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        (result,) = results
+        assert result.blocks == window
+        assert result.evaluations == 1
+
+
+class TestSigtermFlushesTrace:
+    def test_monitor_killed_mid_run_still_writes_trace(self, tmp_path):
+        """Regression: --trace output must survive SIGTERM mid-monitor."""
+        trace_path = tmp_path / "trace.jsonl"
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "--trace", str(trace_path),
+                "monitor", "--chain", "bitcoin", "--blocks", "2000",
+                "--serve", "0", "--port-file", str(port_file),
+                "--throttle", "0.005", "--linger=-1",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert wait_until(port_file.exists, timeout=60.0), (
+                "monitor never served",
+                proc.poll(),
+            )
+            port = int(port_file.read_text().strip())
+            assert http_get(port, "/healthz")[0] == 200
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (stdout, stderr)
+        assert "wrote trace" in stdout
+        from repro.obs.export import validate_trace_file
+
+        summary = validate_trace_file(str(trace_path))
+        assert summary["format"] == "jsonl"
+        assert summary["n_spans"] >= 1
