@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-perf bench-diff examples report lint-docs all
+.PHONY: install test bench bench-perf bench-diff chaos examples report lint-docs all
 
 install:
 	python setup.py develop
@@ -17,6 +17,9 @@ bench-diff: BENCH_pipeline.json
 	python -m repro.cli bench-diff \
 		benchmarks/baselines/BENCH_pipeline_baseline.json \
 		BENCH_pipeline.json --fail-over 1.25 --min-seconds 0.005
+
+chaos:
+	python -m repro.cli chaos --seed 7
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done

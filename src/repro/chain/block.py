@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ChainError
+from repro.util.validation import ensure_block_height, ensure_producers
 
 
 @dataclass(frozen=True)
@@ -20,6 +21,10 @@ class Block:
     ``producers`` is the ordered tuple of coinbase output addresses (Bitcoin)
     or the one-element tuple of the miner address (Ethereum).  ``tag`` holds
     the pool tag parsed from the coinbase text, when known.
+
+    Construction validates eagerly with :class:`~repro.errors.ChainError`:
+    a non-positive height or an empty coinbase address list is rejected
+    here rather than surfacing as a wrong distribution in attribution.
     """
 
     height: int
@@ -28,12 +33,9 @@ class Block:
     tag: str | None = field(default=None)
 
     def __post_init__(self) -> None:
-        if self.height < 0:
-            raise ChainError(f"block height must be non-negative, got {self.height}")
-        if not self.producers:
-            raise ChainError(f"block {self.height} has no producers")
-        if any(not p for p in self.producers):
-            raise ChainError(f"block {self.height} has an empty producer address")
+        ensure_block_height(self.height, context="block", exc=ChainError)
+        ensure_producers(self.producers, context=f"block {self.height}",
+                         exc=ChainError)
 
     @property
     def primary_producer(self) -> str:

@@ -9,6 +9,7 @@ Subcommands::
     repro-decentralization query      --chain bitcoin --sql "SELECT ..."
     repro-decentralization trace      trace.json
     repro-decentralization monitor    --chain bitcoin --serve 9464
+    repro-decentralization chaos      --seed 7 --blocks 4096
     repro-decentralization bench-diff OLD.json NEW.json --fail-over 1.25
 
 All commands simulate the calibrated 2019 datasets on demand (seeded, so
@@ -19,8 +20,10 @@ summarizes or validates such a file afterwards.  ``--log-json`` and
 ``--log-level`` configure structured logging (span-correlated records).
 
 Exit codes are part of the contract: ``2`` for argument/validation
-errors, ``1`` for runtime failures (I/O, unknown figures, a benchmark
-regression past ``--fail-over``), ``0`` otherwise.
+errors (including a malformed ``--inject-faults`` spec), ``1`` for
+runtime failures (I/O, unknown figures, exhausted retries or an open
+circuit breaker, a chaos-run divergence, a benchmark regression past
+``--fail-over``), ``0`` otherwise.
 """
 
 from __future__ import annotations
@@ -35,7 +38,7 @@ from typing import Callable, Iterator, Sequence
 from repro import obs
 from repro.analysis.study import DecentralizationStudy
 from repro.core.summary import summarize
-from repro.errors import ReproError
+from repro.errors import FaultSpecError, ReproError
 from repro.metrics import available_metrics
 from repro.obs.export import validate_trace_file, write_trace
 from repro.obs.logging import configure_logging
@@ -94,6 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     measure.add_argument("--out", help="optional CSV output path")
     measure.add_argument("--chart", action="store_true", help="print an ASCII chart")
+    measure.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="ingest the chain through the fault injector "
+        "(kind[:rate=F,max=N];... — see 'repro chaos') and measure the "
+        "repaired result; the data-quality report is stamped on the series",
+    )
+    measure.add_argument(
+        "--repair-policy", choices=["refetch", "interpolate", "drop"],
+        default="refetch",
+        help="how --inject-faults ingestion repairs bad blocks "
+        "(default refetch, the byte-identical policy)",
+    )
 
     figure = sub.add_parser("figure", help="reproduce figures of the paper")
     figure.add_argument(
@@ -180,6 +195,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--alert-above", action="append", default=[], metavar="METRIC=VALUE",
         help="alert when METRIC rises above VALUE (repeatable)",
     )
+    monitor.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="mangle the block feed through the fault injector "
+        "(dropped/duplicated/emptied blocks); combine with --max-restarts "
+        "to survive the crashes empty blocks cause",
+    )
+    monitor.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="supervise the ingest loop: restart it up to N times on a "
+        "crash, serving 503 on /readyz while degraded (default: no "
+        "supervision, a crash fails the command)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection drill: ingest a chain through every "
+        "fault class and verify byte-identical recovery",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-schedule and simulation seed (default 7)",
+    )
+    chaos.add_argument("--chain", choices=sorted(_CHAIN_KEYS), default="bitcoin")
+    chaos.add_argument(
+        "--blocks", type=int, default=4096,
+        help="length of the chain prefix to drill on (default 4096)",
+    )
+    chaos.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault spec kind[:rate=F,max=N];... "
+        "(default: every fault class at moderate rates)",
+    )
+    chaos.add_argument(
+        "--repair-policy", choices=["refetch", "interpolate", "drop"],
+        default="refetch",
+        help="integrity repair policy; only refetch guarantees the "
+        "byte-identical verdict (default refetch)",
+    )
+    chaos.add_argument(
+        "--page-size", type=int, default=256,
+        help="ingest page size in blocks (default 256)",
+    )
 
     bench_diff = sub.add_parser(
         "bench-diff",
@@ -214,6 +271,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         with obs.span(f"cli.{args.command}"):
             code = _dispatch(args)
+    except FaultSpecError as exc:
+        # A bad --inject-faults/--faults spec is an argument error (2),
+        # not a runtime failure (1) — same contract as bad window specs.
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
@@ -261,6 +323,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "bench-diff":
         return _cmd_bench_diff(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     study = DecentralizationStudy(seed=args.seed)
     if args.command == "monitor":
         return _cmd_monitor(study, args)
@@ -292,7 +356,25 @@ def _cmd_simulate(study: DecentralizationStudy, args: argparse.Namespace) -> int
 
 
 def _cmd_measure(study: DecentralizationStudy, args: argparse.Namespace) -> int:
-    engine = study.engine(_CHAIN_KEYS[args.chain])
+    chain_key = _CHAIN_KEYS[args.chain]
+    if args.inject_faults:
+        from repro.core.engine import MeasurementEngine
+
+        result = _faulted_ingest(
+            study.chain(chain_key), args.inject_faults, args.seed,
+            repair_policy=args.repair_policy,
+        )
+        print(
+            f"faulted ingest: {len(result.report.issues)} issue(s) detected, "
+            f"{result.report.refetched} refetched, "
+            f"{result.report.interpolated} interpolated, "
+            f"{result.report.dropped} dropped"
+        )
+        engine = MeasurementEngine.from_chain(
+            result.chain, quality=result.report.as_dict()
+        )
+    else:
+        engine = study.engine(chain_key)
     windows = args.windows
     if windows.startswith("fixed-"):
         series = engine.measure_calendar(args.metric, windows.removeprefix("fixed-"))
@@ -477,6 +559,131 @@ def _parse_alert_specs(
     return parsed
 
 
+def _faulted_ingest(source, spec: str, seed: int, repair_policy: str = "refetch"):
+    """Ingest ``source`` through a seeded fault injector with retries."""
+    from repro.resilience import FaultInjector, fetch_chain, parse_fault_spec
+    from repro.resilience.retry import ManualClock, RetryPolicy
+
+    plan = parse_fault_spec(spec)
+    return fetch_chain(
+        source,
+        injector=FaultInjector(plan, seed=seed),
+        retry_policy=RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.25),
+        clock=ManualClock(),
+        repair_policy=repair_policy,
+        seed=seed,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.chain.pools import bitcoin_pools_2019, ethereum_pools_2019
+    from repro.core.engine import MeasurementEngine
+    from repro.data.cache import cached_chain
+    from repro.data.store import ChainStore
+    from repro.resilience import (
+        FaultInjector,
+        FaultPlan,
+        chain_from_raw_blocks,
+        chains_equal,
+        fetch_chain,
+        parse_fault_spec,
+        raw_blocks,
+    )
+    from repro.resilience.faults import corrupt_file_bytes
+    from repro.resilience.retry import ManualClock, RetryPolicy
+    from repro.simulation.scenarios import simulate_bitcoin_2019, simulate_ethereum_2019
+
+    if args.blocks <= 0:
+        print(f"error: --blocks must be positive, got {args.blocks}", file=sys.stderr)
+        return 2
+    if args.page_size <= 0:
+        print(
+            f"error: --page-size must be positive, got {args.page_size}",
+            file=sys.stderr,
+        )
+        return 2
+    plan = parse_fault_spec(args.faults) if args.faults else FaultPlan.default()
+
+    if _CHAIN_KEYS[args.chain] == "btc":
+        full, registry = simulate_bitcoin_2019(seed=args.seed), bitcoin_pools_2019()
+    else:
+        full, registry = simulate_ethereum_2019(seed=args.seed), ethereum_pools_2019()
+    n = min(args.blocks, full.n_blocks)
+    source = chain_from_raw_blocks(full.spec, raw_blocks(full, 0, n))
+    print(
+        f"chaos drill: {source.spec.name} prefix of {n} blocks, "
+        f"seed={args.seed}, faults={';'.join(plan.kinds)}"
+    )
+
+    clean = fetch_chain(source, page_size=args.page_size)
+    injector = FaultInjector(plan, seed=args.seed)
+    faulted = fetch_chain(
+        source,
+        page_size=args.page_size,
+        injector=injector,
+        retry_policy=RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.25),
+        clock=ManualClock(),
+        repair_policy=args.repair_policy,
+        seed=args.seed,
+    )
+    fired = {kind: count for kind, count in sorted(injector.fired.items()) if count}
+    print(
+        "faults fired: "
+        + (", ".join(f"{k} x{v}" for k, v in fired.items()) or "none")
+    )
+    report = faulted.report
+    print(
+        f"integrity: {len(report.issues)} issue(s) detected, "
+        f"{report.refetched} refetched, {report.interpolated} interpolated, "
+        f"{report.dropped} dropped, {report.deduplicated} deduplicated"
+    )
+
+    failures: list[str] = []
+    if not chains_equal(clean.chain, faulted.chain):
+        failures.append("recovered chain diverges from the clean ingest")
+
+    window = source.spec.window_day
+    for attribution in ("per-address", "first-address", "fractional", "pool"):
+        clean_engine = MeasurementEngine.from_chain(clean.chain, attribution, registry)
+        faulted_engine = MeasurementEngine.from_chain(
+            faulted.chain, attribution, registry, quality=report.as_dict()
+        )
+        for metric in ("gini", "entropy", "nakamoto"):
+            a = clean_engine.measure_sliding(metric, window)
+            b = faulted_engine.measure_sliding(metric, window)
+            if a.values.tobytes() != b.values.tobytes():
+                failures.append(f"{attribution}/{metric} series not byte-identical")
+    print(
+        "metric series: 4 attribution policies x 3 metrics "
+        f"over sliding-{window} compared byte-for-byte"
+    )
+
+    # The corrupt_cache half of the drill: flipped bytes in a stored
+    # partition must be caught by its checksum and healed by a rebuild.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ChainStore(tmp)
+        store.save("chaos", clean.chain)
+        partition = sorted((store.root / "chaos").glob("part-*.npz"))[0]
+        corrupt_file_bytes(partition)
+        rebuilt = cached_chain(store, "chaos", lambda: clean.chain)
+        if store.verify("chaos") or not chains_equal(rebuilt, clean.chain):
+            failures.append("cache corruption was not detected and rebuilt")
+        else:
+            print("cache: corrupted partition caught by checksum and rebuilt")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: recovery byte-identical across {len(fired)} fault class(es) "
+        f"(+ cache corruption healed)"
+    )
+    return 0
+
+
 def _block_feed(chain, limit: int | None) -> Iterator[list[str]]:
     """Yield each block's producer names, optionally truncated to ``limit``."""
     n_blocks = chain.n_blocks if limit is None else min(limit, chain.n_blocks)
@@ -504,6 +711,18 @@ def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
     if args.throttle < 0:
         print(f"error: --throttle must be >= 0, got {args.throttle}", file=sys.stderr)
         return 2
+    if args.max_restarts is not None and args.max_restarts < 0:
+        print(
+            f"error: --max-restarts must be >= 0, got {args.max_restarts}",
+            file=sys.stderr,
+        )
+        return 2
+    injector = None
+    if args.inject_faults:
+        from repro.resilience import FaultInjector, parse_fault_spec
+
+        # A bad spec raises FaultSpecError -> exit 2 in main().
+        injector = FaultInjector(parse_fault_spec(args.inject_faults), seed=args.seed)
     below = _parse_alert_specs(args.alert_below, "below")
     above = _parse_alert_specs(args.alert_above, "above")
     if below is None or above is None:
@@ -557,6 +776,8 @@ def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
             port_file=args.port_file,
             stop_event=stop_event,
             print_fn=lambda line: print(line, flush=True),
+            max_restarts=args.max_restarts,
+            injector=injector,
         )
     finally:
         for signum, handler in previous_handlers:
@@ -564,9 +785,10 @@ def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
         if enabled_here:
             obs.disable_tracing()
     latest = ", ".join(f"{k}={v:.4f}" for k, v in sorted(result.latest.items()))
+    restarts = f", {result.restarts} restart(s)" if result.restarts else ""
     print(
         f"monitored {result.blocks} blocks: {result.evaluations} evaluations, "
-        f"{result.alerts} alerts"
+        f"{result.alerts} alerts{restarts}"
     )
     if latest:
         print(f"latest: {latest}")

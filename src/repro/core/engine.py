@@ -37,8 +37,11 @@ class MeasurementEngine:
     #: How many (size, step) sliding batches to keep per engine.
     _SLIDING_CACHE_SLOTS = 8
 
-    def __init__(self, credits: Credits) -> None:
+    def __init__(self, credits: Credits, quality: dict | None = None) -> None:
         self.credits = credits
+        #: Ingest data-quality report stamped onto every series this
+        #: engine produces (``None`` for a clean/direct ingest).
+        self.quality = quality
         # (size, step) -> (batch, indices, labels, skipped); lets the figure
         # suite evaluate gini/entropy/nakamoto over one shared sweep.
         self._sliding_cache: dict[tuple[int, int], tuple] = {}
@@ -49,9 +52,10 @@ class MeasurementEngine:
         chain: Chain,
         policy: str = "per-address",
         registry: PoolRegistry | None = None,
+        quality: dict | None = None,
     ) -> "MeasurementEngine":
         """Attribute ``chain`` under ``policy`` and wrap the credits."""
-        return cls(attribute(chain, policy=policy, registry=registry))
+        return cls(attribute(chain, policy=policy, registry=registry), quality=quality)
 
     # -- generic measurement -----------------------------------------------------
 
@@ -93,6 +97,7 @@ class MeasurementEngine:
             labels=tuple(labels),
             values=np.asarray(values, dtype=np.float64),
             skipped=skipped,
+            quality=self.quality,
         )
 
     def measure_many(
@@ -325,6 +330,7 @@ class MeasurementEngine:
                 labels=labels,
                 values=values,
                 skipped=skipped,
+                quality=self.quality,
             )
         return result
 

@@ -30,6 +30,11 @@ class MeasurementSeries:
     values: np.ndarray
     #: Number of windows dropped because they contained no blocks.
     skipped: int = field(default=0)
+    #: Ingest data-quality report (``DataQualityReport.as_dict()``) when
+    #: the chain was fetched through the resilience layer; ``None`` for a
+    #: clean/direct ingest.  Provenance only — never affects values, so
+    #: it is excluded from equality.
+    quality: dict | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.float64)
@@ -136,6 +141,7 @@ class MeasurementSeries:
             labels=self.labels[sl],
             values=self.values[sl],
             skipped=self.skipped,
+            quality=self.quality,
         )
 
     def select_by_index(self, window_indices: Sequence[int]) -> "MeasurementSeries":
@@ -151,6 +157,7 @@ class MeasurementSeries:
             labels=tuple(self.labels[int(p)] for p in positions),
             values=self.values[positions],
             skipped=self.skipped,
+            quality=self.quality,
         )
 
     def to_table(self) -> Table:

@@ -8,7 +8,7 @@ from typing import Callable
 
 from repro import obs
 from repro.chain.chain import Chain
-from repro.data.store import ChainStore
+from repro.data.store import ChainStore, ChainStoreError
 
 logger = logging.getLogger(__name__)
 
@@ -22,6 +22,7 @@ def cached_chain(
     name: str,
     build: Callable[[], Chain],
     refresh: bool = False,
+    repair: bool = True,
 ) -> Chain:
     """Return the stored chain ``name``, building and storing it if absent.
 
@@ -33,22 +34,47 @@ def cached_chain(
     a rebuild slower than :data:`SLOW_BUILD_THRESHOLD_SECONDS` logs a
     warning correlated to the active span.
 
+    A cached entry that fails to load — a checksum mismatch from flipped
+    bytes, a truncated partition, a corrupt manifest — is *self-healing*:
+    with ``repair`` (the default) the bad entry is deleted, rebuilt from
+    ``build`` and re-stored, with the corruption counted on
+    ``chain_cache.corrupt`` for the metrics endpoint.  Pass
+    ``repair=False`` to surface the :class:`ChainStoreError` instead.
+
     >>> store = ChainStore(tmpdir)                              # doctest: +SKIP
     >>> eth = cached_chain(store, "eth-2019", simulate_ethereum_2019)  # doctest: +SKIP
     """
     if refresh or not store.exists(name):
-        obs.counter("chain_cache.miss")
-        start = time.perf_counter()
-        chain = build()
-        elapsed = time.perf_counter() - start
-        obs.timing("chain_cache.build_seconds", elapsed)
-        if elapsed > SLOW_BUILD_THRESHOLD_SECONDS:
-            logger.warning(
-                "chain cache miss for %r took %.1fs to rebuild "
-                "(threshold %.1fs)",
-                name, elapsed, SLOW_BUILD_THRESHOLD_SECONDS,
-            )
-        store.save(name, chain, overwrite=True)
-        return chain
+        return _rebuild(store, name, build, "miss")
+    try:
+        chain = store.load(name)
+    except ChainStoreError as exc:
+        if not repair:
+            raise
+        registry = obs.get_tracer().metrics
+        registry.counter("chain_cache.corrupt").inc()
+        logger.warning(
+            "cached chain %r failed to load (%s); quarantining and rebuilding",
+            name, exc,
+        )
+        store.delete(name)
+        return _rebuild(store, name, build, "corrupt_rebuild")
     obs.counter("chain_cache.hit")
-    return store.load(name)
+    return chain
+
+
+def _rebuild(
+    store: ChainStore, name: str, build: Callable[[], Chain], reason: str
+) -> Chain:
+    obs.counter(f"chain_cache.{reason}")
+    start = time.perf_counter()
+    chain = build()
+    elapsed = time.perf_counter() - start
+    obs.timing("chain_cache.build_seconds", elapsed)
+    if elapsed > SLOW_BUILD_THRESHOLD_SECONDS:
+        logger.warning(
+            "chain cache %s for %r took %.1fs to rebuild (threshold %.1fs)",
+            reason, name, elapsed, SLOW_BUILD_THRESHOLD_SECONDS,
+        )
+    store.save(name, chain, overwrite=True)
+    return chain

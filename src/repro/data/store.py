@@ -17,7 +17,10 @@ against the manifest's row counts.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -35,6 +38,19 @@ class ChainStoreError(ReproError):
 
 _MANIFEST_VERSION = 1
 
+#: Suffix of the staging directory a save builds in before the atomic
+#: rename; a leftover one (from a killed process) is garbage, never data.
+_TMP_SUFFIX = ".tmp"
+
+
+def _sha256(path: Path) -> str:
+    """Hex digest of a file's bytes (the stored-partition checksum)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
 
 class ChainStore:
     """Stores chains under a root directory, partitioned by month."""
@@ -46,15 +62,23 @@ class ChainStore:
     # -- catalog -----------------------------------------------------------
 
     def names(self) -> list[str]:
-        """Names of all stored chains, sorted."""
+        """Names of all stored chains, sorted.
+
+        Staging directories left by a killed mid-write save are not
+        chains (their manifest is written into the staging dir last, and
+        the rename is atomic) and are never listed.
+        """
         return sorted(
             child.name
             for child in self.root.iterdir()
             if (child / "manifest.json").is_file()
+            and not child.name.endswith(_TMP_SUFFIX)
         )
 
     def exists(self, name: str) -> bool:
-        """True if a chain named ``name`` is stored."""
+        """True if a chain named ``name`` is stored (never a staging dir)."""
+        if name.endswith(_TMP_SUFFIX):
+            return False
         return (self.root / name / "manifest.json").is_file()
 
     def delete(self, name: str) -> None:
@@ -74,60 +98,76 @@ class ChainStore:
             return self._save(name, chain, overwrite)
 
     def _save(self, name: str, chain: Chain, overwrite: bool) -> Path:
-        if not name or "/" in name:
+        if not name or "/" in name or name.endswith(_TMP_SUFFIX):
             raise ChainStoreError(f"invalid chain name: {name!r}")
         directory = self.root / name
-        if self.exists(name):
-            if not overwrite:
-                raise ChainStoreError(f"chain {name!r} already exists")
-            self.delete(name)
-        directory.mkdir(parents=True, exist_ok=True)
-        months = np.asarray(month_index(chain.timestamps))
-        counts = chain.producer_counts()
-        partitions = []
-        for month in np.unique(months):
-            rows = np.flatnonzero(months == month)
-            start, stop = int(rows[0]), int(rows[-1]) + 1
-            lo, hi = int(chain.offsets[start]), int(chain.offsets[stop])
-            label = f"2019-{int(month) + 1:02d}" if 0 <= month < 12 else f"m{int(month)}"
-            path = directory / f"part-{label}.npz"
-            np.savez_compressed(
-                path,
-                heights=chain.heights[start:stop],
-                timestamps=chain.timestamps[start:stop],
-                counts=counts[start:stop],
-                producer_ids=chain.producer_ids[lo:hi],
+        if self.exists(name) and not overwrite:
+            raise ChainStoreError(f"chain {name!r} already exists")
+        # Write-temp-then-rename: everything (partitions, producers,
+        # manifest last) is staged in a sibling directory, then moved to
+        # the final name with one atomic os.replace.  A process killed
+        # mid-write leaves only a staging directory, which no load or
+        # listing ever treats as a chain.
+        staging = self.root / f"{name}{_TMP_SUFFIX}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            months = np.asarray(month_index(chain.timestamps))
+            counts = chain.producer_counts()
+            partitions = []
+            for month in np.unique(months):
+                rows = np.flatnonzero(months == month)
+                start, stop = int(rows[0]), int(rows[-1]) + 1
+                lo, hi = int(chain.offsets[start]), int(chain.offsets[stop])
+                label = f"2019-{int(month) + 1:02d}" if 0 <= month < 12 else f"m{int(month)}"
+                path = staging / f"part-{label}.npz"
+                np.savez_compressed(
+                    path,
+                    heights=chain.heights[start:stop],
+                    timestamps=chain.timestamps[start:stop],
+                    counts=counts[start:stop],
+                    producer_ids=chain.producer_ids[lo:hi],
+                )
+                partitions.append(
+                    {
+                        "file": path.name,
+                        "n_blocks": stop - start,
+                        "n_credits": hi - lo,
+                        "sha256": _sha256(path),
+                    }
+                )
+            producers_path = staging / "producers.json"
+            producers_path.write_text(
+                json.dumps(list(chain.producer_names)), encoding="utf-8"
             )
-            partitions.append(
-                {
-                    "file": path.name,
-                    "n_blocks": stop - start,
-                    "n_credits": hi - lo,
-                }
+            manifest = {
+                "version": _MANIFEST_VERSION,
+                "spec": {
+                    "name": chain.spec.name,
+                    "start_height": chain.spec.start_height,
+                    "block_count": chain.spec.block_count,
+                    "target_interval": chain.spec.target_interval,
+                    "blocks_per_day": chain.spec.blocks_per_day,
+                    "window_day": chain.spec.window_day,
+                    "window_week": chain.spec.window_week,
+                    "window_month": chain.spec.window_month,
+                },
+                "n_blocks": chain.n_blocks,
+                "n_credits": chain.n_credits,
+                "n_producers": chain.n_producers,
+                "producers_sha256": _sha256(producers_path),
+                "partitions": partitions,
+            }
+            (staging / "manifest.json").write_text(
+                json.dumps(manifest, indent=2), encoding="utf-8"
             )
-        (directory / "producers.json").write_text(
-            json.dumps(list(chain.producer_names)), encoding="utf-8"
-        )
-        manifest = {
-            "version": _MANIFEST_VERSION,
-            "spec": {
-                "name": chain.spec.name,
-                "start_height": chain.spec.start_height,
-                "block_count": chain.spec.block_count,
-                "target_interval": chain.spec.target_interval,
-                "blocks_per_day": chain.spec.blocks_per_day,
-                "window_day": chain.spec.window_day,
-                "window_week": chain.spec.window_week,
-                "window_month": chain.spec.window_month,
-            },
-            "n_blocks": chain.n_blocks,
-            "n_credits": chain.n_credits,
-            "n_producers": chain.n_producers,
-            "partitions": partitions,
-        }
-        (directory / "manifest.json").write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
+            if directory.exists():
+                self.delete(name)
+            os.replace(staging, directory)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
         return directory
 
     # -- load ----------------------------------------------------------------
@@ -151,24 +191,55 @@ class ChainStore:
                 f"unsupported manifest version {manifest.get('version')!r}"
             )
         spec = ChainSpec(**manifest["spec"])
-        producers = json.loads(
-            (directory / "producers.json").read_text(encoding="utf-8")
-        )
+        producers_path = directory / "producers.json"
+        if not producers_path.is_file():
+            raise ChainStoreError(f"missing producers.json for {name!r}")
+        producers_digest = manifest.get("producers_sha256")
+        if (
+            producers_digest is not None
+            and _sha256(producers_path) != producers_digest
+        ):
+            obs.get_tracer().metrics.counter("store.checksum_failures").inc()
+            raise ChainStoreError(
+                f"producers.json of {name!r} failed its checksum"
+            )
+        try:
+            producers = json.loads(producers_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ChainStoreError(
+                f"corrupt producers.json for {name!r}: {exc}"
+            ) from exc
         heights, timestamps, counts, producer_ids = [], [], [], []
         for partition in manifest["partitions"]:
             path = directory / partition["file"]
             if not path.is_file():
                 raise ChainStoreError(f"missing partition file {path.name}")
-            with np.load(path) as archive:
-                if archive["heights"].shape[0] != partition["n_blocks"]:
-                    raise ChainStoreError(
-                        f"partition {path.name}: expected {partition['n_blocks']} "
-                        f"blocks, found {archive['heights'].shape[0]}"
-                    )
-                heights.append(archive["heights"])
-                timestamps.append(archive["timestamps"])
-                counts.append(archive["counts"])
-                producer_ids.append(archive["producer_ids"])
+            # Checksums entered the manifest alongside atomic writes;
+            # older stores without them still load (nothing to verify).
+            expected_digest = partition.get("sha256")
+            if expected_digest is not None and _sha256(path) != expected_digest:
+                obs.get_tracer().metrics.counter(
+                    "store.checksum_failures"
+                ).inc()
+                raise ChainStoreError(
+                    f"partition {path.name} of {name!r} failed its checksum "
+                    "(corrupt cache bytes)"
+                )
+            try:
+                with np.load(path) as archive:
+                    if archive["heights"].shape[0] != partition["n_blocks"]:
+                        raise ChainStoreError(
+                            f"partition {path.name}: expected {partition['n_blocks']} "
+                            f"blocks, found {archive['heights'].shape[0]}"
+                        )
+                    heights.append(archive["heights"])
+                    timestamps.append(archive["timestamps"])
+                    counts.append(archive["counts"])
+                    producer_ids.append(archive["producer_ids"])
+            except (ValueError, OSError, KeyError, EOFError) as exc:
+                raise ChainStoreError(
+                    f"partition {path.name} of {name!r} is unreadable: {exc}"
+                ) from exc
         all_counts = np.concatenate(counts) if counts else np.zeros(0, dtype=np.int64)
         offsets = np.concatenate(([0], np.cumsum(all_counts)))
         chain = Chain(
@@ -188,6 +259,40 @@ class ChainStore:
                 f"manifest says {manifest['n_credits']} credits, loaded {chain.n_credits}"
             )
         return chain
+
+    def verify(self, name: str) -> list[str]:
+        """Check a stored chain's files against their manifest checksums.
+
+        Returns a list of human-readable problems (empty = intact).
+        Unlike :meth:`load`, this never raises on corruption — it is the
+        inspection half of the detect-and-rebuild cycle in
+        :func:`repro.data.cache.cached_chain`.
+        """
+        directory = self.root / name
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.is_file():
+            return [f"no stored chain named {name!r}"]
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            return [f"corrupt manifest: {exc}"]
+        problems: list[str] = []
+        producers_digest = manifest.get("producers_sha256")
+        producers_path = directory / "producers.json"
+        if not producers_path.is_file():
+            problems.append("missing producers.json")
+        elif producers_digest is not None and _sha256(producers_path) != producers_digest:
+            problems.append("producers.json failed its checksum")
+        for partition in manifest.get("partitions", []):
+            path = directory / partition["file"]
+            if not path.is_file():
+                problems.append(f"missing partition {partition['file']}")
+            elif (
+                partition.get("sha256") is not None
+                and _sha256(path) != partition["sha256"]
+            ):
+                problems.append(f"partition {partition['file']} failed its checksum")
+        return problems
 
     def load_months(self, name: str, months: list[int]) -> Chain:
         """Load only the given 0-based months of a stored chain.

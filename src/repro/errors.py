@@ -73,3 +73,45 @@ class MeasurementError(ReproError):
 
 class ObservabilityError(ReproError):
     """A trace file was missing, malformed, or failed schema validation."""
+
+
+class ResilienceError(ReproError):
+    """Base class for errors raised by the resilience subsystem."""
+
+
+class FaultSpecError(ResilienceError, ValidationError):
+    """A fault-injection spec string failed to parse or validate.
+
+    Doubles as a :class:`ValidationError` so the CLI maps it to exit
+    code 2 (argument error) rather than 1 (runtime failure).
+    """
+
+
+class TransientError(ResilienceError):
+    """A retryable failure: the operation may succeed if tried again."""
+
+
+class InjectedFaultError(TransientError):
+    """A transient read error injected by the fault-injection engine."""
+
+
+class DeadlineExceededError(TransientError):
+    """An operation ran past its (possibly injected) timeout."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A retried operation kept failing until attempts or deadline ran out."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: BaseException | None = None) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(message)
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open and refusing calls to a failing dependency."""
+
+
+class IntegrityError(ChainError):
+    """Ingested chain data violated an integrity invariant beyond repair."""

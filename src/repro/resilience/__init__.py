@@ -1,0 +1,85 @@
+"""Resilient ingestion: fault injection, retries, and integrity repair.
+
+Real chain data arrives over unreliable infrastructure — flaky stores,
+truncated result pages, corrupt cache files, malformed blocks.  This
+package makes the pipeline survive those failures and *prove* it did:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault-injection
+  engine that wraps the data layer with transient read errors, timeouts,
+  truncated/duplicated/reordered block pages, corrupted cache bytes and
+  malformed blocks on a configurable schedule.
+* :mod:`repro.resilience.retry` — exponential backoff with jitter,
+  deadlines and a circuit breaker, with counters exported through the
+  :mod:`repro.obs` metrics registry.
+* :mod:`repro.resilience.integrity` — chain integrity validation
+  (gaps, duplicates, timestamp regressions, empty coinbase lists),
+  quarantine + re-fetch/interpolate/drop repair, and a data-quality
+  report stamped onto measurement results.
+* :mod:`repro.resilience.ingest` — paged chain fetching that composes
+  all three: every page read is retried, mangled pages are repaired, and
+  the recovered chain is byte-identical to a clean fetch under the
+  re-fetch policy (the ``repro chaos`` acceptance invariant).
+* :mod:`repro.resilience.supervisor` — bounded-restart supervision for
+  the streaming monitor thread, flipping ``/readyz`` to 503 while
+  degraded.
+
+The disabled path is free by construction: with no policy and no
+injector, :func:`~repro.resilience.retry.retry_call` is a direct call
+(see ``benchmarks/bench_perf_resilience.py`` for the <2% budget).
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    parse_fault_spec,
+)
+from repro.resilience.ingest import (
+    FetchResult,
+    chains_equal,
+    fetch_chain,
+    iter_pages,
+)
+from repro.resilience.integrity import (
+    DataQualityReport,
+    IntegrityIssue,
+    RawBlock,
+    chain_from_raw_blocks,
+    raw_blocks,
+    repair_blocks,
+    validate_blocks,
+)
+from repro.resilience.retry import (
+    Clock,
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+    retry_call,
+)
+from repro.resilience.supervisor import MonitorSupervisor
+
+__all__ = [
+    "FAULT_KINDS",
+    "CircuitBreaker",
+    "Clock",
+    "DataQualityReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FetchResult",
+    "IntegrityIssue",
+    "ManualClock",
+    "MonitorSupervisor",
+    "RawBlock",
+    "RetryPolicy",
+    "chain_from_raw_blocks",
+    "chains_equal",
+    "fetch_chain",
+    "iter_pages",
+    "parse_fault_spec",
+    "raw_blocks",
+    "repair_blocks",
+    "retry_call",
+    "validate_blocks",
+]

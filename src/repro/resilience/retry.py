@@ -1,0 +1,316 @@
+"""Retry policies, backoff with jitter, deadlines and a circuit breaker.
+
+The policy layer sits between callers and flaky dependencies (the
+BigQuery-shaped client, :class:`~repro.data.store.ChainStore` reads):
+transient failures are retried with exponential backoff + deterministic
+jitter, a deadline bounds the total wait, and a :class:`CircuitBreaker`
+stops hammering a dependency that keeps failing.
+
+Everything is clock-injectable: tests and the ``repro chaos`` harness use
+:class:`ManualClock` so injected timeouts and breaker cool-downs resolve
+instantly, while production code uses the real monotonic clock.
+
+Counters land on the existing :mod:`repro.obs` metrics registry
+(``resilience.retries_total``, ``resilience.giveups_total``,
+``resilience.breaker.*``) so ``/metrics`` scrapes and trace exports see
+retry pressure alongside pipeline timings.
+
+With ``policy=None`` and ``breaker=None``, :func:`retry_call` is a direct
+call — the disabled path costs one ``is None`` check (budgeted in
+``benchmarks/bench_perf_resilience.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    TransientError,
+    ValidationError,
+)
+from repro.util.rng import derive_rng
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+#: Exception types retried by default: the library's own transient
+#: failures plus the OS-level ones a real network data source raises.
+DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (
+    TransientError,
+    TimeoutError,
+    ConnectionError,
+    OSError,
+)
+
+
+class Clock:
+    """Real monotonic time; swap in :class:`ManualClock` for tests."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A fake clock where sleeping advances time instantly.
+
+    Backoff tests assert on :attr:`sleeps` — the exact delays a policy
+    requested — without ever blocking the test process.
+
+    >>> clock = ManualClock()
+    >>> clock.sleep(0.25); clock.sleep(0.5)
+    >>> clock.monotonic()
+    0.75
+    >>> clock.sleeps
+    [0.25, 0.5]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._now += float(seconds)
+
+
+_REAL_CLOCK = Clock()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base_delay * multiplier**k``, capped and jittered.
+
+    ``jitter`` is the +/- fraction applied to each delay (0.5 means the
+    delay is drawn uniformly from [0.5d, 1.5d]); the draw comes from a
+    named RNG stream so a seeded run backs off identically every time.
+    ``deadline`` bounds the total elapsed time across all attempts.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValidationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def delay(self, failures: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before the next attempt, after ``failures`` failures (>=1).
+
+        >>> RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0).delay(3)
+        0.4
+        """
+        raw = min(
+            self.base_delay * self.multiplier ** (failures - 1), self.max_delay
+        )
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(raw, 0.0)
+
+
+#: Ready-made policy for the chaos harness and tests: full retry coverage
+#: with near-zero real sleeping even on a real clock.
+FAST_TEST_POLICY = RetryPolicy(
+    max_attempts=6, base_delay=0.0001, max_delay=0.001, jitter=0.0
+)
+
+
+class CircuitBreaker:
+    """Classic closed -> open -> half-open breaker around one dependency.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` returns False until ``reset_timeout`` seconds pass
+    on the injected clock, after which one probe call is let through
+    (half-open).  A probe success closes the circuit, a probe failure
+    re-opens it and restarts the cool-down.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Clock | None = None,
+        name: str = "default",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValidationError(
+                f"reset_timeout must be >= 0, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock or _REAL_CLOCK
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.open_count = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, resolving an elapsed cool-down to half-open."""
+        if (
+            self._state == self.OPEN
+            and self._clock.monotonic() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and clear the failure run."""
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A call failed: trip the circuit at the threshold (or on a probe)."""
+        self._consecutive_failures += 1
+        if (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state != self.OPEN:
+                self.open_count += 1
+                obs.get_tracer().metrics.counter(
+                    "resilience.breaker.open_total"
+                ).inc()
+                logger.warning(
+                    "circuit %r opened after %d consecutive failures",
+                    self.name, self._consecutive_failures,
+                )
+            self._state = self.OPEN
+            self._opened_at = self._clock.monotonic()
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    retry_on: tuple[type[BaseException], ...] = DEFAULT_RETRY_ON,
+    name: str = "call",
+    clock: Clock | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> T:
+    """Call ``fn`` under ``policy``/``breaker``; the resilient-read primitive.
+
+    With neither a policy nor a breaker this is a direct call — the
+    always-on disabled path.  Otherwise transient failures (``retry_on``)
+    are retried with backoff until the policy's attempts or deadline run
+    out, raising :class:`~repro.errors.RetryExhaustedError`; a breaker
+    that is (or trips) open raises :class:`~repro.errors.CircuitOpenError`.
+
+    Jitter determinism: pass ``rng`` or ``seed`` (stream ``retry:<name>``)
+    to make the backoff schedule reproducible.
+    """
+    if policy is None and breaker is None:
+        return fn()
+    policy = policy or RetryPolicy()
+    clock = clock or _REAL_CLOCK
+    if rng is None and seed is not None:
+        rng = derive_rng(seed, f"retry:{name}")
+    registry = obs.get_tracer().metrics
+    if breaker is not None and not breaker.allow():
+        registry.counter("resilience.breaker.rejected_total").inc()
+        raise CircuitOpenError(
+            f"circuit {breaker.name!r} is open; refusing {name}"
+        )
+    start = clock.monotonic()
+    failures = 0
+    while True:
+        registry.counter("resilience.attempts_total").inc()
+        try:
+            result = fn()
+        except retry_on as exc:
+            failures += 1
+            registry.counter("resilience.failures_total").inc()
+            if breaker is not None:
+                breaker.record_failure()
+                if not breaker.allow():
+                    registry.counter("resilience.giveups_total").inc()
+                    raise CircuitOpenError(
+                        f"circuit {breaker.name!r} opened while retrying "
+                        f"{name}: {exc}"
+                    ) from exc
+            if failures >= policy.max_attempts:
+                registry.counter("resilience.giveups_total").inc()
+                raise RetryExhaustedError(
+                    f"{name} failed after {failures} attempts: {exc}",
+                    attempts=failures,
+                    last_error=exc,
+                ) from exc
+            delay = policy.delay(failures, rng)
+            if (
+                policy.deadline is not None
+                and clock.monotonic() + delay - start > policy.deadline
+            ):
+                registry.counter("resilience.giveups_total").inc()
+                raise RetryExhaustedError(
+                    f"{name} exceeded its {policy.deadline}s deadline "
+                    f"after {failures} attempts: {exc}",
+                    attempts=failures,
+                    last_error=exc,
+                ) from exc
+            registry.counter("resilience.retries_total").inc()
+            registry.timing("resilience.backoff_seconds").observe(delay)
+            logger.debug(
+                "retrying %s after failure %d/%d (backoff %.4fs): %s",
+                name, failures, policy.max_attempts, delay, exc,
+            )
+            if on_retry is not None:
+                on_retry(failures, exc, delay)
+            clock.sleep(delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            if failures:
+                registry.counter("resilience.recoveries_total").inc()
+            return result

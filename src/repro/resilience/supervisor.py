@@ -1,0 +1,144 @@
+"""Bounded-restart supervision for long-running worker threads.
+
+The streaming monitor's ingest loop can die on a malformed block or an
+unexpected bug; a dead thread must not keep answering ``/readyz`` with
+200.  :class:`MonitorSupervisor` runs the loop on a worker thread,
+restarts it on a crash (with a small backoff) up to ``max_restarts``
+times, and exposes its degradation state so the serving layer can flip
+readiness to 503 while recovering and surface crash details in
+``/status``.
+
+The supervised target receives no arguments and is expected to consume a
+*shared* feed iterator, so each restart resumes after the block that
+killed the previous incarnation instead of replaying the feed.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import traceback
+from typing import Callable
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.resilience.retry import Clock
+
+logger = logging.getLogger(__name__)
+
+
+class MonitorSupervisor:
+    """Runs ``target`` on a thread, restarting it on crash, boundedly.
+
+    ``on_crash``/``on_recover`` are notification hooks (the serving layer
+    flips ``MonitorState`` degradation through them).  After
+    ``max_restarts`` crashes the supervisor gives up: :attr:`exhausted`
+    becomes True and the last exception is kept in :attr:`last_error`.
+    """
+
+    def __init__(
+        self,
+        target: Callable[[], None],
+        *,
+        max_restarts: int = 3,
+        restart_backoff: float = 0.05,
+        clock: Clock | None = None,
+        on_crash: Callable[[BaseException], None] | None = None,
+        on_recover: Callable[[], None] | None = None,
+        name: str = "monitor",
+    ) -> None:
+        if max_restarts < 0:
+            raise ValidationError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if restart_backoff < 0:
+            raise ValidationError(
+                f"restart_backoff must be >= 0, got {restart_backoff}"
+            )
+        self._target = target
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self._clock = clock or Clock()
+        self._on_crash = on_crash
+        self._on_recover = on_recover
+        self.name = name
+        self.restarts = 0
+        self.crashes = 0
+        self.exhausted = False
+        self.last_error: BaseException | None = None
+        self.last_traceback: str | None = None
+        self._thread: threading.Thread | None = None
+
+    def run(self) -> None:
+        """Drive ``target`` to completion (or exhaustion), blocking.
+
+        Runs the crash/restart loop on the calling thread; use
+        :meth:`start` for the non-blocking form.
+        """
+        registry = obs.get_tracer().metrics
+        while True:
+            try:
+                self._target()
+            except Exception as exc:  # noqa: BLE001 — supervision boundary
+                self.crashes += 1
+                self.last_error = exc
+                self.last_traceback = traceback.format_exc()
+                registry.counter("resilience.supervisor.crashes_total").inc()
+                if self.restarts >= self.max_restarts:
+                    self.exhausted = True
+                    registry.counter("resilience.supervisor.exhausted_total").inc()
+                    logger.error(
+                        "%s crashed %d time(s); restart budget (%d) exhausted: %s",
+                        self.name, self.crashes, self.max_restarts, exc,
+                    )
+                    if self._on_crash is not None:
+                        self._on_crash(exc)
+                    return
+                self.restarts += 1
+                registry.counter("resilience.supervisor.restarts_total").inc()
+                logger.warning(
+                    "%s crashed (%s); restart %d/%d after %.3fs",
+                    self.name, exc, self.restarts, self.max_restarts,
+                    self.restart_backoff,
+                )
+                if self._on_crash is not None:
+                    self._on_crash(exc)
+                if self.restart_backoff:
+                    self._clock.sleep(self.restart_backoff)
+                if self._on_recover is not None:
+                    self._on_recover()
+            else:
+                return
+
+    def start(self) -> threading.Thread:
+        """Run the supervision loop on a daemon thread; returns it."""
+        self._thread = threading.Thread(
+            target=self.run, name=f"supervised-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for a :meth:`start`-ed supervision loop to finish."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def degraded(self) -> bool:
+        """True from first crash until a clean completion or restart succeeds.
+
+        The serving layer combines this with its own recovery signal (an
+        evaluation completing after a restart) — see
+        :class:`repro.serve.MonitorState`.
+        """
+        return self.exhausted
+
+    def snapshot(self) -> dict:
+        """JSON-ready supervision state for ``/status``."""
+        return {
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "max_restarts": self.max_restarts,
+            "exhausted": self.exhausted,
+            "last_error": repr(self.last_error) if self.last_error else None,
+        }

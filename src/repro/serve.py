@@ -12,11 +12,13 @@ ingests blocks:
 ``/healthz``
     Always 200 while the process serves — a liveness probe.
 ``/readyz``
-    200 only once the monitor has completed its first window (503
-    before) — a readiness probe.
+    200 only once the monitor has completed its first window, and 503
+    again whenever the ingest loop is degraded (crashed and not yet
+    proven recovered) — a readiness probe.
 ``/status``
     JSON snapshot of the monitor: current window, latest metric values,
-    blocks ingested, lag.
+    blocks ingested, lag, plus supervision/fault/data-quality state
+    under ``resilience`` and ``quality``.
 
 :func:`run_monitor` drives a monitor over a block feed while serving
 scrapes concurrently; the CLI's ``repro monitor --serve PORT`` wires it
@@ -35,8 +37,11 @@ from typing import Callable, Iterable, Sequence
 
 from repro import obs
 from repro.core.streaming import StreamingMonitor, ThresholdRule
+from repro.errors import ResilienceError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import render_prometheus
+from repro.resilience.faults import FaultInjector
+from repro.resilience.supervisor import MonitorSupervisor
 
 logger = logging.getLogger(__name__)
 
@@ -66,6 +71,13 @@ class MonitorState:
         self.latest: dict[str, float] = {}
         self.ready = False
         self.finished = False
+        self.degraded = False
+        self.restarts = 0
+        self.crashes = 0
+        self.max_restarts: int | None = None
+        self.last_error: str | None = None
+        self.quality: dict | None = None
+        self.faults_fn: Callable[[], dict] | None = None
 
     def record_push(self, blocks_ingested: int) -> None:
         """Note one ingested block."""
@@ -73,12 +85,34 @@ class MonitorState:
             self.blocks_ingested = blocks_ingested
 
     def record_evaluation(self, latest: dict[str, float], n_alerts: int) -> None:
-        """Note one completed window evaluation; flips readiness."""
+        """Note one completed window evaluation; flips readiness.
+
+        A completed evaluation after a crash also proves the restarted
+        ingest loop is healthy again, so degradation clears here.
+        """
         with self._lock:
             self.evaluations += 1
             self.alerts += n_alerts
             self.latest = dict(latest)
             self.ready = True
+            self.degraded = False
+
+    def record_crash(self, error: BaseException) -> None:
+        """The ingest loop died; readiness drops until it proves recovery."""
+        with self._lock:
+            self.crashes += 1
+            self.degraded = True
+            self.last_error = repr(error)
+
+    def record_restart(self) -> None:
+        """The supervisor brought the ingest loop back up."""
+        with self._lock:
+            self.restarts += 1
+
+    def set_quality(self, quality: dict | None) -> None:
+        """Attach an ingest data-quality report for ``/status``."""
+        with self._lock:
+            self.quality = dict(quality) if quality is not None else None
 
     def mark_finished(self) -> None:
         """The feed is exhausted (the server may linger for scrapes)."""
@@ -86,9 +120,9 @@ class MonitorState:
             self.finished = True
 
     def is_ready(self) -> bool:
-        """Readiness: at least one full window has been evaluated."""
+        """Readiness: a full window evaluated, and not currently degraded."""
         with self._lock:
-            return self.ready
+            return self.ready and not self.degraded
 
     def snapshot(self) -> dict:
         """A JSON-ready view for the ``/status`` endpoint."""
@@ -112,9 +146,18 @@ class MonitorState:
                 "evaluations": self.evaluations,
                 "alerts": self.alerts,
                 "latest": dict(self.latest),
-                "ready": self.ready,
+                "ready": self.ready and not self.degraded,
                 "finished": self.finished,
                 "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "resilience": {
+                    "degraded": self.degraded,
+                    "crashes": self.crashes,
+                    "restarts": self.restarts,
+                    "max_restarts": self.max_restarts,
+                    "last_error": self.last_error,
+                    "faults": self.faults_fn() if self.faults_fn else None,
+                },
+                "quality": self.quality,
             }
 
 
@@ -231,6 +274,7 @@ class MonitorRun:
     alerts: int
     latest: dict[str, float] = field(default_factory=dict)
     port: int | None = None
+    restarts: int = 0
 
 
 def run_monitor(
@@ -248,6 +292,10 @@ def run_monitor(
     port_file: str | None = None,
     stop_event: threading.Event | None = None,
     print_fn: Callable[[str], None] = print,
+    max_restarts: int | None = None,
+    restart_backoff: float = 0.05,
+    injector: FaultInjector | None = None,
+    quality: dict | None = None,
 ) -> MonitorRun:
     """Replay ``feed`` through a streaming monitor, optionally serving scrapes.
 
@@ -259,14 +307,34 @@ def run_monitor(
     the server up that long after the feed ends (interrupted by
     ``stop_event``), and ``stop_event`` aborts ingestion between blocks —
     the CLI sets it from SIGINT/SIGTERM.
+
+    With ``max_restarts`` the ingest loop runs under a
+    :class:`~repro.resilience.supervisor.MonitorSupervisor`: a crash
+    (e.g. a malformed block with no producers) flips ``/readyz`` to 503,
+    the loop restarts after ``restart_backoff`` seconds on the *shared*
+    feed iterator (the poison block is not replayed), and the next
+    completed evaluation flips readiness back to 200.  Exhausting the
+    restart budget raises :class:`~repro.errors.ResilienceError` after
+    the server is torn down.  ``injector`` mangles the feed
+    (:meth:`~repro.resilience.faults.FaultInjector.mangle_feed`) and
+    surfaces its fired-fault counts in ``/status``; ``quality`` attaches
+    an upstream ingest data-quality report there too.
     """
     monitor = StreamingMonitor(window_size, stride, metrics=metrics)
     for rule in rules:
         monitor.add_rule(rule)
     state = MonitorState(chain, monitor.window_size, monitor.stride, total_blocks)
+    state.max_restarts = max_restarts
+    if quality is not None:
+        state.set_quality(quality)
+    if injector is not None:
+        feed = injector.mangle_feed(feed)
+        state.faults_fn = lambda: dict(injector.fired)
+    feed_iter = iter(feed)
     stop_event = stop_event or threading.Event()
     registry = obs.get_tracer().metrics
     alerts_total = 0
+    supervisor: MonitorSupervisor | None = None
     server: TelemetryServer | None = None
     if serve_port is not None:
         server = TelemetryServer(
@@ -278,14 +346,17 @@ def run_monitor(
         if port_file:
             with open(port_file, "w", encoding="utf-8") as fh:
                 fh.write(f"{port}\n")
-    try:
-        blocks_gauge = registry.gauge("monitor.blocks_ingested")
-        lag_gauge = registry.gauge("monitor.lag_blocks")
-        push_timing = registry.timing("monitor.push_seconds")
-        for producers in feed:
+    blocks_gauge = registry.gauge("monitor.blocks_ingested")
+    lag_gauge = registry.gauge("monitor.lag_blocks")
+    push_timing = registry.timing("monitor.push_seconds")
+
+    def ingest() -> None:
+        """One incarnation of the ingest loop over the shared iterator."""
+        nonlocal alerts_total
+        for producers in feed_iter:
             if stop_event.is_set():
                 logger.info("monitor stopping early at block %d", monitor.blocks_seen)
-                break
+                return
             start = time.perf_counter()
             alerts = monitor.push(producers)
             push_timing.observe(time.perf_counter() - start)
@@ -305,16 +376,36 @@ def run_monitor(
                     print_fn(f"ALERT {alert}")
             if throttle > 0.0:
                 stop_event.wait(throttle)
+
+    try:
+        if max_restarts is None:
+            ingest()
+        else:
+            supervisor = MonitorSupervisor(
+                ingest,
+                max_restarts=max_restarts,
+                restart_backoff=restart_backoff,
+                on_crash=state.record_crash,
+                on_recover=state.record_restart,
+                name=f"monitor:{chain}",
+            )
+            supervisor.run()
         state.mark_finished()
         if server is not None and linger != 0.0 and not stop_event.is_set():
             stop_event.wait(None if linger < 0 else linger)
     finally:
         if server is not None:
             server.stop()
+    if supervisor is not None and supervisor.exhausted:
+        raise ResilienceError(
+            f"monitor ingest crashed {supervisor.crashes} time(s); "
+            f"restart budget ({supervisor.max_restarts}) exhausted"
+        ) from supervisor.last_error
     return MonitorRun(
         blocks=monitor.blocks_seen,
         evaluations=monitor.evaluations,
         alerts=alerts_total,
         latest=monitor.latest(),
         port=server.port if server is not None else None,
+        restarts=supervisor.restarts if supervisor is not None else 0,
     )

@@ -47,6 +47,40 @@ def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
     return float(value)
 
 
+def ensure_block_height(value: Any, context: str = "block",
+                        exc: type[Exception] = ValidationError) -> int:
+    """Return ``value`` as an ``int`` height > 0, else raise ``exc``.
+
+    Real chains in the study start far above height 0 (Bitcoin 2019 opens
+    at 556,459), so a non-positive height is always ingestion corruption,
+    not genesis — reject it at construction instead of letting it surface
+    as a wrong distribution deep in attribution.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise exc(f"{context}: height must be an integer, "
+                  f"got {type(value).__name__}")
+    if value <= 0:
+        raise exc(f"{context}: height must be positive, got {value}")
+    return int(value)
+
+
+def ensure_producers(producers: Any, context: str = "block",
+                     exc: type[Exception] = ValidationError) -> tuple[str, ...]:
+    """Return ``producers`` as a non-empty tuple of non-empty strings.
+
+    An empty coinbase address list makes a block unattributable; catching
+    it here gives the caller a typed error naming the block instead of a
+    divide-by-zero or a silently missing credit row later.
+    """
+    resolved = tuple(producers)
+    if not resolved:
+        raise exc(f"{context}: empty producer (coinbase address) list")
+    for producer in resolved:
+        if not isinstance(producer, str) or not producer:
+            raise exc(f"{context}: invalid producer address {producer!r}")
+    return resolved
+
+
 def ensure_nonnegative_array(values: Any, name: str) -> np.ndarray:
     """Coerce ``values`` to a 1-D float array of non-negative finite numbers."""
     array = np.asarray(values, dtype=np.float64)

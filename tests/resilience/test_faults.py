@@ -1,0 +1,181 @@
+"""Fault spec parsing and deterministic seeded injection."""
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    FaultSpecError,
+    InjectedFaultError,
+    ValidationError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    corrupt_file_bytes,
+    parse_fault_spec,
+)
+from repro.resilience.integrity import RawBlock
+
+
+def page(n: int = 8, start: int = 100) -> list[RawBlock]:
+    return [RawBlock(start + i, 1000 * i, (f"p{i}",)) for i in range(n)]
+
+
+class TestSpecParsing:
+    def test_single_clause(self):
+        plan = parse_fault_spec("read_error:rate=0.5,max=3")
+        assert plan.rules == (FaultRule("read_error", rate=0.5, max_count=3),)
+
+    def test_multiple_clauses_and_defaults(self):
+        plan = parse_fault_spec("timeout;truncate_page:rate=0.1")
+        assert plan.kinds == ("timeout", "truncate_page")
+        assert plan.rules[0].rate == 0.25  # default
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "   ",
+            "bogus_kind",
+            "read_error:rate=nope",
+            "read_error:speed=3",
+            "read_error:rate=1.5",
+            "read_error:max=-1",
+            "read_error;read_error",
+        ],
+    )
+    def test_bad_specs_raise_fault_spec_error(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(spec)
+
+    def test_fault_spec_error_is_a_validation_error(self):
+        # The CLI maps ValidationError-family failures to exit code 2.
+        with pytest.raises(ValidationError):
+            parse_fault_spec("bogus")
+
+    def test_default_plan_covers_every_kind(self):
+        assert set(FaultPlan.default().kinds) == set(FAULT_KINDS)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            injector = FaultInjector(FaultPlan.default(rate=0.5), seed=seed)
+            fired = []
+            for i in range(50):
+                try:
+                    injector.on_read(f"r{i}")
+                    fired.append("ok")
+                except (InjectedFaultError, DeadlineExceededError) as exc:
+                    fired.append(type(exc).__name__)
+            return fired, dict(injector.fired)
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_max_count_caps_without_perturbing_other_kinds(self):
+        # Same seed, one plan capped: the uncapped kind's schedule must
+        # not shift (the capped rule still draws its variate).
+        def malformed_pages(truncate_rule):
+            plan = FaultPlan((truncate_rule, FaultRule("malformed_block", 0.3)))
+            injector = FaultInjector(plan, seed=5)
+            hits, prev = [], 0
+            for i in range(40):
+                injector.mangle_page(page(6, start=1 + 6 * i))
+                if injector.fired["malformed_block"] > prev:
+                    hits.append(i)
+                    prev = injector.fired["malformed_block"]
+            return injector, hits
+
+        uncapped, hits_uncapped = malformed_pages(FaultRule("truncate_page", 1.0))
+        capped, hits_capped = malformed_pages(
+            FaultRule("truncate_page", 1.0, max_count=2)
+        )
+        assert hits_uncapped == hits_capped
+        assert capped.fired["truncate_page"] == 2
+        assert uncapped.fired["truncate_page"] == 40
+
+
+class TestEachKindFires:
+    def test_read_error_and_timeout(self):
+        injector = FaultInjector(
+            FaultPlan((FaultRule("read_error", 1.0),)), seed=1
+        )
+        with pytest.raises(InjectedFaultError):
+            injector.on_read("x")
+        injector = FaultInjector(FaultPlan((FaultRule("timeout", 1.0),)), seed=1)
+        with pytest.raises(DeadlineExceededError):
+            injector.on_read("x")
+
+    def test_truncate_keeps_a_prefix(self):
+        injector = FaultInjector(FaultPlan((FaultRule("truncate_page", 1.0),)), seed=1)
+        mangled = injector.mangle_page(page(8))
+        assert mangled == page(8)[:4]
+
+    def test_duplicate_appends_leading_rows(self):
+        injector = FaultInjector(FaultPlan((FaultRule("duplicate_page", 1.0),)), seed=1)
+        mangled = injector.mangle_page(page(8))
+        assert mangled == page(8) + page(8)[:2]
+
+    def test_reorder_permutes_without_loss(self):
+        injector = FaultInjector(FaultPlan((FaultRule("reorder_page", 1.0),)), seed=1)
+        mangled = injector.mangle_page(page(8))
+        assert sorted(b.height for b in mangled) == [b.height for b in page(8)]
+        assert mangled != page(8)
+
+    def test_malformed_block_changes_exactly_one_row(self):
+        injector = FaultInjector(
+            FaultPlan((FaultRule("malformed_block", 1.0),)), seed=1
+        )
+        original = page(8)
+        mangled = injector.mangle_page(list(original))
+        assert sum(a != b for a, b in zip(original, mangled)) == 1
+
+    def test_first_row_of_first_page_never_gets_timestamp_regression(self):
+        # A regressed timestamp on the extract's very first row is
+        # undetectable; the fault model substitutes height corruption.
+        injector = FaultInjector(
+            FaultPlan((FaultRule("malformed_block", 1.0),)), seed=0
+        )
+        for trial in range(30):
+            mangled = injector.mangle_page(page(1), page_index=0)
+            bad = mangled[0]
+            assert bad.timestamp == page(1)[0].timestamp
+
+    def test_corrupt_file_flips_one_byte(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        payload = bytes(range(256)) * 8
+        target.write_bytes(payload)
+        offset = corrupt_file_bytes(target)
+        corrupted = target.read_bytes()
+        assert corrupted != payload
+        assert len(corrupted) == len(payload)
+        assert corrupted[offset] == payload[offset] ^ 0xFF
+
+    def test_injector_corrupt_file_respects_schedule(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        target.write_bytes(b"abcdefgh" * 64)
+        never = FaultInjector(FaultPlan((FaultRule("corrupt_cache", 0.0),)), seed=1)
+        assert never.corrupt_file(target) is False
+        always = FaultInjector(
+            FaultPlan((FaultRule("corrupt_cache", 1.0, max_count=1),)), seed=1
+        )
+        assert always.corrupt_file(target) is True
+        assert always.corrupt_file(target) is False  # capped
+
+
+class TestMangleFeed:
+    def test_feed_faults_drop_empty_and_duplicate(self):
+        plan = FaultPlan(
+            (
+                FaultRule("truncate_page", 0.2),
+                FaultRule("duplicate_page", 0.2),
+                FaultRule("malformed_block", 0.2),
+            )
+        )
+        feed = [["a"], ["b"]] * 50
+        out = list(FaultInjector(plan, seed=3).mangle_feed(feed))
+        assert out != feed
+        assert any(block == [] for block in out)  # the monitor crash vector

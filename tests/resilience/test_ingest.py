@@ -1,0 +1,102 @@
+"""Paged fetch under faults: the byte-identical recovery invariant's home."""
+
+import pytest
+
+from repro.errors import RetryExhaustedError
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    chains_equal,
+    fetch_chain,
+    iter_pages,
+)
+from repro.resilience.retry import FAST_TEST_POLICY, ManualClock
+from tests.conftest import make_tiny_chain
+
+
+def source_chain(n: int = 60):
+    producers = [[f"p{i % 7}"] if i % 5 else [f"p{i % 7}", "extra"] for i in range(n)]
+    return make_tiny_chain(producers)
+
+
+class TestIterPages:
+    def test_pages_partition_the_chain(self):
+        chain = source_chain(25)
+        pages = list(iter_pages(chain, page_size=8))
+        assert [len(p) for p in pages] == [8, 8, 8, 1]
+        heights = [b.height for page in pages for b in page]
+        assert heights == list(map(int, chain.heights))
+
+
+class TestFetchChain:
+    def test_clean_fetch_reproduces_the_source(self):
+        chain = source_chain()
+        result = fetch_chain(chain, page_size=16)
+        assert result.clean
+        assert result.pages == 4
+        assert chains_equal(result.chain, chain)
+
+    def test_faulted_fetch_recovers_byte_identically(self):
+        chain = source_chain(120)
+        clean = fetch_chain(chain, page_size=16)
+        for seed in range(6):
+            injector = FaultInjector(FaultPlan.default(), seed=seed)
+            faulted = fetch_chain(
+                chain,
+                page_size=16,
+                injector=injector,
+                retry_policy=FAST_TEST_POLICY,
+                clock=ManualClock(),
+                seed=seed,
+            )
+            assert chains_equal(faulted.chain, clean.chain), f"seed {seed} diverged"
+
+    def test_report_records_what_was_repaired(self):
+        chain = source_chain(120)
+        injector = FaultInjector(
+            FaultPlan((FaultRule("truncate_page", 0.5),)), seed=2
+        )
+        result = fetch_chain(
+            chain, page_size=16, injector=injector,
+            retry_policy=FAST_TEST_POLICY, clock=ManualClock(),
+        )
+        assert injector.fired["truncate_page"] > 0
+        assert result.report.refetched > 0
+        assert not result.clean
+        assert chains_equal(result.chain, chain)
+
+    def test_drop_policy_yields_a_shorter_chain(self):
+        chain = source_chain(120)
+        injector = FaultInjector(
+            FaultPlan((FaultRule("truncate_page", 0.5),)), seed=2
+        )
+        result = fetch_chain(
+            chain, page_size=16, injector=injector,
+            retry_policy=FAST_TEST_POLICY, clock=ManualClock(),
+            repair_policy="drop",
+        )
+        assert result.chain.n_blocks < chain.n_blocks
+        assert result.report.dropped > 0
+
+    def test_interpolate_policy_fills_gaps_from_neighbours(self):
+        chain = source_chain(120)
+        injector = FaultInjector(
+            FaultPlan((FaultRule("truncate_page", 0.5),)), seed=2
+        )
+        result = fetch_chain(
+            chain, page_size=16, injector=injector,
+            retry_policy=FAST_TEST_POLICY, clock=ManualClock(),
+            repair_policy="interpolate",
+        )
+        assert result.chain.n_blocks == chain.n_blocks
+        assert result.report.interpolated > 0
+
+    def test_relentless_faults_exhaust_retries(self):
+        chain = source_chain(40)
+        injector = FaultInjector(FaultPlan((FaultRule("read_error", 1.0),)), seed=0)
+        with pytest.raises(RetryExhaustedError):
+            fetch_chain(
+                chain, page_size=16, injector=injector,
+                retry_policy=FAST_TEST_POLICY, clock=ManualClock(),
+            )

@@ -1,0 +1,153 @@
+"""Integrity validation, quarantine + repair policies, and quality reports."""
+
+import pytest
+
+from repro.errors import IntegrityError, ValidationError
+from repro.resilience.integrity import (
+    RawBlock,
+    chain_from_raw_blocks,
+    raw_blocks,
+    repair_blocks,
+    validate_blocks,
+)
+from tests.conftest import TINY_SPEC, make_tiny_chain
+
+
+def rows(n: int = 6, start: int = 100) -> list[RawBlock]:
+    return [RawBlock(start + i, 1_000 + 600 * i, (f"p{i % 3}",)) for i in range(n)]
+
+
+def kinds(issues) -> set[str]:
+    return {issue.kind for issue in issues}
+
+
+class TestValidateBlocks:
+    def test_clean_extract_has_no_issues(self):
+        assert validate_blocks(rows(), range(100, 106)) == []
+
+    def test_detects_height_gap(self):
+        blocks = rows()
+        del blocks[2]
+        issues = validate_blocks(blocks, range(100, 106))
+        assert kinds(issues) == {"height_gap"}
+        assert issues[0].height == 102
+
+    def test_detects_duplicate_height(self):
+        blocks = rows() + [rows()[3]]
+        assert kinds(validate_blocks(blocks, range(100, 106))) == {"duplicate_height"}
+
+    def test_detects_out_of_range_and_corrupt_heights(self):
+        blocks = rows() + [RawBlock(-101, 999, ("p",))]
+        issues = validate_blocks(blocks, range(100, 106))
+        assert kinds(issues) == {"height_out_of_range", "height_gap"} - {"height_gap"}
+
+    def test_detects_timestamp_regression(self):
+        blocks = rows()
+        blocks[3] = RawBlock(blocks[3].height, blocks[3].timestamp - 10_000,
+                             blocks[3].producers)
+        assert kinds(validate_blocks(blocks, range(100, 106))) == {
+            "timestamp_regression"
+        }
+
+    def test_detects_empty_producers(self):
+        blocks = rows()
+        blocks[1] = RawBlock(blocks[1].height, blocks[1].timestamp, ())
+        assert "empty_producers" in kinds(validate_blocks(blocks, range(100, 106)))
+
+    def test_reordered_rows_alone_are_not_an_issue(self):
+        # Order is repaired silently; content is intact.
+        assert validate_blocks(list(reversed(rows())), range(100, 106)) == []
+
+
+class TestRepairBlocks:
+    def test_refetch_restores_the_exact_extract(self):
+        pristine = {b.height: b for b in rows()}
+        damaged = rows()
+        del damaged[2]  # gap
+        damaged.append(damaged[0])  # duplicate
+        damaged[3] = RawBlock(damaged[3].height, damaged[3].timestamp, ())  # empty
+        repaired, report = repair_blocks(
+            damaged, range(100, 106), policy="refetch",
+            refetch=lambda h: pristine[h],
+        )
+        assert repaired == rows()
+        assert report.refetched == 2
+        assert report.deduplicated == 1
+        assert report.quarantined == 1
+        assert not report.clean
+
+    def test_refetch_recovers_corrupted_timestamps_via_neighbors(self):
+        pristine = {b.height: b for b in rows()}
+        damaged = rows()
+        damaged[2] = RawBlock(damaged[2].height, damaged[2].timestamp - 50_000,
+                              damaged[2].producers)
+        repaired, report = repair_blocks(
+            damaged, range(100, 106), policy="refetch",
+            refetch=lambda h: pristine[h],
+        )
+        assert repaired == rows()
+        # Both sides of the jump are suspects: the corrupt row and one
+        # neighbour are re-read.
+        assert report.refetched >= 1
+
+    def test_interpolate_clones_the_previous_row(self):
+        damaged = rows()
+        del damaged[2]
+        repaired, report = repair_blocks(damaged, range(100, 106), policy="interpolate")
+        assert [b.height for b in repaired] == list(range(100, 106))
+        clone = repaired[2]
+        assert clone.timestamp == repaired[1].timestamp
+        assert clone.producers == repaired[1].producers
+        assert report.interpolated == 1
+
+    def test_drop_omits_unrecoverable_rows(self):
+        damaged = rows()
+        del damaged[2]
+        repaired, report = repair_blocks(damaged, range(100, 106), policy="drop")
+        assert [b.height for b in repaired] == [100, 101, 103, 104, 105]
+        assert report.dropped == 1
+
+    def test_reordering_is_repaired_and_reported(self):
+        repaired, report = repair_blocks(
+            list(reversed(rows())), range(100, 106), policy="drop"
+        )
+        assert repaired == rows()
+        assert report.reordered == 1
+        assert not report.clean
+
+    def test_clean_input_yields_clean_report(self):
+        repaired, report = repair_blocks(
+            rows(), range(100, 106), policy="refetch", refetch=lambda h: None
+        )
+        assert repaired == rows()
+        assert report.clean
+        assert report.as_dict()["clean"] is True
+
+    def test_refetch_policy_requires_a_callable(self):
+        with pytest.raises(ValidationError):
+            repair_blocks(rows(), range(100, 106), policy="refetch")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            repair_blocks(rows(), range(100, 106), policy="guess")
+
+
+class TestChainRoundTrip:
+    def test_raw_blocks_round_trips_through_chain_from_raw_blocks(self, tiny_chain):
+        blocks = raw_blocks(tiny_chain)
+        rebuilt = chain_from_raw_blocks(tiny_chain.spec, blocks)
+        assert (rebuilt.heights == tiny_chain.heights).all()
+        assert (rebuilt.offsets == tiny_chain.offsets).all()
+        assert rebuilt.producer_names == tiny_chain.producer_names
+
+    def test_empty_producers_rejected_at_assembly(self):
+        blocks = [RawBlock(TINY_SPEC.start_height, 1_000, ())]
+        with pytest.raises(IntegrityError):
+            chain_from_raw_blocks(TINY_SPEC, blocks)
+
+    def test_drop_gaps_need_validate_false(self):
+        chain = make_tiny_chain([["a"], ["b"], ["c"], ["d"]])
+        blocks = raw_blocks(chain)
+        del blocks[1]
+        rebuilt = chain_from_raw_blocks(chain.spec, blocks, validate=False)
+        assert rebuilt.n_blocks == 3

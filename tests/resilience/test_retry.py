@@ -1,0 +1,176 @@
+"""Retry policy, backoff timing (fake clock) and circuit breaker transitions."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFaultError,
+    RetryExhaustedError,
+    ValidationError,
+)
+from repro.resilience.retry import (
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+    retry_call,
+)
+from repro.util.rng import derive_rng
+
+
+def flaky(n_failures: int, exc: type = InjectedFaultError):
+    """A callable that fails ``n_failures`` times, then returns 'ok'."""
+    state = {"calls": 0}
+
+    def call():
+        state["calls"] += 1
+        if state["calls"] <= n_failures:
+            raise exc(f"boom {state['calls']}")
+        return "ok"
+
+    call.state = state
+    return call
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0)
+        assert [policy.delay(k) for k in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0)
+        assert policy.delay(3) == 5.0
+
+    def test_jitter_stays_within_band_and_is_deterministic(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        draws_a = [policy.delay(1, derive_rng(9, "t")) for _ in range(1)]
+        draws_b = [policy.delay(1, derive_rng(9, "t")) for _ in range(1)]
+        assert draws_a == draws_b
+        rng = derive_rng(3, "band")
+        for _ in range(50):
+            assert 0.5 <= policy.delay(1, rng) <= 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryCall:
+    def test_disabled_path_is_a_direct_call(self):
+        # No policy, no breaker: the function runs once, errors pass through.
+        calls = flaky(1)
+        with pytest.raises(InjectedFaultError):
+            retry_call(calls)
+        assert calls.state["calls"] == 1
+
+    def test_backoff_schedule_on_fake_clock(self):
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert retry_call(flaky(3), policy=policy, clock=clock) == "ok"
+        assert clock.sleeps == [0.1, 0.2, 0.4]
+
+    def test_exhaustion_raises_with_attempt_count(self):
+        clock = ManualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_call(flaky(99), policy=policy, clock=clock)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, InjectedFaultError)
+        assert len(clock.sleeps) == 2  # no sleep after the final failure
+
+    def test_deadline_bounds_total_wait(self):
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=100, base_delay=1.0, multiplier=1.0, jitter=0.0, deadline=2.5
+        )
+        with pytest.raises(RetryExhaustedError, match="deadline"):
+            retry_call(flaky(99), policy=policy, clock=clock)
+        assert clock.monotonic() <= 2.5
+
+    def test_non_retryable_errors_pass_through(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(KeyError):
+            retry_call(flaky(2, exc=KeyError), policy=policy, clock=ManualClock())
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5)
+
+        def schedule():
+            clock = ManualClock()
+            retry_call(flaky(3), policy=policy, clock=clock, seed=11, name="x")
+            return clock.sleeps
+
+        assert schedule() == schedule()
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        retry_call(
+            flaky(2),
+            policy=policy,
+            clock=ManualClock(),
+            on_retry=lambda k, exc, delay: seen.append((k, delay)),
+        )
+        assert seen == [(1, 0.1), (2, 0.2)]
+
+
+class TestCircuitBreaker:
+    def test_transitions_closed_open_halfopen_closed(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_halfopen_probe_failure_reopens(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_open_breaker_rejects_before_calling(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0, clock=clock)
+        breaker.record_failure()
+        calls = flaky(0)
+        with pytest.raises(CircuitOpenError):
+            retry_call(calls, breaker=breaker, clock=clock)
+        assert calls.state["calls"] == 0
+
+    def test_breaker_trips_mid_retry(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0, clock=clock)
+        policy = RetryPolicy(max_attempts=10, base_delay=0.0, jitter=0.0)
+        with pytest.raises(CircuitOpenError):
+            retry_call(flaky(99), policy=policy, breaker=breaker, clock=clock)
+        assert breaker.open_count == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_timeout=-1.0)

@@ -1,0 +1,83 @@
+"""Bounded-restart supervision of a crashing worker."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience.retry import ManualClock
+from repro.resilience.supervisor import MonitorSupervisor
+
+
+def crasher(n_crashes: int):
+    """A target that raises ``n_crashes`` times, then completes."""
+    state = {"runs": 0}
+
+    def target():
+        state["runs"] += 1
+        if state["runs"] <= n_crashes:
+            raise RuntimeError(f"crash {state['runs']}")
+
+    target.state = state
+    return target
+
+
+class TestMonitorSupervisor:
+    def test_clean_completion_needs_no_restarts(self):
+        supervisor = MonitorSupervisor(crasher(0), clock=ManualClock())
+        supervisor.run()
+        assert supervisor.restarts == 0
+        assert supervisor.crashes == 0
+        assert not supervisor.degraded
+
+    def test_restarts_until_target_completes(self):
+        clock = ManualClock()
+        target = crasher(2)
+        events = []
+        supervisor = MonitorSupervisor(
+            target,
+            max_restarts=3,
+            restart_backoff=0.5,
+            clock=clock,
+            on_crash=lambda exc: events.append(("crash", str(exc))),
+            on_recover=lambda: events.append(("recover", None)),
+        )
+        supervisor.run()
+        assert target.state["runs"] == 3
+        assert supervisor.restarts == 2
+        assert supervisor.crashes == 2
+        assert not supervisor.exhausted
+        assert clock.sleeps == [0.5, 0.5]
+        assert [kind for kind, _ in events] == ["crash", "recover", "crash", "recover"]
+
+    def test_exhaustion_after_budget(self):
+        supervisor = MonitorSupervisor(
+            crasher(99), max_restarts=2, clock=ManualClock()
+        )
+        supervisor.run()
+        assert supervisor.exhausted
+        assert supervisor.degraded
+        assert supervisor.crashes == 3  # initial run + 2 restarts, all crashed
+        assert isinstance(supervisor.last_error, RuntimeError)
+        assert "crash 3" in supervisor.snapshot()["last_error"]
+
+    def test_zero_budget_means_one_shot(self):
+        target = crasher(1)
+        supervisor = MonitorSupervisor(target, max_restarts=0, clock=ManualClock())
+        supervisor.run()
+        assert target.state["runs"] == 1
+        assert supervisor.exhausted
+
+    def test_threaded_start_and_join(self):
+        target = crasher(1)
+        supervisor = MonitorSupervisor(
+            target, max_restarts=2, restart_backoff=0.0
+        )
+        supervisor.start()
+        supervisor.join(timeout=5.0)
+        assert target.state["runs"] == 2
+        assert not supervisor.exhausted
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            MonitorSupervisor(lambda: None, max_restarts=-1)
+        with pytest.raises(ValidationError):
+            MonitorSupervisor(lambda: None, restart_backoff=-0.1)

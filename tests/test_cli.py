@@ -193,6 +193,8 @@ class TestExitCodes:
             ["--throttle", "-1"],
             ["--alert-below", "gini"],
             ["--alert-above", "bogus=1.0"],
+            ["--max-restarts", "-1"],
+            ["--inject-faults", "bogus:rate=0.5"],
         ],
     )
     def test_monitor_validation_failures(self, flags, capsys):
@@ -273,6 +275,75 @@ class TestMonitorCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "ALERT block " in out
+
+    def test_monitor_survives_injected_faults_with_restarts(self, capsys):
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--window", "144",
+             "--blocks", "1000", "--inject-faults", "malformed_block:rate=0.02",
+             "--max-restarts", "100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monitored" in out
+
+
+class TestChaosCommand:
+    def test_seeded_drill_recovers_byte_identically(self, capsys):
+        code = main(["chaos", "--seed", "7", "--blocks", "2048",
+                     "--page-size", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos drill: bitcoin prefix of 2048 blocks" in out
+        assert "faults fired:" in out
+        assert "cache: corrupted partition caught by checksum and rebuilt" in out
+        assert "OK: recovery byte-identical across" in out
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        code = main(["chaos", "--faults", "bogus:rate=0.5"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_blocks_exits_2(self, capsys):
+        assert main(["chaos", "--blocks", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_exhausted_retries_exit_1(self, capsys):
+        # read_error at rate 1.0 defeats any retry budget: the drill must
+        # surface RetryExhaustedError as an operational failure (exit 1),
+        # not a usage error.
+        code = main(["chaos", "--blocks", "256", "--page-size", "64",
+                     "--faults", "read_error:rate=1.0"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_lossy_repair_policy_fails_the_drill(self, capsys):
+        # Dropping quarantined blocks instead of refetching them shortens
+        # the chain, so the byte-identity check must fail with exit 1.
+        code = main(["chaos", "--blocks", "1024", "--page-size", "128",
+                     "--repair-policy", "drop"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+
+class TestMeasureFaultInjection:
+    def test_measured_series_carries_on_through_faults(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "fixed-month",
+             "--inject-faults", "read_error:rate=0.2;malformed_block:rate=0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faulted ingest:" in out
+        assert "bitcoin/gini/fixed-month" in out
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        code = main(
+            ["measure", "--chain", "bitcoin", "--metric", "gini",
+             "--windows", "fixed-month", "--inject-faults", "nope"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestBenchDiff:

@@ -152,3 +152,111 @@ class TestCachedChain:
         cached_chain(store, "cached", build)
         cached_chain(store, "cached", build, refresh=True)
         assert len(calls) == 2
+
+
+class TestAtomicSaves:
+    def test_no_staging_directory_survives_a_save(self, store, chain):
+        store.save("tiny", chain)
+        assert not list(store.root.glob("*.tmp"))
+
+    def test_leftover_staging_directory_is_not_a_chain(self, store, chain):
+        # Simulate a process killed mid-write: a staging dir with a
+        # manifest already inside.  It must be invisible to the catalog
+        # and swept by the next save of the same name.
+        store.save("tiny", chain)
+        staging = store.root / "tiny.tmp"
+        staging.mkdir()
+        (staging / "manifest.json").write_text("{}", encoding="utf-8")
+        assert store.names() == ["tiny"]
+        assert not store.exists("tiny.tmp")
+        store.save("tiny", chain, overwrite=True)
+        assert not staging.exists()
+
+    def test_interrupted_save_leaves_the_old_data_intact(self, store, chain):
+        store.save("tiny", chain)
+        boom = RuntimeError("disk died mid-write")
+
+        class ExplodingChain:
+            spec = chain.spec
+            n_blocks = chain.n_blocks
+            timestamps = chain.timestamps
+
+            def producer_counts(self):
+                raise boom
+
+        with pytest.raises(RuntimeError):
+            store.save("tiny", ExplodingChain(), overwrite=True)
+        assert not list(store.root.glob("*.tmp"))
+        loaded = store.load("tiny")  # the old version is untouched
+        assert np.array_equal(loaded.heights, chain.heights)
+
+    def test_tmp_suffixed_names_rejected(self, store, chain):
+        with pytest.raises(ChainStoreError, match="invalid chain name"):
+            store.save("sneaky.tmp", chain)
+
+
+class TestChecksums:
+    def test_flipped_partition_byte_fails_its_checksum(self, store, chain):
+        from repro.resilience.faults import corrupt_file_bytes
+
+        directory = store.save("tiny", chain)
+        corrupt_file_bytes(directory / "part-2019-01.npz")
+        with pytest.raises(ChainStoreError, match="checksum"):
+            store.load("tiny")
+
+    def test_corrupt_producers_fails_its_checksum(self, store, chain):
+        directory = store.save("tiny", chain)
+        path = directory / "producers.json"
+        path.write_text(path.read_text().replace("a", "z", 1), encoding="utf-8")
+        with pytest.raises(ChainStoreError, match="checksum"):
+            store.load("tiny")
+
+    def test_legacy_manifest_without_checksums_still_loads(self, store, chain):
+        directory = store.save("tiny", chain)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest.pop("producers_sha256")
+        for partition in manifest["partitions"]:
+            partition.pop("sha256")
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        loaded = store.load("tiny")
+        assert loaded.n_blocks == chain.n_blocks
+
+    def test_verify_reports_problems_without_raising(self, store, chain):
+        from repro.resilience.faults import corrupt_file_bytes
+
+        directory = store.save("tiny", chain)
+        assert store.verify("tiny") == []
+        corrupt_file_bytes(directory / "part-2019-02.npz")
+        (directory / "part-2019-01.npz").unlink()
+        problems = store.verify("tiny")
+        assert any("missing partition" in p for p in problems)
+        assert any("checksum" in p for p in problems)
+        assert store.verify("absent") == ["no stored chain named 'absent'"]
+
+
+class TestCacheSelfHealing:
+    def test_corrupt_entry_is_rebuilt_automatically(self, store, chain):
+        from repro.resilience.faults import corrupt_file_bytes
+
+        calls = []
+
+        def build():
+            calls.append(1)
+            return chain
+
+        directory = store.save("cached", chain)
+        corrupt_file_bytes(directory / "part-2019-01.npz")
+        healed = cached_chain(store, "cached", build)
+        assert len(calls) == 1  # rebuilt exactly once
+        assert np.array_equal(healed.heights, chain.heights)
+        assert store.verify("cached") == []  # the store is whole again
+        cached_chain(store, "cached", build)
+        assert len(calls) == 1  # subsequent loads hit the healed entry
+
+    def test_repair_false_surfaces_the_corruption(self, store, chain):
+        from repro.resilience.faults import corrupt_file_bytes
+
+        directory = store.save("cached", chain)
+        corrupt_file_bytes(directory / "part-2019-01.npz")
+        with pytest.raises(ChainStoreError):
+            cached_chain(store, "cached", lambda: chain, repair=False)

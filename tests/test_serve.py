@@ -22,6 +22,7 @@ import pytest
 
 from repro import obs
 from repro.core.streaming import ThresholdRule
+from repro.errors import ResilienceError
 from repro.obs.metrics import MetricsRegistry
 from repro.serve import (
     PROMETHEUS_CONTENT_TYPE,
@@ -91,6 +92,33 @@ class TestMonitorState:
         snap = MonitorState("x", 10, 5).snapshot()
         assert snap["total_blocks"] is None
         assert snap["lag_blocks"] is None
+
+    def test_crash_degrades_until_next_evaluation(self):
+        state = MonitorState("bitcoin", 10, 5)
+        state.record_push(10)
+        state.record_evaluation({"gini": 0.5}, n_alerts=0)
+        assert state.is_ready()
+        state.record_crash(RuntimeError("boom"))
+        assert not state.is_ready()
+        snap = state.snapshot()
+        assert snap["ready"] is False
+        assert snap["resilience"]["degraded"] is True
+        assert snap["resilience"]["crashes"] == 1
+        assert "boom" in snap["resilience"]["last_error"]
+        state.record_restart()
+        assert not state.is_ready()  # degraded until a window evaluates
+        state.record_evaluation({"gini": 0.5}, n_alerts=0)
+        assert state.is_ready()
+        assert state.snapshot()["resilience"]["restarts"] == 1
+
+    def test_quality_and_faults_ride_along_in_status(self):
+        state = MonitorState("x", 10, 5)
+        state.set_quality({"issues": 3, "refetched": 2})
+        state.faults_fn = lambda: {"timeout": 2}
+        snap = state.snapshot()
+        assert snap["quality"] == {"issues": 3, "refetched": 2}
+        assert snap["resilience"]["faults"] == {"timeout": 2}
+        json.dumps(snap)  # the /status payload must stay serializable
 
 
 class TestTelemetryServer:
@@ -251,6 +279,100 @@ class TestServedMonitor:
         (result,) = results
         assert result.blocks == window
         assert result.evaluations == 1
+
+
+class TestSupervisedMonitor:
+    def test_readyz_degrades_on_crash_and_recovers_after_restart(self, tmp_path):
+        """Acceptance: a mid-run crash flips /readyz to 503; the restarted
+        loop (which does not replay the poison block) flips it back to 200
+        once a window evaluates."""
+        gate = threading.Event()
+        stop = threading.Event()
+        port_file = tmp_path / "port"
+        results = []
+
+        def poisoned_feed():
+            for i in range(30):
+                yield [f"pool-{i % 3}"]
+            yield []  # poison: push() raises, the supervisor catches
+            assert gate.wait(timeout=30.0)
+            for i in range(40):
+                yield [f"pool-{i % 3}"]
+
+        def run():
+            results.append(
+                run_monitor(
+                    poisoned_feed(),
+                    window_size=10,
+                    stride=5,
+                    chain="poisoned",
+                    serve_port=0,
+                    linger=-1.0,
+                    port_file=str(port_file),
+                    stop_event=stop,
+                    max_restarts=2,
+                    restart_backoff=0.01,
+                    print_fn=lambda _line: None,
+                )
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            assert wait_until(port_file.exists), "port file never appeared"
+            port = int(port_file.read_text().strip())
+            # The poison block degrades readiness; the restarted loop is
+            # parked on the gate, so 503 holds until we open it.
+            assert wait_until(lambda: http_get(port, "/readyz")[0] == 503)
+            snapshot = json.loads(http_get(port, "/status")[2])
+            assert snapshot["ready"] is False
+            assert snapshot["resilience"]["crashes"] == 1
+            assert "producer" in snapshot["resilience"]["last_error"]
+            assert http_get(port, "/healthz")[0] == 200  # alive, not ready
+            gate.set()
+            assert wait_until(lambda: http_get(port, "/readyz")[0] == 200)
+            # Let the feed drain fully before stopping, so the run's
+            # block count is deterministic.
+            assert wait_until(
+                lambda: json.loads(http_get(port, "/status")[2])[
+                    "blocks_ingested"
+                ] == 70
+            )
+        finally:
+            gate.set()
+            stop.set()
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        (result,) = results
+        assert result.blocks == 70  # the poison block is consumed, not replayed
+        assert result.restarts == 1
+
+    def test_exhausted_restart_budget_raises_resilience_error(self):
+        def poison_feed():
+            yield ["pool-a"]
+            while True:
+                yield []
+
+        with pytest.raises(ResilienceError, match="restart budget"):
+            run_monitor(
+                poison_feed(),
+                window_size=10,
+                stride=5,
+                max_restarts=1,
+                restart_backoff=0.0,
+                print_fn=lambda _line: None,
+            )
+
+    def test_unsupervised_crash_propagates(self):
+        from repro.errors import MeasurementError
+
+        with pytest.raises(MeasurementError):
+            run_monitor(
+                iter([["pool-a"], []]),
+                window_size=10,
+                stride=5,
+                print_fn=lambda _line: None,
+            )
 
 
 class TestSigtermFlushesTrace:
