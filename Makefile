@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-perf bench-diff chaos examples report lint-docs all
+.PHONY: install test bench bench-perf bench-parallel bench-diff chaos examples report lint-docs all
 
 install:
 	python setup.py develop
@@ -10,8 +10,11 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 bench-perf:
-	pytest benchmarks/bench_perf_pipeline.py --benchmark-only \
-		--benchmark-json=BENCH_pipeline.json
+	pytest benchmarks/bench_perf_pipeline.py benchmarks/bench_perf_parallel.py \
+		--benchmark-only --benchmark-json=BENCH_pipeline.json
+
+bench-parallel:
+	pytest benchmarks/bench_perf_parallel.py --benchmark-only
 
 bench-diff: BENCH_pipeline.json
 	python -m repro.cli bench-diff \

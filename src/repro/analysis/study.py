@@ -62,9 +62,11 @@ class DecentralizationStudy:
         ethereum: Chain | None = None,
         seed: int = 2019,
         policy: str = "per-address",
+        workers: int | str | None = "auto",
     ) -> None:
         self._seed = seed
         self._policy = policy
+        self._workers = workers
         self._chains: dict[str, Chain | None] = {"btc": bitcoin, "eth": ethereum}
         self._engines: dict[str, MeasurementEngine] = {}
 
@@ -85,7 +87,7 @@ class DecentralizationStudy:
         """A cached measurement engine for one chain."""
         if which not in self._engines:
             self._engines[which] = MeasurementEngine.from_chain(
-                self.chain(which), policy=self._policy
+                self.chain(which), policy=self._policy, workers=self._workers
             )
         return self._engines[which]
 

@@ -18,6 +18,9 @@ span trace of whatever the command did (``.jsonl`` for the line format,
 anything else for Chrome ``chrome://tracing`` JSON); ``repro trace FILE``
 summarizes or validates such a file afterwards.  ``--log-json`` and
 ``--log-level`` configure structured logging (span-correlated records).
+``--workers auto|N`` sizes the sharded execution pool used by the
+measurement engine and SQL aggregation (``auto`` = one worker per CPU;
+``1`` forces the serial path; see ``docs/PARALLELISM.md``).
 
 Exit codes are part of the contract: ``2`` for argument/validation
 errors (including a malformed ``--inject-faults`` spec), ``1`` for
@@ -57,6 +60,27 @@ from repro.viz.tables import format_series_rows
 _CHAIN_KEYS = {"bitcoin": "btc", "btc": "btc", "ethereum": "eth", "eth": "eth"}
 
 
+def _workers_arg(text: str) -> str | int:
+    """argparse type for ``--workers``: ``auto`` or a positive integer.
+
+    A bad value raises :class:`argparse.ArgumentTypeError`, which argparse
+    turns into a usage error — exit code 2, the argument-error contract.
+    """
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -64,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Measure decentralization in simulated 2019 Bitcoin/Ethereum.",
     )
     parser.add_argument("--seed", type=int, default=2019, help="simulation seed")
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        metavar="auto|N",
+        help="worker processes for sharded measurement/attribution/SQL "
+        "('auto' = one per CPU, 1 = serial; default auto)",
+    )
     parser.add_argument(
         "--trace",
         metavar="FILE",
@@ -325,7 +357,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_bench_diff(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
-    study = DecentralizationStudy(seed=args.seed)
+    study = DecentralizationStudy(seed=args.seed, workers=args.workers)
     if args.command == "monitor":
         return _cmd_monitor(study, args)
     if args.command == "simulate":
@@ -371,7 +403,7 @@ def _cmd_measure(study: DecentralizationStudy, args: argparse.Namespace) -> int:
             f"{result.report.dropped} dropped"
         )
         engine = MeasurementEngine.from_chain(
-            result.chain, quality=result.report.as_dict()
+            result.chain, quality=result.report.as_dict(), workers=args.workers
         )
     else:
         engine = study.engine(chain_key)
@@ -524,7 +556,8 @@ def _cmd_layers(study: DecentralizationStudy, args: argparse.Namespace) -> int:
 def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
     chain = study.chain(_CHAIN_KEYS[args.chain])
     engine = QueryEngine(
-        {"blocks": chain.block_table(), "credits": chain.to_table()}
+        {"blocks": chain.block_table(), "credits": chain.to_table()},
+        workers=args.workers,
     )
     if args.explain_analyze:
         result, root = engine.explain_analyze(args.sql)

@@ -75,6 +75,10 @@ class ObservabilityError(ReproError):
     """A trace file was missing, malformed, or failed schema validation."""
 
 
+class ParallelError(ReproError):
+    """The sharded execution layer was misconfigured or a worker failed."""
+
+
 class ResilienceError(ReproError):
     """Base class for errors raised by the resilience subsystem."""
 

@@ -13,10 +13,19 @@ sweep's 22x win from the incremental fast path cannot silently erode.
 from __future__ import annotations
 
 import json
+import logging
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ObservabilityError
+
+logger = logging.getLogger(__name__)
+
+#: Benchmarks measured over fewer rounds than this are flagged as
+#: under-sampled in the comparison table — their medians are too noisy
+#: for the ratio gate to be trustworthy (the ETH-attribution benchmark
+#: showed ~44% stddev at 2 rounds).
+MIN_TRUSTED_ROUNDS = 5
 
 
 @dataclass(frozen=True)
@@ -27,6 +36,8 @@ class BenchEntry:
     median: float
     #: stage name -> mean seconds per invocation (total_seconds / count).
     stages: dict[str, float]
+    #: How many measurement rounds produced the median (0 when unknown).
+    rounds: int = 0
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,17 @@ class Delta:
     key: str
     old: float
     new: float
+    #: Measurement rounds behind each side (0 when unknown).
+    old_rounds: int = 0
+    new_rounds: int = 0
+
+    @property
+    def under_sampled(self) -> bool:
+        """True when either side has known rounds below the trusted floor."""
+        return any(
+            0 < rounds < MIN_TRUSTED_ROUNDS
+            for rounds in (self.old_rounds, self.new_rounds)
+        )
 
     @property
     def ratio(self) -> float:
@@ -58,6 +80,12 @@ class ComparisonReport:
     missing: tuple[str, ...]
     #: Benchmark names present only in the new file.
     added: tuple[str, ...]
+    #: ``name::stage`` keys present only in the old file (skipped, not
+    #: compared — e.g. a stage the new code no longer runs).
+    stage_missing: tuple[str, ...] = ()
+    #: ``name::stage`` keys present only in the new file (skipped — e.g.
+    #: a freshly added benchmark stage with no baseline yet).
+    stage_added: tuple[str, ...] = ()
 
     def regressions(self, tolerance: float) -> list[Delta]:
         """Deltas whose ratio exceeds ``tolerance``, worst first."""
@@ -88,12 +116,15 @@ def load_benchmark_file(path: str) -> dict[str, BenchEntry]:
             raise ObservabilityError(
                 f"{path}: benchmark entry without name/stats.median"
             ) from exc
+        rounds = int(raw["stats"].get("rounds", 0) or 0)
         stages: dict[str, float] = {}
         for stage, info in (raw.get("extra_info", {}).get("stages", {}) or {}).items():
             count = float(info.get("count", 0) or 0)
             if count > 0:
                 stages[stage] = float(info.get("total_seconds", 0.0)) / count
-        entries[name] = BenchEntry(name=name, median=median, stages=stages)
+        entries[name] = BenchEntry(
+            name=name, median=median, stages=stages, rounds=rounds
+        )
     return entries
 
 
@@ -106,23 +137,56 @@ def compare_benchmarks(
 
     Quantities whose *old* value is under ``min_seconds`` are skipped —
     micro-stage noise (a 40µs stage doubling) should not trip a gate meant
-    for real regressions.
+    for real regressions.  Stages present in only one of the two files are
+    skipped with a logged notice (and reported in the result) rather than
+    erroring, so adding a benchmark stage never breaks comparison against
+    an older baseline.
     """
     deltas: list[Delta] = []
+    stage_missing: list[str] = []
+    stage_added: list[str] = []
     for name in sorted(set(old) & set(new)):
         old_entry, new_entry = old[name], new[name]
         if old_entry.median >= min_seconds:
-            deltas.append(Delta(name, old_entry.median, new_entry.median))
+            deltas.append(
+                Delta(
+                    name,
+                    old_entry.median,
+                    new_entry.median,
+                    old_rounds=old_entry.rounds,
+                    new_rounds=new_entry.rounds,
+                )
+            )
         for stage in sorted(set(old_entry.stages) & set(new_entry.stages)):
             old_stage = old_entry.stages[stage]
             if old_stage >= min_seconds:
                 deltas.append(
-                    Delta(f"{name}::{stage}", old_stage, new_entry.stages[stage])
+                    Delta(
+                        f"{name}::{stage}",
+                        old_stage,
+                        new_entry.stages[stage],
+                        old_rounds=old_entry.rounds,
+                        new_rounds=new_entry.rounds,
+                    )
                 )
+        stage_missing.extend(
+            f"{name}::{stage}"
+            for stage in sorted(set(old_entry.stages) - set(new_entry.stages))
+        )
+        stage_added.extend(
+            f"{name}::{stage}"
+            for stage in sorted(set(new_entry.stages) - set(old_entry.stages))
+        )
+    for key in stage_missing:
+        logger.warning("bench-diff: stage %s only in the old run; skipped", key)
+    for key in stage_added:
+        logger.warning("bench-diff: stage %s only in the new run; skipped", key)
     return ComparisonReport(
         deltas=tuple(deltas),
         missing=tuple(sorted(set(old) - set(new))),
         added=tuple(sorted(set(new) - set(old))),
+        stage_missing=tuple(stage_missing),
+        stage_added=tuple(stage_added),
     )
 
 
@@ -134,15 +198,27 @@ def _format_seconds(seconds: float) -> str:
     return f"{seconds * 1e6:8.1f}µs"
 
 
+def _format_rounds(delta: Delta) -> str:
+    if not delta.old_rounds and not delta.new_rounds:
+        return "-"
+    return f"{delta.old_rounds or '?'}/{delta.new_rounds or '?'}"
+
+
 def format_comparison(report: ComparisonReport, tolerance: float | None = None) -> str:
     """A fixed-width table of every delta, flagging regressions.
 
     With ``tolerance`` the verdict column marks ratios above it with
     ``REGRESSED`` (and improvements below ``1/tolerance`` with ``faster``).
+    The rounds column shows ``old/new`` measurement round counts;
+    benchmarks sampled with fewer than :data:`MIN_TRUSTED_ROUNDS` rounds
+    on either side are marked ``UNDER-SAMPLED`` so noisy medians are
+    visible next to their ratios.  Stages present in only one run are
+    listed as skipped, never compared.
     """
     width = max((len(d.key) for d in report.deltas), default=20)
     lines = [
-        f"{'benchmark / stage':<{width}s}  {'old':>10s}  {'new':>10s}  {'ratio':>7s}"
+        f"{'benchmark / stage':<{width}s}  {'old':>10s}  {'new':>10s}  "
+        f"{'ratio':>7s}  {'rounds':>7s}"
     ]
     for delta in report.deltas:
         verdict = ""
@@ -151,15 +227,22 @@ def format_comparison(report: ComparisonReport, tolerance: float | None = None) 
                 verdict = "  REGRESSED"
             elif delta.ratio < 1.0 / tolerance:
                 verdict = "  faster"
+        if delta.under_sampled:
+            verdict += f"  UNDER-SAMPLED(<{MIN_TRUSTED_ROUNDS} rounds)"
         ratio = "inf" if math.isinf(delta.ratio) else f"{delta.ratio:.2f}x"
         lines.append(
             f"{delta.key:<{width}s}  {_format_seconds(delta.old)}  "
-            f"{_format_seconds(delta.new)}  {ratio:>7s}{verdict}"
+            f"{_format_seconds(delta.new)}  {ratio:>7s}  "
+            f"{_format_rounds(delta):>7s}{verdict}"
         )
     for name in report.missing:
         lines.append(f"{name:<{width}s}  (only in old run)")
     for name in report.added:
         lines.append(f"{name:<{width}s}  (only in new run)")
+    for key in report.stage_missing:
+        lines.append(f"{key:<{width}s}  (stage only in old run; skipped)")
+    for key in report.stage_added:
+        lines.append(f"{key:<{width}s}  (stage only in new run; skipped)")
     if not report.deltas:
         lines.append("(no comparable benchmarks)")
     return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Sharded multi-core execution: process pools with deterministic merges.
+
+The package splits embarrassingly parallel stages of the pipeline —
+per-window distributions, segment partial histograms, block-range
+attribution, and SQL partial aggregates — into contiguous shards executed
+on a :class:`WorkerPool`, then merges the mergeable partials on the
+coordinator **in shard order** so results stay byte-identical to the
+serial code paths (see ``docs/PARALLELISM.md`` for the argument).
+
+``workers="auto"`` resolves to one worker per core, which on a single-core
+host is the serial fast path: no pool is created and the pre-parallel
+code runs unchanged.
+"""
+
+from repro.parallel.pool import (
+    AUTO,
+    WorkerPool,
+    in_worker,
+    pool_status,
+    resolve_workers,
+    shard_ranges,
+    worker_payload,
+)
+
+__all__ = [
+    "AUTO",
+    "WorkerPool",
+    "in_worker",
+    "pool_status",
+    "resolve_workers",
+    "shard_ranges",
+    "worker_payload",
+]

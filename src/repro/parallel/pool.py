@@ -1,0 +1,280 @@
+"""Process-pool plumbing for the sharded execution layer.
+
+Three building blocks, shared by the engine, attribution and SQL layers:
+
+* :func:`resolve_workers` — turn a ``workers`` argument (``"auto"``, an
+  int, or ``None``) into a concrete worker count.  ``"auto"`` resolves to
+  ``os.cpu_count()``, so single-core hosts take the serial fast path and
+  stay bit-for-bit on the pre-parallel code; an explicit ``N`` is honored
+  even on one core (the pool simply oversubscribes — how the CI
+  parallel-smoke job exercises the sharded paths).
+* :func:`shard_ranges` — deterministic contiguous ``[lo, hi)`` partitions
+  of ``n`` items into at most ``k`` shards.  Merging worker results in
+  shard order therefore reproduces the serial iteration order exactly,
+  which is what makes the parallel engine/attribution paths byte-identical
+  to serial.
+* :class:`WorkerPool` — a context-managed ``ProcessPoolExecutor`` whose
+  workers (a) reset the process-wide tracer so a forked child never
+  inherits a live recording session or its HTTP-server callbacks, and
+  (b) can share one large read-only *payload* (a chain or credits object)
+  without pickling it per task: with the ``fork`` start method the payload
+  is inherited copy-on-write, otherwise it is shipped once per worker
+  through the initializer.
+
+Pool lifecycle and task counts are visible two ways: obs gauges/counters
+(``parallel.pool.workers``, ``parallel.tasks_submitted``, per-shard
+``parallel.shard`` spans at the call sites) and :func:`pool_status`, the
+JSON-ready snapshot ``repro.serve`` exposes under ``/status``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro import obs
+from repro.errors import ParallelError
+
+#: The value meaning "one worker per available core".
+AUTO = "auto"
+
+#: Read-only payload shared with workers (set pre-fork, inherited
+#: copy-on-write under the ``fork`` start method; shipped via the
+#: initializer otherwise).  Workers read it through :func:`worker_payload`.
+_PAYLOAD: Any = None
+
+#: True inside a pool worker process (set by the initializer).
+_IN_WORKER = False
+
+# -- lifetime statistics (coordinator side) -----------------------------------
+
+_STATS_LOCK = threading.Lock()
+_STATS = {
+    "pools_created": 0,
+    "tasks_submitted": 0,
+    "tasks_completed": 0,
+}
+_ACTIVE_POOLS = 0
+_LAST_POOL: dict | None = None
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Resolve a ``workers`` argument to a concrete positive worker count.
+
+    ``None`` and ``"auto"`` mean one worker per core (``os.cpu_count()``),
+    so a single-core host resolves to 1 — the serial fast path.  An
+    explicit integer is taken literally (2 workers on a 1-core host
+    oversubscribe, which is still deterministic, just not faster).
+
+    >>> resolve_workers(3)
+    3
+    >>> resolve_workers("auto") >= 1
+    True
+    """
+    if workers is None or workers == AUTO:
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParallelError(
+            f"workers must be a positive int or 'auto', got {workers!r}"
+        )
+    if workers < 1:
+        raise ParallelError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into at most ``shards`` contiguous ``(lo, hi)`` ranges.
+
+    The first ``n % shards`` shards carry one extra item, all shards are
+    non-empty, and concatenating the ranges in order reproduces ``[0, n)``
+    exactly — the deterministic merge order every parallel path relies on.
+
+    >>> shard_ranges(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    >>> shard_ranges(2, 8)
+    [(0, 1), (1, 2)]
+    """
+    if shards < 1:
+        raise ParallelError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, n)
+    if shards <= 0:
+        return []
+    base, extra = divmod(n, shards)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def in_worker() -> bool:
+    """True when called from inside a :class:`WorkerPool` worker process."""
+    return _IN_WORKER
+
+
+def worker_payload() -> Any:
+    """The shared read-only payload, from inside a worker task."""
+    if not _IN_WORKER:
+        raise ParallelError("worker_payload() is only available inside a worker")
+    return _PAYLOAD
+
+
+def _worker_init(payload: Any, has_payload: bool) -> None:
+    """Per-worker initializer: scrub inherited state, install the payload.
+
+    Under ``fork`` the child starts as a memory copy of the coordinator:
+    a live tracer (spans, metrics, an enabled flag) and the telemetry
+    server's callback plumbing would silently come along.  Only the
+    forking thread survives into the child, so server *threads* are gone,
+    but the recording state is reset here explicitly so worker-side
+    instrumentation can never interleave with the coordinator's trace.
+    """
+    global _IN_WORKER, _PAYLOAD
+    _IN_WORKER = True
+    if has_payload:
+        _PAYLOAD = payload
+    tracer = obs.get_tracer()
+    tracer.disable()
+    tracer.reset()
+
+
+class WorkerPool:
+    """A deterministic-merge process pool over an optional shared payload.
+
+    Use as a context manager around one sharded operation::
+
+        with WorkerPool(4, payload=credits) as pool:
+            parts = pool.map_shards(_shard_fn, [(lo, hi) for lo, hi in ranges])
+        merged = np.concatenate(parts)   # shard order == serial order
+
+    ``map_shards`` submits one task per shard and gathers results **in
+    shard order** regardless of completion order, so merges are
+    reproducible.  A worker exception is re-raised on the coordinator
+    wrapped in :class:`~repro.errors.ParallelError`.
+    """
+
+    def __init__(self, workers: int, payload: Any = None) -> None:
+        global _PAYLOAD, _ACTIVE_POOLS, _LAST_POOL
+        self.workers = resolve_workers(workers)
+        if self.workers < 2:
+            raise ParallelError(
+                "WorkerPool requires >= 2 workers; serial callers must use "
+                "their non-pooled fast path"
+            )
+        start_methods = multiprocessing.get_all_start_methods()
+        self._fork = "fork" in start_methods
+        context = multiprocessing.get_context("fork" if self._fork else None)
+        if self._fork:
+            # Fork children inherit the payload copy-on-write; no pickling.
+            _PAYLOAD = payload
+            initargs = (None, False)
+        else:  # pragma: no cover - non-fork platforms (win/macOS spawn)
+            initargs = (payload, payload is not None)
+        self._payload_installed = payload is not None
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=initargs,
+        )
+        self._created = time.time()
+        self._submitted = 0
+        self._completed = 0
+        with _STATS_LOCK:
+            _STATS["pools_created"] += 1
+            _ACTIVE_POOLS += 1
+            _LAST_POOL = self._snapshot_locked()
+        obs.gauge("parallel.pool.workers", float(self.workers))
+        obs.counter("parallel.pools_created")
+
+    # -- execution -----------------------------------------------------------
+
+    def map_shards(
+        self, fn: Callable[..., Any], shard_args: Sequence[tuple]
+    ) -> list[Any]:
+        """Run ``fn(*args)`` for each shard; results in shard order.
+
+        ``fn`` must be a module-level (picklable) function.  Each shard's
+        wait is recorded as a ``parallel.shard`` span so traces show the
+        coordinator-side critical path per shard.
+        """
+        futures = [self._executor.submit(fn, *args) for args in shard_args]
+        n = len(futures)
+        self._submitted += n
+        with _STATS_LOCK:
+            _STATS["tasks_submitted"] += n
+        obs.counter("parallel.tasks_submitted", n)
+        results: list[Any] = []
+        try:
+            for i, future in enumerate(futures):
+                with obs.span("parallel.shard", index=i, shards=n):
+                    results.append(future.result())
+                self._completed += 1
+                with _STATS_LOCK:
+                    _STATS["tasks_completed"] += 1
+                obs.counter("parallel.tasks_completed")
+        except ParallelError:
+            raise
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            raise ParallelError(f"worker shard failed: {exc}") from exc
+        finally:
+            with _STATS_LOCK:
+                globals()["_LAST_POOL"] = self._snapshot_locked()
+        return results
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the executor down and release the shared payload."""
+        global _PAYLOAD, _ACTIVE_POOLS
+        if self._executor is None:
+            return
+        self._executor.shutdown(wait=True)
+        self._executor = None
+        if self._fork and self._payload_installed:
+            _PAYLOAD = None
+        with _STATS_LOCK:
+            _ACTIVE_POOLS -= 1
+            globals()["_LAST_POOL"] = self._snapshot_locked()
+        obs.gauge("parallel.pool.workers", 0.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _snapshot_locked(self) -> dict:
+        return {
+            "workers": self.workers,
+            "start_method": "fork" if self._fork else "spawn",
+            "tasks_submitted": self._submitted,
+            "tasks_completed": self._completed,
+            "open": self._executor is not None,
+        }
+
+
+def pool_status() -> dict:
+    """JSON-ready snapshot of the worker-pool layer for ``/status``.
+
+    Reports the host parallelism, how many pools are currently open, the
+    lifetime pool/task counters, and the most recent pool's shape — enough
+    for an operator to see whether sharded execution is active and sized
+    as expected.
+    """
+    with _STATS_LOCK:
+        return {
+            "cpu_count": os.cpu_count() or 1,
+            "auto_workers": resolve_workers(AUTO),
+            "active_pools": _ACTIVE_POOLS,
+            "lifetime": dict(_STATS),
+            "last_pool": dict(_LAST_POOL) if _LAST_POOL else None,
+        }

@@ -40,6 +40,7 @@ from repro.core.streaming import StreamingMonitor, ThresholdRule
 from repro.errors import ResilienceError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import render_prometheus
+from repro.parallel import pool_status
 from repro.resilience.faults import FaultInjector
 from repro.resilience.supervisor import MonitorSupervisor
 
@@ -158,6 +159,7 @@ class MonitorState:
                     "faults": self.faults_fn() if self.faults_fn else None,
                 },
                 "quality": self.quality,
+                "workers": pool_status(),
             }
 
 

@@ -38,6 +38,8 @@ from repro.sql.astnodes import (
     Unary,
     Union,
 )
+from repro.parallel import WorkerPool, resolve_workers, shard_ranges
+from repro.parallel import work as _work
 from repro.sql.analyze import ExecutionTrace, PlanNode, stage_op
 from repro.sql.functions import AGGREGATE_FUNCTIONS, call_scalar_function, like_match
 from repro.sql.parser import parse
@@ -51,6 +53,17 @@ logger = logging.getLogger(__name__)
 #: Object-dtype comparisons below this many rows skip the fallback warning.
 _OBJECT_COMPARE_WARN_ROWS = 100_000
 
+#: Below this many input rows a fork-per-query costs more than the grouping
+#: itself, so the parallel aggregate defers to the serial path even when
+#: the engine was built with ``workers`` >= 2.
+_PARALLEL_MIN_ROWS = 50_000
+
+#: Aggregates with a mergeable partial state (COUNT/SUM as running sums,
+#: AVG as (sum, count), MIN/MAX as running extrema).  DISTINCT variants
+#: and the holistic aggregates (MEDIAN, STDDEV, VARIANCE) have no cheap
+#: partial and always run serially.
+_PARALLEL_FUNCS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
 
 def query(sql: str, **tables: Table) -> Table:
     """Parse and execute ``sql`` against keyword-argument tables.
@@ -62,10 +75,24 @@ def query(sql: str, **tables: Table) -> Table:
 
 
 class QueryEngine:
-    """Executes SQL against a named catalog of in-memory tables."""
+    """Executes SQL against a named catalog of in-memory tables.
 
-    def __init__(self, catalog: Mapping[str, Table] | None = None) -> None:
+    ``workers`` >= 2 enables the parallel group-by operators: eligible
+    aggregations over at least :data:`_PARALLEL_MIN_ROWS` input rows run
+    as a partitioned columnar scan plus partial aggregates on a
+    :class:`~repro.parallel.WorkerPool`, finalized on the coordinator
+    (group numbering and COUNT/MIN/MAX results match the serial path
+    exactly; SUM/AVG may differ in the last float ulp because partial
+    sums reassociate).  The default is serial execution.
+    """
+
+    def __init__(
+        self,
+        catalog: Mapping[str, Table] | None = None,
+        workers: int | str | None = 1,
+    ) -> None:
         self._catalog: dict[str, Table] = dict(catalog or {})
+        self.workers = resolve_workers(workers if workers is not None else 1)
 
     def register(self, name: str, table: Table) -> None:
         """Add or replace a table in the catalog."""
@@ -185,7 +212,7 @@ class QueryEngine:
             )
             with stage_op(trace, "Aggregate", detail) as op:
                 op.rows_in = table.num_rows
-                result = self._run_aggregation(query_plan, table, scope)
+                result = self._run_aggregation(query_plan, table, scope, trace)
                 op.rows_out = result.num_rows
         else:
             with stage_op(trace, "Project", _project_detail(query_plan)) as op:
@@ -267,26 +294,38 @@ class QueryEngine:
 
     # -- aggregation --------------------------------------------------------------
 
-    def _run_aggregation(self, query_plan: QueryPlan, table: Table, scope: "_Scope") -> Table:
+    def _run_aggregation(
+        self,
+        query_plan: QueryPlan,
+        table: Table,
+        scope: "_Scope",
+        trace: ExecutionTrace | None = None,
+    ) -> Table:
         select = query_plan.select
         n_rows = table.num_rows
         group_exprs = _resolve_group_keys(query_plan, scope)
-        if group_exprs:
-            key_arrays = [
-                _broadcast(_evaluate(expr, table, scope), n_rows)
-                for expr in group_exprs
-            ]
-            group_ids, n_groups = _factorize(key_arrays)
-        else:
-            group_ids = np.zeros(n_rows, dtype=np.int64)
-            n_groups = 1
-        env: dict[Expr, np.ndarray] = {}
-        for expr, keys in zip(group_exprs, key_arrays if group_exprs else []):
-            env[expr] = _first_per_group(keys, group_ids, n_groups)
-        for aggregate in query_plan.aggregates:
-            env[aggregate] = _evaluate_aggregate(
-                aggregate, table, scope, group_ids, n_groups
+        key_arrays = [
+            _broadcast(_evaluate(expr, table, scope), n_rows)
+            for expr in group_exprs
+        ]
+        env: dict[Expr, np.ndarray] | None = None
+        if group_exprs and self._parallel_eligible(query_plan, n_rows):
+            env, n_groups = self._parallel_aggregation(
+                query_plan, table, scope, group_exprs, key_arrays, trace
             )
+        if env is None:
+            if group_exprs:
+                group_ids, n_groups = _factorize(key_arrays)
+            else:
+                group_ids = np.zeros(n_rows, dtype=np.int64)
+                n_groups = 1
+            env = {}
+            for expr, keys in zip(group_exprs, key_arrays):
+                env[expr] = _first_per_group(keys, group_ids, n_groups)
+            for aggregate in query_plan.aggregates:
+                env[aggregate] = _evaluate_aggregate(
+                    aggregate, table, scope, group_ids, n_groups
+                )
         alias_map = _alias_map(query_plan)
         if select.having is not None:
             having_expr = _resolve_aliases(select.having, alias_map)
@@ -303,6 +342,97 @@ class QueryEngine:
         # Stash the group environment for ORDER BY over aggregate expressions.
         self._last_group_env = (env, keep, n_groups)
         return result
+
+    def _parallel_eligible(self, query_plan: QueryPlan, n_rows: int) -> bool:
+        """Whether this aggregation can run as partial/final over partitions."""
+        if self.workers < 2 or n_rows < _PARALLEL_MIN_ROWS:
+            return False
+        for aggregate in query_plan.aggregates:
+            if aggregate.distinct or aggregate.func not in _PARALLEL_FUNCS:
+                return False
+        return True
+
+    def _parallel_aggregation(
+        self,
+        query_plan: QueryPlan,
+        table: Table,
+        scope: "_Scope",
+        group_exprs: tuple[Expr, ...],
+        key_arrays: list[np.ndarray],
+        trace: ExecutionTrace | None,
+    ) -> tuple[dict[Expr, np.ndarray], int]:
+        """Partitioned scan + parallel partial aggregate + in-order finalize.
+
+        Rows are split into contiguous partitions; each worker scans its
+        slice of the already-evaluated key/argument columns, groups it
+        locally in first-appearance order, and returns mergeable partial
+        states.  The coordinator walks the partitions **in order**,
+        numbering each unseen key tuple as it appears — which is exactly
+        the first-appearance-over-all-rows numbering ``_factorize``
+        produces — then folds the partials into final values.  With
+        EXPLAIN ANALYZE the plan shows one ``ParallelScan`` +
+        ``PartialAggregate`` node pair per partition (worker-measured
+        times) and a ``FinalizeAggregate`` merge node.
+        """
+        n_rows = table.num_rows
+        n_workers = self.workers
+        funcs = tuple(a.func for a in query_plan.aggregates)
+        agg_arrays = [
+            None
+            if a.argument is None
+            else np.asarray(_broadcast(_evaluate(a.argument, table, scope), n_rows))
+            for a in query_plan.aggregates
+        ]
+        ranges = shard_ranges(n_rows, n_workers)
+        obs.counter("sql.parallel_aggregate")
+        with WorkerPool(n_workers, payload=(key_arrays, agg_arrays)) as pool:
+            parts = pool.map_shards(
+                _work.sql_partial_aggregate,
+                [(lo, hi, funcs) for lo, hi in ranges],
+            )
+        if trace is not None:
+            for i, ((lo, hi), part) in enumerate(zip(ranges, parts)):
+                with trace.op("ParallelScan", f"partition={i} rows[{lo}:{hi}]") as op:
+                    pass
+                op.node.seconds = part["scan_seconds"]
+                op.node.rows_out = part["rows"]
+                with trace.op("PartialAggregate", f"partition={i}") as op:
+                    pass
+                op.node.seconds = part["agg_seconds"]
+                op.node.rows_in = part["rows"]
+                op.node.rows_out = len(part["keys"])
+        with stage_op(
+            trace, "FinalizeAggregate", f"partitions={len(parts)} workers={n_workers}"
+        ) as op:
+            mapping: dict = {}
+            remaps: list[np.ndarray] = []
+            for part in parts:
+                remap = np.empty(len(part["keys"]), dtype=np.int64)
+                for local_gid, key in enumerate(part["keys"]):
+                    gid = mapping.get(key)
+                    if gid is None:
+                        gid = len(mapping)
+                        mapping[key] = gid
+                    remap[local_gid] = gid
+                remaps.append(remap)
+            n_groups = len(mapping)
+            env: dict[Expr, np.ndarray] = {}
+            for k, expr in enumerate(group_exprs):
+                out = np.empty(n_groups, dtype=key_arrays[k].dtype)
+                for key, gid in mapping.items():
+                    out[gid] = key[k]
+                env[expr] = out
+            for i, aggregate in enumerate(query_plan.aggregates):
+                env[aggregate] = _merge_partials(
+                    funcs[i],
+                    agg_arrays[i],
+                    [part["partials"][i] for part in parts],
+                    remaps,
+                    n_groups,
+                )
+            op.rows_in = sum(len(part["keys"]) for part in parts)
+            op.rows_out = n_groups
+        return env, n_groups
 
     # -- ORDER BY ---------------------------------------------------------------
 
@@ -800,6 +930,68 @@ def _renumber(ids: np.ndarray, _values: np.ndarray) -> tuple[np.ndarray, int]:
     remap = np.empty(n_groups, dtype=np.int64)
     remap[order] = np.arange(n_groups, dtype=np.int64)
     return remap[ids], n_groups
+
+
+def _merge_partials(
+    func: str,
+    values: np.ndarray | None,
+    partials: list,
+    remaps: list[np.ndarray],
+    n_groups: int,
+) -> np.ndarray:
+    """Fold per-partition partial aggregate states into final group values.
+
+    ``remaps[p]`` maps partition ``p``'s local group ids to global ids;
+    within one partition the global ids are distinct, so fancy-indexed
+    accumulation is safe.  COUNT merges exactly; SUM/AVG add partial sums
+    in partition order (last-ulp float reassociation vs serial); MIN/MAX
+    merge via ``np.minimum``/``np.maximum`` (NaN-propagating, matching the
+    serial per-group ``min()``/``max()``).
+    """
+    if values is None or func == "COUNT":
+        total = np.zeros(n_groups, dtype=np.int64)
+        for part, remap in zip(partials, remaps):
+            total[remap] += part
+        return total
+    if func == "SUM":
+        sums = np.zeros(n_groups, dtype=np.float64)
+        for part, remap in zip(partials, remaps):
+            sums[remap] += part
+        if np.issubdtype(values.dtype, np.integer):
+            return sums.astype(np.int64)
+        return sums
+    if func == "AVG":
+        sums = np.zeros(n_groups, dtype=np.float64)
+        counts = np.zeros(n_groups, dtype=np.int64)
+        for (part_sums, part_counts), remap in zip(partials, remaps):
+            sums[remap] += part_sums
+            counts[remap] += part_counts
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    if func in ("MIN", "MAX"):
+        out = np.empty(n_groups, dtype=partials[0].dtype)
+        seen = np.zeros(n_groups, dtype=bool)
+        for part, remap in zip(partials, remaps):
+            if out.dtype == object:
+                for j, gid in enumerate(remap):
+                    value = part[j]
+                    if not seen[gid]:
+                        out[gid] = value
+                    elif func == "MIN":
+                        out[gid] = min(out[gid], value)
+                    else:
+                        out[gid] = max(out[gid], value)
+            else:
+                new = ~seen[remap]
+                out[remap[new]] = part[new]
+                old_idx = remap[~new]
+                if old_idx.size:
+                    fold = np.minimum if func == "MIN" else np.maximum
+                    out[old_idx] = fold(out[old_idx], part[~new])
+            seen[remap] = True
+        return out
+    raise SqlExecutionError(  # pragma: no cover - guarded by _parallel_eligible
+        f"aggregate {func!r} has no mergeable partial"
+    )
 
 
 def _first_per_group(

@@ -174,3 +174,65 @@ class TestFormat:
         assert "s " in text
         assert "ms" in text
         assert "µs" in text
+
+
+class TestRounds:
+    def test_rounds_loaded_from_stats(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = {
+            "benchmarks": [
+                {"name": "a", "stats": {"median": 1.0, "rounds": 7}, "extra_info": {}},
+                {"name": "b", "stats": {"median": 1.0}, "extra_info": {}},
+            ]
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        entries = load_benchmark_file(str(path))
+        assert entries["a"].rounds == 7
+        assert entries["b"].rounds == 0
+
+    def test_under_sampled_flags_known_low_rounds(self):
+        assert Delta("k", 1.0, 1.0, old_rounds=2, new_rounds=9).under_sampled
+        assert Delta("k", 1.0, 1.0, old_rounds=9, new_rounds=4).under_sampled
+        assert not Delta("k", 1.0, 1.0, old_rounds=5, new_rounds=5).under_sampled
+        # Unknown rounds (0) must not trip the flag.
+        assert not Delta("k", 1.0, 1.0, old_rounds=0, new_rounds=0).under_sampled
+
+    def test_format_shows_rounds_and_under_sampled(self):
+        report = compare_benchmarks(
+            {"a": BenchEntry("a", 1.0, {}, rounds=2)},
+            {"a": BenchEntry("a", 1.0, {}, rounds=6)},
+        )
+        text = format_comparison(report, tolerance=1.25)
+        assert "2/6" in text
+        assert "UNDER-SAMPLED" in text
+
+    def test_format_dash_when_rounds_unknown(self):
+        report = compare_benchmarks(
+            {"a": BenchEntry("a", 1.0, {})}, {"a": BenchEntry("a", 1.0, {})}
+        )
+        text = format_comparison(report)
+        assert "UNDER-SAMPLED" not in text
+
+
+class TestStageSkips:
+    OLD = {"a": BenchEntry("a", 1.0, {"shared": 0.5, "legacy": 0.2})}
+    NEW = {"a": BenchEntry("a", 1.0, {"shared": 0.5, "fresh": 0.1})}
+
+    def test_one_sided_stages_skipped_not_compared(self):
+        report = compare_benchmarks(self.OLD, self.NEW)
+        assert [d.key for d in report.deltas] == ["a", "a::shared"]
+        assert report.stage_missing == ("a::legacy",)
+        assert report.stage_added == ("a::fresh",)
+
+    def test_skips_logged_as_warnings(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.obs.regression"):
+            compare_benchmarks(self.OLD, self.NEW)
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("a::legacy" in m and "old run" in m for m in messages)
+        assert any("a::fresh" in m and "new run" in m for m in messages)
+
+    def test_skips_rendered_in_table(self):
+        report = compare_benchmarks(self.OLD, self.NEW)
+        text = format_comparison(report)
+        assert "(stage only in old run; skipped)" in text
+        assert "(stage only in new run; skipped)" in text

@@ -1,0 +1,73 @@
+"""Fork-safety: workers must not inherit live coordinator state.
+
+A forked worker starts as a memory copy of the coordinator — a live
+tracer (enabled flag, recorded spans) and the telemetry server's handler
+plumbing would come along silently.  The pool initializer scrubs that
+state; these tests prove it by probing workers while the parent is
+actively tracing and serving HTTP.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import WorkerPool
+from repro.parallel.work import worker_probe
+from repro.serve import TelemetryServer
+
+
+@pytest.fixture
+def tracing_parent():
+    """Enable tracing in the parent and leave some recorded spans behind."""
+    obs.enable_tracing()
+    with obs.span("parent.only"):
+        pass
+    try:
+        yield obs.get_tracer()
+    finally:
+        obs.disable_tracing()
+        obs.get_tracer().reset()
+
+
+def _probe(pool: WorkerPool, n: int = 4) -> list[dict]:
+    return pool.map_shards(worker_probe, [() for _ in range(n)])
+
+
+class TestForkSafety:
+    def test_worker_does_not_inherit_tracing(self, tracing_parent):
+        assert tracing_parent.enabled
+        assert len(tracing_parent.spans) >= 1
+        with WorkerPool(2) as pool:
+            probes = _probe(pool)
+        for probe in probes:
+            assert probe["in_worker"] is True
+            assert probe["tracing_enabled"] is False
+            assert probe["tracer_spans"] == 0
+
+    def test_worker_does_not_inherit_server_threads(self, tracing_parent):
+        # A live HTTP server means extra parent threads; only the forking
+        # thread survives into the child, and the initializer must not
+        # start new ones.
+        server = TelemetryServer(MetricsRegistry(), status_fn=dict)
+        server.start()
+        try:
+            with WorkerPool(2) as pool:
+                probes = _probe(pool)
+        finally:
+            server.stop()
+        for probe in probes:
+            assert probe["thread_count"] == 1
+
+    def test_workers_are_separate_processes(self):
+        with WorkerPool(2) as pool:
+            probes = _probe(pool, n=6)
+        assert all(probe["pid"] != os.getpid() for probe in probes)
+
+    def test_parent_tracing_survives_pool_use(self, tracing_parent):
+        with WorkerPool(2) as pool:
+            pool.map_shards(worker_probe, [()])
+        assert tracing_parent.enabled
+        # The coordinator-side shard waits were themselves traced.
+        assert any(span.name == "parallel.shard" for span in tracing_parent.spans)

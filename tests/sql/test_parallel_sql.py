@@ -1,0 +1,130 @@
+"""Parallel group-by operators: identical results, visible plan nodes.
+
+The parallel aggregation path (partitioned scan + partial/final
+aggregate) must return exactly what the serial path returns — group
+numbering included, since un-ORDERed group-by output order is part of
+the engine's observable behavior.  The row threshold is monkeypatched
+down so the small fixture tables exercise the sharded path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sql import QueryEngine, format_plan
+from repro.sql import executor as executor_module
+from repro.table import Table
+
+
+@pytest.fixture(autouse=True)
+def low_row_threshold(monkeypatch):
+    monkeypatch.setattr(executor_module, "_PARALLEL_MIN_ROWS", 100)
+
+
+@pytest.fixture(scope="module")
+def credits_table() -> Table:
+    rng = np.random.default_rng(7)
+    n = 5_000
+    producers = np.asarray([f"pool-{i:02d}" for i in range(23)], dtype=object)
+    return Table(
+        {
+            "height": np.arange(n, dtype=np.int64),
+            "producer": producers[rng.integers(0, len(producers), n)],
+            "weight": rng.random(n),
+            "day": (np.arange(n, dtype=np.int64) // 144),
+        }
+    )
+
+
+def make_engines(table: Table) -> tuple[QueryEngine, QueryEngine]:
+    return (
+        QueryEngine({"credits": table}, workers=1),
+        QueryEngine({"credits": table}, workers=3),
+    )
+
+
+QUERIES = [
+    "SELECT producer, COUNT(*) AS n FROM credits GROUP BY producer",
+    "SELECT producer, COUNT(*) AS n FROM credits "
+    "GROUP BY producer ORDER BY n DESC, producer LIMIT 10",
+    "SELECT day, MIN(weight) AS lo, MAX(weight) AS hi FROM credits GROUP BY day",
+    "SELECT producer, MIN(height) AS first_seen FROM credits GROUP BY producer",
+    "SELECT day, COUNT(weight) AS n FROM credits GROUP BY day",
+    "SELECT producer, day, COUNT(*) AS n FROM credits GROUP BY producer, day",
+    "SELECT producer, COUNT(*) AS n FROM credits "
+    "GROUP BY producer HAVING COUNT(*) > 200",
+]
+
+
+class TestParallelResultsIdentical:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_exact_queries(self, credits_table, sql):
+        serial, parallel = make_engines(credits_table)
+        assert parallel.execute(sql).to_rows() == serial.execute(sql).to_rows()
+
+    def test_sum_avg_close(self, credits_table):
+        # SUM/AVG partials merge float partial sums, so the guarantee is
+        # last-ulp closeness rather than bitwise equality.
+        sql = (
+            "SELECT producer, SUM(weight) AS total, AVG(weight) AS mean "
+            "FROM credits GROUP BY producer ORDER BY producer"
+        )
+        serial, parallel = make_engines(credits_table)
+        a, b = serial.execute(sql), parallel.execute(sql)
+        assert b["producer"].tolist() == a["producer"].tolist()
+        np.testing.assert_allclose(b["total"], a["total"], rtol=1e-12)
+        np.testing.assert_allclose(b["mean"], a["mean"], rtol=1e-12)
+
+    def test_group_order_matches_serial_first_appearance(self, credits_table):
+        sql = "SELECT day, COUNT(*) AS n FROM credits GROUP BY day"
+        serial, parallel = make_engines(credits_table)
+        assert (
+            parallel.execute(sql)["day"].tolist()
+            == serial.execute(sql)["day"].tolist()
+        )
+
+
+class TestEligibility:
+    def test_small_inputs_stay_serial(self, credits_table, monkeypatch):
+        monkeypatch.setattr(executor_module, "_PARALLEL_MIN_ROWS", 1_000_000)
+        _, parallel = make_engines(credits_table)
+        _, root = parallel.explain_analyze(
+            "SELECT producer, COUNT(*) AS n FROM credits GROUP BY producer"
+        )
+        assert "ParallelScan" not in format_plan(root)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT producer, COUNT(DISTINCT day) AS d FROM credits GROUP BY producer",
+            "SELECT producer, MEDIAN(weight) AS m FROM credits GROUP BY producer",
+            "SELECT producer, STDDEV(weight) AS s FROM credits GROUP BY producer",
+        ],
+    )
+    def test_non_mergeable_aggregates_fall_back(self, credits_table, sql):
+        serial, parallel = make_engines(credits_table)
+        _, root = parallel.explain_analyze(sql)
+        assert "ParallelScan" not in format_plan(root)
+        assert parallel.execute(sql).to_rows() == serial.execute(sql).to_rows()
+
+    def test_serial_engine_never_parallelizes(self, credits_table):
+        serial, _ = make_engines(credits_table)
+        _, root = serial.explain_analyze(
+            "SELECT producer, COUNT(*) AS n FROM credits GROUP BY producer"
+        )
+        assert "ParallelScan" not in format_plan(root)
+
+
+class TestExplainAnalyze:
+    def test_plan_shows_partitioned_operators(self, credits_table):
+        _, parallel = make_engines(credits_table)
+        result, root = parallel.explain_analyze(
+            "SELECT producer, COUNT(*) AS n FROM credits GROUP BY producer"
+        )
+        text = format_plan(root)
+        assert result.num_rows == 23
+        assert text.count("ParallelScan") == 3
+        assert text.count("PartialAggregate") == 3
+        assert "FinalizeAggregate" in text
+        assert "partitions=3 workers=3" in text
+        # Each partition node names its row slice.
+        assert "partition=0" in text and "partition=2" in text

@@ -405,3 +405,43 @@ class TestExplainAnalyze:
         assert "rows=54231" in out  # scan output cardinality
         assert "time=" in out
         assert "Limit 3" in out
+
+
+class TestWorkersFlag:
+    """The global --workers flag: parsing, validation, and wiring."""
+
+    def test_default_is_auto(self):
+        args = build_parser().parse_args(["study"])
+        assert args.workers == "auto"
+
+    def test_explicit_count_parses_to_int(self):
+        args = build_parser().parse_args(["--workers", "4", "study"])
+        assert args.workers == 4
+
+    def test_auto_parses_to_sentinel(self):
+        args = build_parser().parse_args(["--workers", "auto", "study"])
+        assert args.workers == "auto"
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "1.5", "AUTO"])
+    def test_invalid_values_exit_2(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workers", bad, "study"])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_measure_runs_with_forced_workers(self, capsys):
+        code = main(
+            ["--workers", "2", "measure", "--chain", "bitcoin",
+             "--metric", "gini", "--windows", "fixed-month"]
+        )
+        assert code == 0
+        assert "n=12" in capsys.readouterr().out
+
+    def test_query_runs_with_forced_workers(self, capsys):
+        code = main(
+            ["--workers", "2", "query", "--chain", "bitcoin", "--sql",
+             "SELECT producer, COUNT(*) AS n FROM credits "
+             "GROUP BY producer ORDER BY n DESC LIMIT 3"]
+        )
+        assert code == 0
+        assert "'n':" in capsys.readouterr().out
