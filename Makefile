@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-perf bench-parallel bench-diff chaos examples report lint-docs all
+.PHONY: install test bench bench-perf bench-parallel bench-diff chaos examples report lint lint-docs all
 
 install:
 	python setup.py develop
@@ -11,6 +11,7 @@ bench:
 
 bench-perf:
 	pytest benchmarks/bench_perf_pipeline.py benchmarks/bench_perf_parallel.py \
+		benchmarks/bench_perf_sql.py \
 		--benchmark-only --benchmark-json=BENCH_pipeline.json
 
 bench-parallel:
@@ -29,5 +30,9 @@ examples:
 
 report:
 	python -m repro.cli report --out STUDY_REPORT.md
+
+lint:
+	ruff check src/repro/sql src/repro/table
+	mypy src/repro/sql src/repro/table
 
 all: test bench examples report

@@ -51,7 +51,8 @@ from repro.obs.regression import (
     load_benchmark_file,
 )
 from repro.obs.report import summarize_trace_file
-from repro.sql import QueryEngine, format_plan
+from repro.sql import PlannerOptions, QueryEngine, format_plan
+from repro.sql.cost import TOGGLE_NAMES
 from repro.table.io import write_csv
 from repro.viz.ascii import ascii_chart
 from repro.viz.export import export_figure, series_to_csv
@@ -174,7 +175,54 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--explain-analyze",
         action="store_true",
-        help="print the executed plan tree with per-operator timings and row counts",
+        help="print the executed plan tree with per-operator timings, row "
+        "counts and optimizer estimates",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plan (logical summary + physical plan with "
+        "estimated rows) without executing",
+    )
+    query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run ANALYZE over the catalog first so the optimizer plans "
+        "with real statistics",
+    )
+    query.add_argument(
+        "--index",
+        action="append",
+        default=[],
+        metavar="TABLE.COLUMN[:KIND]",
+        help="build a secondary index before planning (KIND: sorted, hash "
+        "or auto; repeatable)",
+    )
+    query.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        choices=sorted(TOGGLE_NAMES) + ["optimizer"],
+        help="turn off one optimizer feature, or 'optimizer' for the whole "
+        "cost-based planner (repeatable)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="collect optimizer statistics over a simulated chain"
+    )
+    analyze.add_argument("--chain", choices=sorted(_CHAIN_KEYS), required=True)
+    analyze.add_argument(
+        "--table",
+        choices=["blocks", "credits"],
+        default=None,
+        help="analyze only this table (default: all)",
+    )
+    analyze.add_argument(
+        "--index",
+        action="append",
+        default=[],
+        metavar="TABLE.COLUMN[:KIND]",
+        help="also build a secondary index and report it (repeatable)",
     )
 
     trace = sub.add_parser("trace", help="summarize or validate a recorded trace file")
@@ -374,6 +422,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_layers(study, args)
     if args.command == "query":
         return _cmd_query(study, args)
+    if args.command == "analyze":
+        return _cmd_analyze(study, args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -553,12 +603,47 @@ def _cmd_layers(study: DecentralizationStudy, args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+def _chain_engine(
+    study: DecentralizationStudy, args: argparse.Namespace
+) -> QueryEngine | None:
+    """Build a query engine over the chain's tables per the CLI flags.
+
+    Returns None (after printing an error) when an ``--index`` spec is
+    malformed; bad table/column names surface as :class:`ReproError`
+    from the engine.
+    """
     chain = study.chain(_CHAIN_KEYS[args.chain])
+    disable = set(getattr(args, "disable", []) or [])
+    options = PlannerOptions.with_disabled(sorted(disable - {"optimizer"}))
     engine = QueryEngine(
         {"blocks": chain.block_table(), "credits": chain.to_table()},
         workers=args.workers,
+        optimizer="optimizer" not in disable,
+        options=options,
     )
+    for spec in args.index:
+        table, sep, rest = spec.partition(".")
+        column, _, kind = rest.partition(":")
+        if not sep or not column:
+            print(
+                f"error: bad --index spec {spec!r} "
+                "(expected TABLE.COLUMN[:KIND])",
+                file=sys.stderr,
+            )
+            return None
+        engine.create_index(table, column, kind or "auto")
+    return engine
+
+
+def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    engine = _chain_engine(study, args)
+    if engine is None:
+        return 2
+    if args.analyze:
+        engine.analyze()
+    if args.explain:
+        print(engine.explain(args.sql))
+        return 0
     if args.explain_analyze:
         result, root = engine.explain_analyze(args.sql)
         print(format_plan(root))
@@ -569,6 +654,20 @@ def _cmd_query(study: DecentralizationStudy, args: argparse.Namespace) -> int:
         print(row)
     if result.num_rows > args.limit:
         print(f"... ({result.num_rows - args.limit} more rows)")
+    return 0
+
+
+def _cmd_analyze(study: DecentralizationStudy, args: argparse.Namespace) -> int:
+    engine = _chain_engine(study, args)
+    if engine is None:
+        return 2
+    summary = engine.analyze(args.table)
+    for row in summary.to_rows():
+        print(row)
+    for table in ("blocks", "credits"):
+        specs = engine.index_specs(table)
+        for column, kind in sorted(specs.items()):
+            print(f"index {table}.{column} kind={kind}")
     return 0
 
 

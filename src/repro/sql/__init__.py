@@ -19,15 +19,20 @@ Example
 """
 
 from repro.sql.analyze import ExecutionTrace, PlanNode, format_plan
+from repro.sql.cost import PlannerOptions
 from repro.sql.executor import QueryEngine, query
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
+from repro.sql.planner import PhysicalPlan, optimize
 
 __all__ = [
     "ExecutionTrace",
+    "PhysicalPlan",
     "PlanNode",
+    "PlannerOptions",
     "QueryEngine",
     "format_plan",
+    "optimize",
     "parse",
     "query",
     "tokenize",

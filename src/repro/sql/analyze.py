@@ -36,6 +36,7 @@ class PlanNode:
     detail: str = ""
     rows_in: int | None = None
     rows_out: int | None = None
+    rows_est: int | None = None
     seconds: float = 0.0
     children: list = field(default_factory=list)
 
@@ -72,6 +73,14 @@ class _OpHandle:
     def rows_out(self, value: int) -> None:
         self.node.rows_out = value
 
+    @property
+    def rows_est(self) -> int | None:
+        return self.node.rows_est
+
+    @rows_est.setter
+    def rows_est(self, value: int | None) -> None:
+        self.node.rows_est = value
+
     def __enter__(self) -> "_OpHandle":
         self._trace._stack.append(self.node)
         self._start = time.perf_counter()
@@ -88,7 +97,7 @@ class _OpHandle:
 class _NullOp:
     """Absorbs the stage hooks when neither analyze nor tracing is on."""
 
-    __slots__ = ("rows_in", "rows_out")
+    __slots__ = ("rows_in", "rows_out", "rows_est")
 
     def __enter__(self) -> "_NullOp":
         return self
@@ -103,12 +112,13 @@ _NULL_OP = _NullOp()
 class _ObsOp:
     """Adapts a stage hook onto a span of the process-wide tracer."""
 
-    __slots__ = ("_span", "rows_in", "rows_out")
+    __slots__ = ("_span", "rows_in", "rows_out", "rows_est")
 
     def __init__(self, op: str, detail: str) -> None:
         self._span = obs.span(f"sql.{op}", detail=detail) if detail else obs.span(f"sql.{op}")
         self.rows_in: int | None = None
         self.rows_out: int | None = None
+        self.rows_est: int | None = None
 
     def __enter__(self) -> "_ObsOp":
         self._span.__enter__()
@@ -119,6 +129,8 @@ class _ObsOp:
             self._span.set(rows_in=self.rows_in)
         if self.rows_out is not None:
             self._span.set(rows_out=self.rows_out)
+        if self.rows_est is not None:
+            self._span.set(rows_est=self.rows_est)
         return self._span.__exit__(*exc_info)
 
 
@@ -149,20 +161,28 @@ def stage_op(trace: ExecutionTrace | None, op: str, detail: str = ""):
     return _NULL_OP
 
 
-def format_plan(node: PlanNode) -> str:
-    """Render a plan tree with per-operator wall time and row counts."""
+def format_plan(node: PlanNode, include_time: bool = True) -> str:
+    """Render a plan tree with per-operator wall time and row counts.
+
+    Estimated rows (``est=``, from the cost-based planner) print after the
+    actual counts so estimated-vs-actual can be read off each line.  Pure
+    ``EXPLAIN`` (no execution) renders with ``include_time=False``, showing
+    estimates only.
+    """
     lines: list[str] = []
 
     def visit(node: PlanNode, prefix: str, connector: str, child_prefix: str) -> None:
-        stats = [f"time={node.seconds * 1e3:.2f}ms"]
+        stats = [f"time={node.seconds * 1e3:.2f}ms"] if include_time else []
         if node.rows_in is not None and node.rows_in != node.rows_out:
             stats.append(f"in={node.rows_in}")
             if node.rows_out is not None:
                 stats.append(f"out={node.rows_out}")
         elif node.rows_out is not None:
             stats.append(f"rows={node.rows_out}")
+        if node.rows_est is not None:
+            stats.append(f"est={node.rows_est}")
         label = f"{prefix}{connector}{node.label}"
-        lines.append(f"{label:<45s} {' '.join(stats)}")
+        lines.append(f"{label:<45s} {' '.join(stats)}".rstrip())
         for i, child in enumerate(node.children):
             last = i == len(node.children) - 1
             visit(

@@ -186,3 +186,13 @@ class Union:
     """``<select> UNION ALL <select> [...]`` — bag-semantics concatenation."""
 
     selects: tuple[Select, ...]
+
+
+@dataclass(frozen=True)
+class Analyze:
+    """``ANALYZE [table]`` — collect optimizer statistics.
+
+    ``table is None`` analyzes every table in the catalog.
+    """
+
+    table: str | None = None

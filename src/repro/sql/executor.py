@@ -21,6 +21,7 @@ from repro import obs
 from repro.errors import SqlExecutionError, SqlPlanError
 from repro.sql.astnodes import (
     Aggregate,
+    Analyze,
     Between,
     Binary,
     Case,
@@ -31,7 +32,6 @@ from repro.sql.astnodes import (
     IsNull,
     Join,
     Literal,
-    Select,
     Star,
     SubquerySource,
     TableRef,
@@ -40,13 +40,25 @@ from repro.sql.astnodes import (
 )
 from repro.parallel import WorkerPool, resolve_workers, shard_ranges
 from repro.parallel import work as _work
-from repro.sql.analyze import ExecutionTrace, PlanNode, stage_op
+from repro.sql.analyze import ExecutionTrace, PlanNode, format_plan, stage_op
+from repro.sql.cost import PlannerOptions
 from repro.sql.functions import AGGREGATE_FUNCTIONS, call_scalar_function, like_match
 from repro.sql.parser import parse
-from repro.sql.planner import QueryPlan, find_aggregates, plan, source_tables
+from repro.sql.planner import (
+    PhysicalPlan,
+    QueryPlan,
+    SourceInfo,
+    and_combine,
+    find_aggregates,
+    optimize,
+    plan,
+    source_tables,
+)
 from repro.table import Table
 from repro.table.aggregates import grouped_aggregate
 from repro.table.column import Column
+from repro.table.index import Index, build_index
+from repro.table.stats import TableStatistics
 
 logger = logging.getLogger(__name__)
 
@@ -90,23 +102,158 @@ class QueryEngine:
         self,
         catalog: Mapping[str, Table] | None = None,
         workers: int | str | None = 1,
+        optimizer: bool = True,
+        options: PlannerOptions | None = None,
     ) -> None:
         self._catalog: dict[str, Table] = dict(catalog or {})
         self.workers = resolve_workers(workers if workers is not None else 1)
+        self.optimizer_enabled = bool(optimizer)
+        self.options = options if options is not None else PlannerOptions()
+        #: ANALYZE results: table name -> (the table object analyzed, stats).
+        #: Replacing the table via :meth:`register` marks its stats stale.
+        self._analyzed: dict[str, tuple[Table, TableStatistics]] = {}
+        #: Declared indexes: table name -> {column -> kind}.  Specs survive
+        #: re-registration; the structures are rebuilt against the new table.
+        self._index_specs: dict[str, dict[str, str]] = {}
+        self._indexes: dict[str, dict[str, Index]] = {}
 
     def register(self, name: str, table: Table) -> None:
-        """Add or replace a table in the catalog."""
+        """Add or replace a table in the catalog.
+
+        Index structures declared with :meth:`create_index` are rebuilt
+        against the new table; specs whose column disappeared are dropped
+        with a warning.  ANALYZE statistics are kept but become stale
+        (see :meth:`stats_state`).
+        """
         self._catalog[name] = table
+        specs = self._index_specs.get(name)
+        if not specs:
+            return
+        rebuilt: dict[str, Index] = {}
+        for column, kind in list(specs.items()):
+            if column not in table:
+                logger.warning(
+                    "dropping index on %s.%s: column no longer exists", name, column
+                )
+                del specs[column]
+                continue
+            rebuilt[column] = build_index(table, column, kind)
+        self._indexes[name] = rebuilt
 
     def table_names(self) -> tuple[str, ...]:
         """Names of registered tables, sorted."""
         return tuple(sorted(self._catalog))
 
+    # -- statistics and indexes ------------------------------------------------
+
+    def analyze(self, table: str | None = None) -> Table:
+        """Collect optimizer statistics (the ``ANALYZE [table]`` statement).
+
+        Returns a per-column summary table; the statistics are kept for
+        cost-based planning until the table is replaced (then marked
+        stale: value distributions are reused as ratios against the
+        current row count).
+        """
+        obs.counter("sql.analyze")
+        names = [table] if table is not None else list(self.table_names())
+        rows: list[dict[str, Any]] = []
+        for name in names:
+            target = self._lookup(name)
+            stats = target.statistics(refresh=True)
+            self._analyzed[name] = (target, stats)
+            for column in target.column_names:
+                cs = stats.column(column)
+                top_value, top_count = (None, None)
+                if cs is not None and cs.most_common:
+                    top_value = _display(cs.most_common[0][0])
+                    top_count = cs.most_common[0][1]
+                rows.append(
+                    {
+                        "table": name,
+                        "column": column,
+                        "kind": cs.kind if cs is not None else "?",
+                        "rows": stats.row_count,
+                        "nulls": cs.n_null if cs is not None else 0,
+                        "distinct": cs.n_distinct if cs is not None else 0,
+                        "min": _display(cs.min_value) if cs is not None else None,
+                        "max": _display(cs.max_value) if cs is not None else None,
+                        "top_value": top_value,
+                        "top_count": 0 if top_count is None else top_count,
+                    }
+                )
+        if not rows:
+            return Table(
+                {
+                    "table": [],
+                    "column": [],
+                    "kind": [],
+                    "rows": [],
+                    "nulls": [],
+                    "distinct": [],
+                    "min": [],
+                    "max": [],
+                    "top_value": [],
+                    "top_count": [],
+                }
+            )
+        data = {key: [row[key] for row in rows] for key in rows[0]}
+        return Table(data)
+
+    def create_index(self, table: str, column: str, kind: str = "auto") -> Index:
+        """Build a secondary index over ``table.column``.
+
+        ``kind`` is ``"sorted"``, ``"hash"`` or ``"auto"`` (hash for
+        strings, sorted otherwise).  The index is maintained across
+        :meth:`register` calls for the same table name.
+        """
+        target = self._lookup(table)
+        index = build_index(target, column, kind)
+        self._index_specs.setdefault(table, {})[column] = index.kind
+        self._indexes.setdefault(table, {})[column] = index
+        obs.counter("sql.create_index")
+        return index
+
+    def index_specs(self, table: str) -> dict[str, str]:
+        """Declared indexes for ``table`` as ``{column: kind}``."""
+        return dict(self._index_specs.get(table, {}))
+
+    def stats_state(self, table: str) -> str:
+        """``"fresh"``, ``"stale"`` or ``"absent"`` statistics for ``table``."""
+        entry = self._analyzed.get(table)
+        if entry is None:
+            return "absent"
+        return "fresh" if entry[0] is self._catalog.get(table) else "stale"
+
+    def _source_info(self, ref: TableRef) -> SourceInfo | None:
+        """What the optimizer may assume about one catalog table."""
+        table = self._catalog.get(ref.name)
+        if table is None:
+            return None  # abort optimization; the legacy path reports the error
+        entry = self._analyzed.get(ref.name)
+        return SourceInfo(
+            rows=table.num_rows,
+            columns=tuple(table.column_names),
+            column_kinds={name: table.column(name).kind for name in table.column_names},
+            stats=entry[1] if entry is not None else None,
+            stats_state=self.stats_state(ref.name),
+            indexes={
+                column: index.kind
+                for column, index in self._indexes.get(ref.name, {}).items()
+            },
+        )
+
+    def _optimize(self, query_plan: QueryPlan) -> PhysicalPlan | None:
+        if not self.optimizer_enabled:
+            return None
+        return optimize(query_plan, self._source_info, self.options)
+
     def execute(self, sql: str) -> Table:
-        """Parse, plan and execute one statement (SELECT or UNION ALL)."""
+        """Parse, plan and execute one statement (SELECT, UNION ALL, ANALYZE)."""
         with obs.span("sql.query"):
             obs.counter("sql.queries")
             statement = parse(sql)
+            if isinstance(statement, Analyze):
+                return self.analyze(statement.table)
             if isinstance(statement, Union):
                 return self._execute_union(statement)
             return self.execute_plan(plan(statement))
@@ -122,7 +269,11 @@ class QueryEngine:
         start = time.perf_counter()
         with trace.op("Parse"):
             statement = parse(sql)
-        if isinstance(statement, Union):
+        if isinstance(statement, Analyze):
+            with trace.op("Analyze", statement.table or "all tables") as op:
+                result = self.analyze(statement.table)
+                op.rows_out = result.num_rows
+        elif isinstance(statement, Union):
             with trace.op("UnionAll", f"{len(statement.selects)} members") as op:
                 result = self._execute_union(statement, trace=trace)
                 op.rows_out = result.num_rows
@@ -155,8 +306,20 @@ class QueryEngine:
         return concat(parts)
 
     def explain(self, sql: str) -> str:
-        """Return a human-readable summary of the query plan."""
+        """Return a human-readable summary of the query plan.
+
+        With the optimizer enabled the logical summary is followed by the
+        physical plan tree (access paths, join strategies and estimated
+        rows per operator) rendered without timings.
+        """
         statement = parse(sql)
+        if isinstance(statement, Analyze):
+            target = statement.table or "all registered tables"
+            return (
+                f"ANALYZE {target}\n"
+                "COLLECT row count, per-column distinct/null counts, "
+                "min/max and most-common values"
+            )
         if isinstance(statement, Union):
             members = "\n".join(
                 f"-- member {i + 1} --" for i in range(len(statement.selects))
@@ -183,26 +346,99 @@ class QueryEngine:
             lines.append(f"ORDER BY {len(select.order_by)} key(s)")
         if select.limit is not None:
             lines.append(f"LIMIT {select.limit} OFFSET {select.offset or 0}")
+        physical = self._optimize(query_plan)
+        if physical is not None:
+            lines.append("")
+            lines.append("-- physical plan (estimated rows) --")
+            lines.append(
+                format_plan(self._physical_tree(query_plan, physical), include_time=False)
+            )
         return "\n".join(lines)
 
+    def _physical_tree(self, query_plan: QueryPlan, physical: PhysicalPlan) -> PlanNode:
+        """A :class:`PlanNode` tree mirroring execution, estimates only."""
+        select = query_plan.select
+        est = physical.estimates
+        root = PlanNode("Execute", rows_est=est.get("final"))
+
+        def source_nodes(
+            source: TableRef | SubquerySource | Join,
+        ) -> list[PlanNode]:
+            if isinstance(source, TableRef):
+                sp = physical.scans.get(source.binding)
+                if sp is None or sp.is_trivial:
+                    rows = sp.base_rows if sp is not None else None
+                    return [PlanNode("Scan", source.name, rows_est=rows)]
+                access_rows = sp.access_est_rows if sp.access != "seq" else sp.base_rows
+                nodes = [PlanNode("Scan", sp.describe(), rows_est=access_rows)]
+                if sp.pushed:
+                    nodes.append(PlanNode("Filter", "pushed", rows_est=sp.est_rows))
+                return nodes
+            if isinstance(source, SubquerySource):
+                rows = physical.subquery_rows.get(source.binding)
+                return [PlanNode("Subquery", source.binding, rows_est=rows)]
+            jp = physical.joins.get(source)
+            detail = source.kind.upper()
+            if jp is not None:
+                detail = f"{detail} {jp.describe()}"
+            node = PlanNode("Join", detail, rows_est=jp.est_rows if jp else None)
+            node.children.extend(source_nodes(source.left))
+            node.children.extend(source_nodes(source.right))
+            return [node]
+
+        root.children.extend(source_nodes(select.source))
+        if physical.residual_where is not None:
+            root.children.append(PlanNode("Filter", rows_est=est.get("filter")))
+        if query_plan.is_aggregation:
+            detail = (
+                f"keys={len(select.group_by)} aggregates={len(query_plan.aggregates)}"
+            )
+            root.children.append(PlanNode("Aggregate", detail, rows_est=est.get("aggregate")))
+        else:
+            root.children.append(
+                PlanNode("Project", _project_detail(query_plan), rows_est=est.get("project"))
+            )
+        if select.distinct:
+            root.children.append(PlanNode("Distinct", rows_est=est.get("distinct")))
+        if select.order_by:
+            root.children.append(
+                PlanNode("Sort", f"keys={len(select.order_by)}", rows_est=est.get("sort"))
+            )
+        if select.limit is not None or select.offset is not None:
+            root.children.append(PlanNode("Limit", rows_est=est.get("limit")))
+        return root
+
     def execute_plan(
-        self, query_plan: QueryPlan, trace: ExecutionTrace | None = None
+        self,
+        query_plan: QueryPlan,
+        trace: ExecutionTrace | None = None,
+        physical: PhysicalPlan | None = None,
     ) -> Table:
         """Run a validated plan against the catalog.
 
         ``trace`` (an :class:`~repro.sql.analyze.ExecutionTrace`) collects
         per-operator wall time and row counts for EXPLAIN ANALYZE; when
         omitted the stage hooks are no-ops (or ``sql.*`` spans if the
-        process-wide tracer is enabled).
+        process-wide tracer is enabled).  ``physical`` carries the
+        cost-based optimizer's decisions; when omitted one is computed
+        (unless the engine was built with ``optimizer=False``).  Physical
+        planning never changes results — only access paths, join
+        strategies and the ``est=`` numbers on the plan tree.
         """
         select = query_plan.select
-        scope = self._build_scope(select.source, trace)
+        if physical is None and self.optimizer_enabled:
+            with stage_op(trace, "Optimize"):
+                physical = self._optimize(query_plan)
+        est = physical.estimates if physical is not None else {}
+        scope = self._build_scope(select.source, trace, physical)
         table = scope.table
-        if select.where is not None:
+        where_expr = physical.residual_where if physical is not None else select.where
+        if where_expr is not None:
             with stage_op(trace, "Filter") as op:
                 op.rows_in = table.num_rows
+                op.rows_est = est.get("filter")
                 mask = _as_bool_mask(
-                    _evaluate(select.where, table, scope), table.num_rows
+                    _evaluate(where_expr, table, scope), table.num_rows
                 )
                 table = table.filter(mask)
                 op.rows_out = table.num_rows
@@ -212,19 +448,23 @@ class QueryEngine:
             )
             with stage_op(trace, "Aggregate", detail) as op:
                 op.rows_in = table.num_rows
+                op.rows_est = est.get("aggregate")
                 result = self._run_aggregation(query_plan, table, scope, trace)
                 op.rows_out = result.num_rows
         else:
             with stage_op(trace, "Project", _project_detail(query_plan)) as op:
+                op.rows_est = est.get("project")
                 result = self._run_projection(query_plan, table, scope)
                 op.rows_out = result.num_rows
         if select.distinct and result.num_rows:
             with stage_op(trace, "Distinct") as op:
                 op.rows_in = result.num_rows
+                op.rows_est = est.get("distinct")
                 result = result.distinct()
                 op.rows_out = result.num_rows
         if select.order_by:
             with stage_op(trace, "Sort", f"keys={len(select.order_by)}") as op:
+                op.rows_est = est.get("sort")
                 result = self._apply_order(query_plan, result, table, scope)
                 op.rows_out = result.num_rows
         if select.offset is not None or select.limit is not None:
@@ -233,6 +473,7 @@ class QueryEngine:
                 detail += f" offset={select.offset}"
             with stage_op(trace, "Limit", detail) as op:
                 op.rows_in = result.num_rows
+                op.rows_est = est.get("limit")
                 start = select.offset or 0
                 stop = None if select.limit is None else start + select.limit
                 result = result.slice(start, stop)
@@ -245,33 +486,108 @@ class QueryEngine:
         self,
         source: TableRef | SubquerySource | Join,
         trace: ExecutionTrace | None = None,
+        physical: PhysicalPlan | None = None,
     ) -> "_Scope":
         if isinstance(source, TableRef):
-            with stage_op(trace, "Scan", source.name) as op:
-                table = self._lookup(source.name)
-                op.rows_out = table.num_rows
-            return _Scope.single(source.binding, table)
+            return self._scan_table(source, trace, physical)
         if isinstance(source, SubquerySource):
             with stage_op(trace, "Subquery", source.binding) as op:
+                if physical is not None:
+                    op.rows_est = physical.subquery_rows.get(source.binding)
                 derived = self.execute_plan(plan(source.select), trace)
                 op.rows_out = derived.num_rows
             return _Scope.single(source.binding, derived)
-        with stage_op(trace, "Join", source.kind.upper()) as op:
-            left_scope = self._build_scope(source.left, trace)
-            right = self._build_scope(source.right, trace)
+        join_plan = physical.joins.get(source) if physical is not None else None
+        detail = source.kind.upper()
+        if join_plan is not None:
+            detail = f"{detail} {join_plan.describe()}"
+        with stage_op(trace, "Join", detail) as op:
+            if join_plan is not None:
+                op.rows_est = join_plan.est_rows
+            left_scope = self._build_scope(source.left, trace, physical)
+            right = self._build_scope(source.right, trace, physical)
             left_qualified = left_scope.qualified()
             right_qualified = right.qualified()
             left_key = left_qualified.resolve(source.on_left)
             right_key = right_qualified.resolve(source.on_right)
-            joined = _hash_join(
-                left_qualified.table,
-                left_key,
-                right_qualified.table,
-                right_key,
-                source.kind,
-            )
+            strategy = join_plan.strategy if join_plan is not None else "hash"
+            if strategy == "sort_merge":
+                joined = _sort_merge_join(
+                    left_qualified.table,
+                    left_key,
+                    right_qualified.table,
+                    right_key,
+                    source.kind,
+                )
+            elif strategy == "index" and join_plan is not None:
+                index = self._indexes[join_plan.index_table][join_plan.index_column]
+                joined = _index_join(
+                    left_qualified.table,
+                    left_key,
+                    right_qualified.table,
+                    index,
+                    source.kind,
+                )
+            else:
+                joined = _hash_join(
+                    left_qualified.table,
+                    left_key,
+                    right_qualified.table,
+                    right_key,
+                    source.kind,
+                )
             op.rows_out = joined.num_rows
         return _Scope.joined(joined)
+
+    def _scan_table(
+        self,
+        source: TableRef,
+        trace: ExecutionTrace | None,
+        physical: PhysicalPlan | None,
+    ) -> "_Scope":
+        scan = physical.scans.get(source.binding) if physical is not None else None
+        if scan is None or scan.is_trivial:
+            with stage_op(trace, "Scan", source.name) as op:
+                table = self._lookup(source.name)
+                op.rows_out = table.num_rows
+                if scan is not None:
+                    op.rows_est = scan.base_rows
+            return _Scope.single(source.binding, table)
+        table = self._lookup(source.name)
+        with stage_op(trace, "Scan", scan.describe()) as op:
+            if scan.access == "index-eq":
+                index = self._indexes[source.name][scan.index_column]
+                table = table.take(index.lookup_eq(scan.index_value))
+                op.rows_est = scan.access_est_rows
+            elif scan.access == "index-range":
+                index = self._indexes[source.name][scan.index_column]
+                table = table.take(
+                    index.lookup_range(
+                        scan.index_low,
+                        scan.index_high,
+                        scan.index_include_low,
+                        scan.index_include_high,
+                    )
+                )
+                op.rows_est = scan.access_est_rows
+            else:
+                op.rows_est = scan.base_rows
+            if scan.columns is not None:
+                table = table.select(list(scan.columns))
+            op.rows_out = table.num_rows
+        scope = _Scope.single(source.binding, table)
+        if scan.pushed:
+            with stage_op(trace, "Filter", "pushed") as op:
+                op.rows_in = table.num_rows
+                op.rows_est = scan.est_rows
+                predicate = and_combine(list(scan.pushed))
+                mask = _as_bool_mask(
+                    _evaluate(predicate, table, scope), table.num_rows
+                )
+                table = table.filter(mask)
+                op.rows_out = table.num_rows
+            scope = _Scope.single(source.binding, table)
+        return scope
 
     def _lookup(self, name: str) -> Table:
         try:
@@ -556,7 +872,12 @@ class _Scope:
 def _hash_join(
     left: Table, left_key: str, right: Table, right_key: str, how: str
 ) -> Table:
-    """Equality hash-join on one key column per side (names may differ)."""
+    """Equality hash-join on one key column per side (names may differ).
+
+    Emits matches in ``(left row, right row)`` lexicographic order — the
+    canonical pair order every join strategy reproduces so results are
+    byte-identical regardless of the optimizer's choice.
+    """
     build: dict[Any, list[int]] = {}
     for j, value in enumerate(right.column(right_key).to_list()):
         build.setdefault(value, []).append(j)
@@ -570,6 +891,100 @@ def _hash_join(
         elif how == "left":
             left_rows.append(i)
             right_rows.append(-1)
+    return _assemble_join(left, right, left_rows, right_rows)
+
+
+def _sort_merge_join(
+    left: Table, left_key: str, right: Table, right_key: str, how: str
+) -> Table:
+    """Sort-merge equality join, byte-identical to :func:`_hash_join`.
+
+    Keys are dense-coded through one shared dict (so equality semantics —
+    ``None`` matches ``None``, NaN never matches — are exactly the hash
+    join's), both sides are sorted by code, merged linearly, and the match
+    pairs re-sorted into canonical ``(left, right)`` order.
+    """
+    left_values = left.column(left_key).to_list()
+    right_values = right.column(right_key).to_list()
+    mapping: dict[Any, int] = {}
+
+    def encode(values: list) -> np.ndarray:
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            code = mapping.get(value)
+            if code is None:
+                code = len(mapping)
+                mapping[value] = code
+            codes[i] = code
+        return codes
+
+    left_codes = encode(left_values)
+    right_codes = encode(right_values)
+    left_order = np.argsort(left_codes, kind="stable")
+    right_order = np.argsort(right_codes, kind="stable")
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    i = j = 0
+    n_left, n_right = len(left_order), len(right_order)
+    while i < n_left:
+        code = left_codes[left_order[i]]
+        while j < n_right and right_codes[right_order[j]] < code:
+            j += 1
+        j_end = j
+        while j_end < n_right and right_codes[right_order[j_end]] == code:
+            j_end += 1
+        i_end = i
+        while i_end < n_left and left_codes[left_order[i_end]] == code:
+            i_end += 1
+        if j_end > j:
+            run = right_order[j:j_end]
+            for left_row in left_order[i:i_end]:
+                left_rows.extend([int(left_row)] * len(run))
+                right_rows.extend(int(r) for r in run)
+        elif how == "left":
+            for left_row in left_order[i:i_end]:
+                left_rows.append(int(left_row))
+                right_rows.append(-1)
+        i = i_end
+        j = j_end
+    left_arr = np.asarray(left_rows, dtype=np.int64)
+    right_arr = np.asarray(right_rows, dtype=np.int64)
+    if len(left_arr):
+        order = np.lexsort((right_arr, left_arr))
+        left_arr = left_arr[order]
+        right_arr = right_arr[order]
+    return _assemble_join(left, right, left_arr, right_arr)
+
+
+def _index_join(
+    left: Table, left_key: str, right: Table, index: Any, how: str
+) -> Table:
+    """Index nested-loop join probing a right-side secondary index.
+
+    ``index`` was built over the right base table, whose row positions the
+    planner guarantees are still valid (sequential scan, no pushed
+    filters).  ``lookup_join`` uses dict-equality semantics and returns
+    ascending positions, so the output is naturally in canonical order.
+    """
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for i, value in enumerate(left.column(left_key).to_list()):
+        matches = index.lookup_join(value)
+        if len(matches):
+            left_rows.extend([i] * len(matches))
+            right_rows.extend(int(j) for j in matches)
+        elif how == "left":
+            left_rows.append(i)
+            right_rows.append(-1)
+    return _assemble_join(left, right, left_rows, right_rows)
+
+
+def _assemble_join(left: Table, right: Table, left_rows: Any, right_rows: Any) -> Table:
+    """Materialize join output from matched row-index pairs.
+
+    ``right_rows == -1`` marks a LEFT JOIN miss: right columns widen to
+    NULL (``None`` for strings, NaN for numerics) on those rows.
+    """
     left_part = left.take(np.asarray(left_rows, dtype=np.int64))
     right_idx = np.asarray(right_rows, dtype=np.int64)
     missing = right_idx < 0
@@ -860,6 +1275,18 @@ def _apply_case(expr: Case, evaluate: Any, length: int) -> np.ndarray:
 
 
 # -- small utilities -------------------------------------------------------------------
+
+
+def _display(value: Any) -> str | None:
+    """Render an ANALYZE summary value as a string (None stays NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, float) and not isinstance(value, bool):
+        if not np.isfinite(value):
+            return str(value)
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return str(value)
 
 
 def _project_detail(query_plan: QueryPlan) -> str:

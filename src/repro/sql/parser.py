@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.errors import SqlSyntaxError
 from repro.sql.astnodes import (
     Aggregate,
+    Analyze,
     Between,
     Binary,
     Case,
@@ -31,8 +32,8 @@ from repro.sql.tokens import EOF, IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, STRIN
 _COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
 
 
-def parse(sql: str) -> Select | Union:
-    """Parse one statement (SELECT or UNION ALL chain of SELECTs)."""
+def parse(sql: str) -> Select | Union | Analyze:
+    """Parse one statement: SELECT, UNION ALL chain, or ANALYZE."""
     parser = _Parser(tokenize(sql))
     statement = parser.parse_statement()
     parser.expect_eof()
@@ -78,7 +79,9 @@ class _Parser:
 
     # -- statement -----------------------------------------------------------
 
-    def parse_statement(self) -> Select | Union:
+    def parse_statement(self) -> Select | Union | Analyze:
+        if self._accept(KEYWORD, "ANALYZE"):
+            return self._parse_analyze()
         first = self.parse_select()
         if not self._peek().matches(KEYWORD, "UNION"):
             return first
@@ -87,6 +90,16 @@ class _Parser:
             self._expect(KEYWORD, "ALL")
             selects.append(self.parse_select())
         return Union(selects=tuple(selects))
+
+    def _parse_analyze(self) -> Analyze:
+        if self._peek().type != IDENT:
+            return Analyze()
+        name = self._advance().value
+        # Dotted, dataset-qualified names, as in FROM.
+        while self._peek().matches(PUNCT, ".") and self._peek(1).type == IDENT:
+            self._advance()
+            name = f"{name}.{self._advance().value}"
+        return Analyze(table=name)
 
     def parse_select(self) -> Select:
         self._expect(KEYWORD, "SELECT")

@@ -18,6 +18,7 @@ EOF: Final = "EOF"
 #: tokens; everything else is an IDENT.
 KEYWORDS: Final[frozenset[str]] = frozenset(
     {
+        "ANALYZE",
         "SELECT",
         "DISTINCT",
         "AS",

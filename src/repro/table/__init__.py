@@ -18,6 +18,7 @@ Example
 from repro.table.aggregates import AGGREGATE_NAMES, aggregate_array
 from repro.table.column import Column, infer_kind
 from repro.table.expressions import col, lit
+from repro.table.index import HashIndex, SortedIndex, build_index
 from repro.table.io import (
     read_csv,
     read_jsonl,
@@ -25,16 +26,23 @@ from repro.table.io import (
     write_jsonl,
 )
 from repro.table.schema import Schema
+from repro.table.stats import ColumnStatistics, TableStatistics, collect_statistics
 from repro.table.table import GroupBy, Table, concat
 
 __all__ = [
     "AGGREGATE_NAMES",
     "Column",
+    "ColumnStatistics",
     "GroupBy",
+    "HashIndex",
     "Schema",
+    "SortedIndex",
     "Table",
+    "TableStatistics",
     "aggregate_array",
+    "build_index",
     "col",
+    "collect_statistics",
     "concat",
     "infer_kind",
     "lit",

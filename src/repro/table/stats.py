@@ -1,0 +1,214 @@
+"""ANALYZE-style table statistics for cost-based query planning.
+
+:func:`collect_statistics` walks a :class:`~repro.table.Table` once and
+produces a :class:`TableStatistics` — row count plus, per column, the
+distinct count, null count, numeric min/max, and the top most-common
+values with their frequencies.  The SQL optimizer uses these to estimate
+predicate selectivity and join cardinality; tables without statistics
+fall back to the System-R-style default fractions below.
+
+Statistics are a snapshot: they describe the table object they were
+collected from.  The query engine tracks which table object each snapshot
+was taken from to detect staleness after a table is replaced; estimates
+are ratios (selectivities, null fractions) rather than absolute counts,
+so stale statistics degrade gracefully against new row counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.table.table import Table
+
+#: Default selectivity fractions used when statistics cannot answer.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.3
+DEFAULT_BETWEEN_SELECTIVITY = 0.25
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_ISNULL_SELECTIVITY = 0.05
+DEFAULT_SELECTIVITY = 0.33
+
+#: How many most-common values to keep per column.
+DEFAULT_MOST_COMMON = 10
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Distribution summary of one column."""
+
+    name: str
+    kind: str
+    n_rows: int
+    n_null: int
+    n_distinct: int
+    min_value: float | None = None
+    max_value: float | None = None
+    most_common: tuple[tuple[Any, int], ...] = field(default_factory=tuple)
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of rows that are NULL (None or NaN)."""
+        return self.n_null / self.n_rows if self.n_rows else 0.0
+
+    @property
+    def mcv_rows(self) -> int:
+        """Rows covered by the recorded most-common values."""
+        return sum(count for _, count in self.most_common)
+
+    def eq_selectivity(self, value: Any) -> float:
+        """Estimated fraction of rows where ``column = value``."""
+        if self.n_rows == 0 or value is None:
+            return 0.0
+        if isinstance(value, float) and np.isnan(value):
+            return 0.0
+        for mcv, count in self.most_common:
+            if _same_value(mcv, value):
+                return _clamp(count / self.n_rows)
+        if self.kind in ("int", "float") and self.min_value is not None:
+            if not isinstance(value, (bool, str)) and (
+                value < self.min_value or value > self.max_value
+            ):
+                return 0.0
+        rest_distinct = self.n_distinct - len(self.most_common)
+        if rest_distinct <= 0:
+            # Every distinct value is in the MCV list and this one is not.
+            return 0.0
+        rest_rows = max(self.n_rows - self.n_null - self.mcv_rows, 0)
+        return _clamp(rest_rows / rest_distinct / self.n_rows)
+
+    def range_selectivity(self, op: str, value: Any) -> float:
+        """Estimated fraction of rows where ``column <op> value``."""
+        if self.n_rows == 0:
+            return 0.0
+        if (
+            self.kind not in ("int", "float")
+            or self.min_value is None
+            or self.max_value is None
+            or isinstance(value, (bool, str))
+            or value is None
+            or (isinstance(value, float) and np.isnan(value))
+        ):
+            return DEFAULT_RANGE_SELECTIVITY
+        non_null = 1.0 - self.null_fraction
+        span = self.max_value - self.min_value
+        if span <= 0:
+            point = self.min_value
+            satisfied = {
+                "<": value > point,
+                "<=": value >= point,
+                ">": value < point,
+                ">=": value <= point,
+            }[op]
+            return _clamp(non_null if satisfied else 0.0)
+        below = _clamp((float(value) - self.min_value) / span)
+        if op in ("<", "<="):
+            return _clamp(below * non_null)
+        return _clamp((1.0 - below) * non_null)
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for a whole table, keyed by column name."""
+
+    row_count: int
+    columns: Mapping[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        """Statistics for ``name``, or None if the column is unknown."""
+        return self.columns.get(name)
+
+
+def collect_statistics(table: Table, most_common: int = DEFAULT_MOST_COMMON) -> TableStatistics:
+    """Scan ``table`` and build a :class:`TableStatistics` snapshot."""
+    columns: dict[str, ColumnStatistics] = {}
+    for name in table.column_names:
+        columns[name] = _column_statistics(table, name, most_common)
+    return TableStatistics(row_count=table.num_rows, columns=columns)
+
+
+def _column_statistics(table: Table, name: str, most_common: int) -> ColumnStatistics:
+    column = table.column(name)
+    values = column.values
+    n_rows = len(column)
+    if n_rows == 0:
+        return ColumnStatistics(name=name, kind=column.kind, n_rows=0, n_null=0, n_distinct=0)
+    if column.kind == "str":
+        return _object_statistics(name, column.kind, values, most_common)
+    if column.kind == "float":
+        null_mask = np.isnan(values)
+        valid = values[~null_mask]
+        n_null = int(null_mask.sum())
+    else:
+        valid = values
+        n_null = 0
+    if valid.size == 0:
+        return ColumnStatistics(
+            name=name, kind=column.kind, n_rows=n_rows, n_null=n_null, n_distinct=0
+        )
+    distinct, counts = np.unique(valid, return_counts=True)
+    mcv = _top_values(distinct, counts, most_common)
+    if column.kind == "bool":
+        min_value = max_value = None
+    else:
+        min_value = float(valid.min())
+        max_value = float(valid.max())
+    return ColumnStatistics(
+        name=name,
+        kind=column.kind,
+        n_rows=n_rows,
+        n_null=n_null,
+        n_distinct=int(distinct.size),
+        min_value=min_value,
+        max_value=max_value,
+        most_common=mcv,
+    )
+
+
+def _object_statistics(
+    name: str, kind: str, values: np.ndarray, most_common: int
+) -> ColumnStatistics:
+    counts: dict[Any, int] = {}
+    n_null = 0
+    for value in values:
+        if value is None:
+            n_null += 1
+        else:
+            counts[value] = counts.get(value, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ColumnStatistics(
+        name=name,
+        kind=kind,
+        n_rows=len(values),
+        n_null=n_null,
+        n_distinct=len(counts),
+        most_common=tuple((v, int(c)) for v, c in ranked[:most_common]),
+    )
+
+
+def _top_values(
+    distinct: np.ndarray, counts: np.ndarray, most_common: int
+) -> tuple[tuple[Any, int], ...]:
+    """Top-k (value, count) pairs: highest count first, value ascending on ties.
+
+    ``distinct`` comes from ``np.unique`` so it is already value-ascending;
+    a stable sort on descending count preserves that tie order.
+    """
+    order = np.argsort(-counts, kind="stable")[:most_common]
+    return tuple((distinct[i].item(), int(counts[i])) for i in order)
+
+
+def _same_value(a: Any, b: Any) -> bool:
+    """Equality matching SQL ``=`` semantics across int/float/bool scalars."""
+    if isinstance(a, str) or isinstance(b, str):
+        return a == b
+    try:
+        return bool(a == b)
+    except TypeError:
+        return False
+
+
+def _clamp(value: float) -> float:
+    return min(max(float(value), 0.0), 1.0)

@@ -21,11 +21,12 @@ from repro.table.schema import Schema
 class Table:
     """An immutable, ordered collection of equal-length named columns."""
 
-    __slots__ = ("_columns", "_names")
+    __slots__ = ("_columns", "_names", "_stats")
 
     def __init__(self, columns: Mapping[str, Any] | None = None) -> None:
         self._columns: dict[str, Column] = {}
         self._names: tuple[str, ...] = ()
+        self._stats: Any = None
         if not columns:
             return
         names: list[str] = []
@@ -340,6 +341,19 @@ class Table:
     def aggregate_scalar(self, column: str, func: str) -> Any:
         """Reduce one column to a scalar (e.g. ``t.aggregate_scalar("n", "sum")``)."""
         return aggregate_array(self.column(column).values, func)
+
+    def statistics(self, refresh: bool = False) -> Any:
+        """Return cached :class:`~repro.table.stats.TableStatistics` for this table.
+
+        The first call scans every column; tables are immutable, so the
+        snapshot is cached on the instance.  ``refresh=True`` forces a
+        re-collection (e.g. after tuning the most-common-value budget).
+        """
+        if self._stats is None or refresh:
+            from repro.table.stats import collect_statistics
+
+            self._stats = collect_statistics(self)
+        return self._stats
 
     def describe(self) -> "Table":
         """Per-column summary: kind, count, distinct, and numeric stats.

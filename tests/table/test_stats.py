@@ -1,0 +1,120 @@
+"""Tests for ANALYZE-style table statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.table import Table, collect_statistics
+from repro.table.stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    ColumnStatistics,
+    TableStatistics,
+)
+
+
+@pytest.fixture
+def stats() -> TableStatistics:
+    table = Table(
+        {
+            "height": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            "producer": ["a", "a", "a", "b", "b", "c", "d", "e", "f", "g"],
+            "reward": [1.0, 2.0, np.nan, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        }
+    )
+    return collect_statistics(table)
+
+
+class TestCollection:
+    def test_row_count(self, stats):
+        assert stats.row_count == 10
+
+    def test_int_column(self, stats):
+        column = stats.column("height")
+        assert column.kind == "int"
+        assert column.n_distinct == 10
+        assert column.n_null == 0
+        assert column.min_value == 1
+        assert column.max_value == 10
+
+    def test_str_column_mcv_ranked_by_count(self, stats):
+        column = stats.column("producer")
+        assert column.n_distinct == 7
+        assert column.most_common[0] == ("a", 3)
+        assert column.most_common[1] == ("b", 2)
+
+    def test_float_column_counts_nan_as_null(self, stats):
+        column = stats.column("reward")
+        assert column.n_null == 1
+        assert column.n_distinct == 9
+        assert column.min_value == 1.0
+        assert column.max_value == 10.0
+
+    def test_unknown_column_is_none(self, stats):
+        assert stats.column("nope") is None
+
+    def test_most_common_cap(self):
+        table = Table({"x": list(range(50))})
+        column = collect_statistics(table, most_common=5).column("x")
+        assert len(column.most_common) == 5
+
+    def test_empty_table(self):
+        stats = collect_statistics(Table({"x": []}))
+        assert stats.row_count == 0
+        column = stats.column("x")
+        assert column.n_distinct == 0
+        assert column.most_common == ()
+
+    def test_null_str_values(self):
+        table = Table({"name": ["x", None, "x", None, None]})
+        column = collect_statistics(table).column("name")
+        assert column.n_null == 3
+        assert column.n_distinct == 1
+        assert column.most_common[0] == ("x", 2)
+
+    def test_table_statistics_cache(self):
+        table = Table({"x": [1, 2, 3]})
+        first = table.statistics()
+        assert table.statistics() is first
+        assert table.statistics(refresh=True) is not first
+
+
+class TestEqSelectivity:
+    def test_mcv_hit_uses_exact_count(self, stats):
+        assert stats.column("producer").eq_selectivity("a") == pytest.approx(0.3)
+
+    def test_none_is_zero(self, stats):
+        assert stats.column("producer").eq_selectivity(None) == 0.0
+
+    def test_out_of_range_numeric_is_zero(self, stats):
+        assert stats.column("height").eq_selectivity(99) == 0.0
+
+    def test_non_mcv_value_uses_remaining_mass(self):
+        table = Table({"x": ["a"] * 90 + [f"v{i}" for i in range(10)]})
+        column = collect_statistics(table, most_common=1).column("x")
+        # 10 rows remain over 10 distinct values outside the MCV list.
+        assert column.eq_selectivity("v3") == pytest.approx(0.01)
+
+    def test_empty_column_is_zero(self):
+        column = collect_statistics(Table({"x": []})).column("x")
+        assert column.eq_selectivity(1) == 0.0
+
+
+class TestRangeSelectivity:
+    def test_interpolates_numeric(self, stats):
+        # height in [1, 10]; height > 7 keeps roughly 3/9 of the span.
+        estimate = stats.column("height").range_selectivity(">", 7)
+        assert 0.2 <= estimate <= 0.45
+
+    def test_unbounded_low(self, stats):
+        assert stats.column("height").range_selectivity("<", 0) == 0.0
+
+    def test_unbounded_high(self, stats):
+        assert stats.column("height").range_selectivity("<=", 100) == 1.0
+
+    def test_non_numeric_falls_back(self, stats):
+        estimate = stats.column("producer").range_selectivity(">", "c")
+        assert estimate == DEFAULT_RANGE_SELECTIVITY
+
+    def test_defaults_exported(self):
+        assert 0.0 < DEFAULT_EQ_SELECTIVITY < 1.0
+        assert isinstance(ColumnStatistics, type)

@@ -445,3 +445,95 @@ class TestWorkersFlag:
         )
         assert code == 0
         assert "'n':" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    """The `analyze` subcommand: statistics summaries and index reports."""
+
+    def test_analyze_table_prints_per_column_rows(self, capsys):
+        code = main(["analyze", "--chain", "bitcoin", "--table", "blocks"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'column': 'height'" in out
+        assert "'column': 'primary_producer'" in out
+        assert "'table': 'credits'" not in out
+
+    def test_analyze_all_tables_and_index_report(self, capsys):
+        code = main(
+            ["analyze", "--chain", "bitcoin",
+             "--index", "blocks.height:sorted", "--index", "credits.producer"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'table': 'blocks'" in out
+        assert "'table': 'credits'" in out
+        assert "index blocks.height kind=sorted" in out
+        assert "index credits.producer kind=hash" in out
+
+    def test_bad_index_spec_exits_2(self, capsys):
+        code = main(["analyze", "--chain", "bitcoin", "--index", "noDotSpec"])
+        assert code == 2
+        assert "bad --index spec" in capsys.readouterr().err
+
+
+class TestQueryOptimizerFlags:
+    """Optimizer-facing query flags: --explain, --analyze, --index, --disable."""
+
+    def test_explain_prints_physical_plan_without_executing(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--explain",
+             "--sql", "SELECT height FROM blocks WHERE height = 42"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- physical plan (estimated rows) --" in out
+        assert "est=" in out
+        assert "{'height': 42}" not in out  # plan only, no result rows
+
+    def test_analyze_and_index_drive_an_index_scan(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--analyze",
+             "--index", "blocks.height:sorted", "--explain-analyze",
+             "--sql", "SELECT height FROM blocks WHERE height = 600000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "est=" in out
+        assert "height[sorted]" in out
+        assert "{'height': 600000}" in out
+
+    def test_join_explain_shows_strategy_and_cost(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--analyze", "--explain",
+             "--sql", "SELECT b.height FROM blocks b JOIN credits c "
+                      "ON b.height = c.height"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy=" in out
+        assert "cost=" in out
+
+    def test_disable_optimizer_still_answers(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--disable", "optimizer",
+             "--sql", "SELECT COUNT(*) AS n FROM blocks", "--limit", "5"]
+        )
+        assert code == 0
+        assert "54231" in capsys.readouterr().out
+
+    def test_disable_toggle_is_validated_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["query", "--chain", "bitcoin", "--disable", "warp-drive",
+                 "--sql", "SELECT COUNT(*) AS n FROM blocks"]
+            )
+        assert excinfo.value.code == 2
+        assert "--disable" in capsys.readouterr().err
+
+    def test_bad_index_spec_exits_2(self, capsys):
+        code = main(
+            ["query", "--chain", "bitcoin", "--index", "nope",
+             "--sql", "SELECT COUNT(*) AS n FROM blocks"]
+        )
+        assert code == 2
+        assert "bad --index spec" in capsys.readouterr().err
