@@ -9,15 +9,22 @@ Subcommands::
     repro-decentralization query      --chain bitcoin --sql "SELECT ..."
     repro-decentralization trace      trace.json
     repro-decentralization monitor    --chain bitcoin --serve 9464
+    repro-decentralization top        --port 9464
     repro-decentralization chaos      --seed 7 --blocks 4096
     repro-decentralization bench-diff OLD.json NEW.json --fail-over 1.25
 
 All commands simulate the calibrated 2019 datasets on demand (seeded, so
 repeated runs are identical).  The global ``--trace FILE`` flag records a
 span trace of whatever the command did (``.jsonl`` for the line format,
-anything else for Chrome ``chrome://tracing`` JSON); ``repro trace FILE``
-summarizes or validates such a file afterwards.  ``--log-json`` and
-``--log-level`` configure structured logging (span-correlated records).
+anything else for Chrome ``chrome://tracing`` JSON) — including spans
+recorded inside pool workers, merged back with their worker pids;
+``repro trace FILE`` summarizes or validates such a file afterwards
+(the summary tolerates truncated traces from interrupted runs).  The
+global ``--profile`` flag samples cpu/RSS per span and prints a
+per-stage resource rollup after the command (pair with ``--trace`` to
+keep the annotated spans).  ``repro top`` is a live dashboard over a
+serving monitor's ``/status``.  ``--log-json`` and ``--log-level``
+configure structured logging (span-correlated records).
 ``--workers auto|N`` sizes the sharded execution pool used by the
 measurement engine and SQL aggregation (``auto`` = one worker per CPU;
 ``1`` forces the serial path; see ``docs/PARALLELISM.md``).
@@ -50,7 +57,11 @@ from repro.obs.regression import (
     format_comparison,
     load_benchmark_file,
 )
-from repro.obs.report import summarize_trace_file
+from repro.obs.report import (
+    format_profile_rollup,
+    profile_rollup,
+    summarize_trace_file_lenient,
+)
 from repro.sql import PlannerOptions, QueryEngine, format_plan
 from repro.sql.cost import TOGGLE_NAMES
 from repro.table.io import write_csv
@@ -102,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record a span trace of the command "
         "(.jsonl = line format, otherwise Chrome trace JSON)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample cpu/RSS per span and print a per-stage resource "
+        "rollup after the command (implies tracing; add --profile-malloc "
+        "for allocation deltas)",
+    )
+    parser.add_argument(
+        "--profile-malloc",
+        action="store_true",
+        help="with --profile: also record per-span allocation deltas via "
+        "tracemalloc (slower)",
     )
     parser.add_argument(
         "--log-json",
@@ -233,6 +257,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the file against the exporter schema instead of summarizing",
     )
 
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a serving monitor's /status",
+    )
+    top.add_argument(
+        "--url",
+        help="status endpoint (default http://127.0.0.1:<port>/status)",
+    )
+    top.add_argument(
+        "--port", type=int, help="shorthand for --url on 127.0.0.1"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing (for logs/CI)",
+    )
+
     monitor = sub.add_parser(
         "monitor",
         help="replay a chain through the streaming monitor, "
@@ -342,8 +392,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     configure_logging(json_lines=args.log_json, level=args.log_level)
     exit_flush: Callable[[], None] | None = None
-    if args.trace:
+    if args.trace or args.profile:
         obs.enable_tracing()
+    if args.profile:
+        from repro.obs import profile as profile_mod
+
+        profile_mod.enable_profiling(trace_malloc=args.profile_malloc)
+    if args.trace:
         # A long-running `monitor --serve` may be killed mid-run; the
         # atexit hook flushes whatever was recorded so --trace output is
         # not lost (SIGTERM is converted to a normal exit by the monitor).
@@ -362,6 +417,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
+    if args.profile:
+        # Rollup before the trace flush below disables the tracer.
+        print("\nprofile rollup (per stage):")
+        print(format_profile_rollup(profile_rollup(obs.get_tracer().spans)))
+        profile_mod.disable_profiling()
+        if not args.trace:
+            obs.disable_tracing()
     if args.trace:
         # Flush the trace even when the command failed; a failed write
         # only overrides a successful command's exit code.
@@ -401,6 +463,8 @@ def _write_trace_file(path: str) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "bench-diff":
         return _cmd_bench_diff(args)
     if args.command == "chaos":
@@ -968,9 +1032,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"({summary['n_spans']} spans, {summary['n_counters']} counters, "
             f"{summary['n_gauges']} gauges, {summary['n_timings']} timings)"
         )
-    else:
-        print(summarize_trace_file(args.file))
+        return 0
+    # The summary tolerates corrupt/truncated records (a monitor killed
+    # mid-write leaves a partial final line): skip with a counted warning,
+    # fail only when nothing at all was readable.
+    text, n_records, skipped = summarize_trace_file_lenient(args.file)
+    if skipped:
+        print(
+            f"warning: skipped {skipped} corrupt record(s) in {args.file}",
+            file=sys.stderr,
+        )
+    if n_records == 0:
+        print(f"error: no readable records in {args.file}", file=sys.stderr)
+        return 1
+    print(text)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    if args.url and args.port is not None:
+        print("error: pass --url or --port, not both", file=sys.stderr)
+        return 2
+    if not args.url and args.port is None:
+        print("error: repro top needs --url or --port", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print(f"error: --interval must be > 0, got {args.interval}", file=sys.stderr)
+        return 2
+    url = args.url or f"http://127.0.0.1:{args.port}/status"
+    if not url.rstrip("/").endswith("/status"):
+        url = url.rstrip("/") + "/status"
+    try:
+        return run_top(
+            url,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 if __name__ == "__main__":

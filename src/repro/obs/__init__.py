@@ -7,9 +7,18 @@ that machinery visible:
 
 * a process-wide :class:`~repro.obs.tracer.Tracer` with nested spans
   (context-manager and decorator APIs) and counter/gauge/timing metrics,
+  plus cross-process trace propagation/adoption for the worker pool
+  (:meth:`~repro.obs.tracer.Tracer.context` /
+  :meth:`~repro.obs.tracer.Tracer.adopt`),
+* opt-in per-span resource profiling — cpu/RSS/allocations
+  (:mod:`repro.obs.profile`),
 * JSONL and Chrome ``chrome://tracing`` exporters
-  (:mod:`repro.obs.export`) with schema validation, and
-* span-tree summaries with self/total times (:mod:`repro.obs.report`).
+  (:mod:`repro.obs.export`) with schema validation and per-process
+  pid/tid lanes,
+* span-tree summaries with self/total times and per-stage profile
+  rollups (:mod:`repro.obs.report`), and
+* a live terminal dashboard over a serving monitor
+  (:mod:`repro.obs.top`, the ``repro top`` subcommand).
 
 Tracing is **off by default** and the disabled path is a shared no-op
 (one ``enabled`` check per call site; see
@@ -28,6 +37,7 @@ the CLI's global ``--trace FILE`` flag.
 
 from repro.obs.export import (
     load_trace_file,
+    load_trace_file_lenient,
     validate_trace_file,
     write_chrome_trace,
     write_jsonl,
@@ -35,7 +45,13 @@ from repro.obs.export import (
 )
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimingHistogram
-from repro.obs.prometheus import render_prometheus, sanitize_metric_name
+from repro.obs.profile import (
+    disable_profiling,
+    enable_profiling,
+    profiled,
+    profiling_enabled,
+)
+from repro.obs.prometheus import build_info, render_prometheus, sanitize_metric_name
 from repro.obs.regression import (
     compare_benchmarks,
     format_comparison,
@@ -43,8 +59,11 @@ from repro.obs.regression import (
 )
 from repro.obs.report import (
     aggregate_spans,
+    format_profile_rollup,
     format_span_tree,
+    profile_rollup,
     summarize_trace_file,
+    summarize_trace_file_lenient,
     summarize_tracer,
 )
 from repro.obs.tracer import (
@@ -70,23 +89,32 @@ __all__ = [
     "TimingHistogram",
     "Tracer",
     "aggregate_spans",
+    "build_info",
     "compare_benchmarks",
     "configure_logging",
     "counter",
     "current_span",
+    "disable_profiling",
     "disable_tracing",
+    "enable_profiling",
     "enable_tracing",
     "format_comparison",
+    "format_profile_rollup",
     "format_span_tree",
     "gauge",
     "get_logger",
     "get_tracer",
     "load_benchmark_file",
     "load_trace_file",
+    "load_trace_file_lenient",
+    "profile_rollup",
+    "profiled",
+    "profiling_enabled",
     "render_prometheus",
     "sanitize_metric_name",
     "span",
     "summarize_trace_file",
+    "summarize_trace_file_lenient",
     "summarize_tracer",
     "timing",
     "traced",

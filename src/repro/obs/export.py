@@ -41,13 +41,20 @@ _CHROME_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
 
 
 def to_jsonl_records(tracer: Tracer) -> list[dict]:
-    """The tracer's data as a list of JSONL-ready record dicts."""
+    """The tracer's data as a list of JSONL-ready record dicts.
+
+    Every span record carries the pid it was recorded in — the tracer's
+    own pid for local spans, the worker's pid for spans adopted from pool
+    workers — so multi-process traces stay attributable after export.
+    """
     records: list[dict] = [
         {
             "type": "meta",
             "format": "repro-trace",
             "version": TRACE_FORMAT_VERSION,
             "n_spans": len(tracer.spans),
+            "trace_id": tracer.trace_id,
+            "pid": tracer.pid,
         }
     ]
     for span in tracer.spans:
@@ -58,7 +65,10 @@ def to_jsonl_records(tracer: Tracer) -> list[dict]:
             "name": span.name,
             "start": span.start,
             "dur": span.duration,
+            "pid": span.pid if span.pid is not None else tracer.pid,
         }
+        if span.tid is not None:
+            record["tid"] = span.tid
         if span.attrs:
             record["attrs"] = span.attrs
         records.append(record)
@@ -85,8 +95,39 @@ def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
 
 
 def to_chrome_trace(tracer: Tracer) -> dict:
-    """The tracer's data as a ``chrome://tracing`` JSON object."""
+    """The tracer's data as a ``chrome://tracing`` JSON object.
+
+    Spans keep their real process ids (worker-adopted spans carry the
+    worker's pid), so ``chrome://tracing`` / Perfetto renders one lane per
+    process and the pool fan-out is visible at a glance.  Process-name
+    metadata events label the coordinator lane.
+    """
     events: list[dict] = []
+    own_pid = tracer.pid or 1
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": own_pid,
+            "tid": 0,
+            "args": {"name": "repro coordinator"},
+        }
+    )
+    worker_pids = sorted(
+        {s.pid for s in tracer.spans if s.pid is not None and s.pid != own_pid}
+    )
+    for pid in worker_pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro worker {pid}"},
+            }
+        )
     for span in tracer.spans:
         event = {
             "name": span.name,
@@ -94,8 +135,8 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             "ph": "X",
             "ts": span.start * 1e6,
             "dur": span.duration * 1e6,
-            "pid": 1,
-            "tid": 1,
+            "pid": span.pid if span.pid is not None else own_pid,
+            "tid": span.tid if span.tid is not None else 1,
         }
         args = dict(span.attrs)
         args["span_id"] = span.span_id
@@ -111,7 +152,7 @@ def to_chrome_trace(tracer: Tracer) -> dict:
                 "name": name,
                 "ph": "C",
                 "ts": trace_end,
-                "pid": 1,
+                "pid": own_pid,
                 "tid": 1,
                 "args": {name: value},
             }
@@ -122,6 +163,7 @@ def to_chrome_trace(tracer: Tracer) -> dict:
         "otherData": {
             "format": "repro-trace",
             "version": TRACE_FORMAT_VERSION,
+            "trace_id": tracer.trace_id,
             "metrics": snapshot,
         },
     }
@@ -163,23 +205,56 @@ def load_trace_file(path: str | Path) -> tuple[list[SpanRecord], dict]:
         raise ObservabilityError(f"trace file {path} is empty")
     if text.lstrip().startswith("{") and '"traceEvents"' in text:
         return _load_chrome(path, text)
-    return _load_jsonl(path, text)
+    spans, metrics, _ = _load_jsonl(path, text, lenient=False)
+    return spans, metrics
 
 
-def _load_jsonl(path: Path, text: str) -> tuple[list[SpanRecord], dict]:
+def load_trace_file_lenient(path: str | Path) -> tuple[list[SpanRecord], dict, int]:
+    """Load a trace, skipping malformed records instead of raising.
+
+    Built for summarizing traces from interrupted runs: a truncated final
+    JSONL line (the process died mid-write) or an otherwise corrupt record
+    is counted and skipped rather than aborting the whole summary.
+    Returns ``(spans, metrics, n_skipped)``.  A Chrome-format file is one
+    JSON document, so a corrupt one yields no records and counts as one
+    skip.  Missing files still raise — there is nothing to salvage.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ObservabilityError(f"no trace file at {path}")
+    text = path.read_text(encoding="utf-8")
+    if text.lstrip().startswith("{") and '"traceEvents"' in text:
+        try:
+            spans, metrics = _load_chrome(path, text)
+        except ObservabilityError:
+            return [], {"counters": {}, "gauges": {}, "timings": {}}, 1
+        return spans, metrics, 0
+    return _load_jsonl(path, text, lenient=True)
+
+
+def _load_jsonl(
+    path: Path, text: str, lenient: bool
+) -> tuple[list[SpanRecord], dict, int]:
     spans: list[SpanRecord] = []
     metrics: dict = {"counters": {}, "gauges": {}, "timings": {}}
+    skipped = 0
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if lenient:
+                skipped += 1
+                continue
             raise ObservabilityError(f"{path}:{lineno}: bad JSON: {exc}") from exc
         kind = record.get("type")
         if kind == "span":
             missing = _SPAN_KEYS - record.keys()
             if missing:
+                if lenient:
+                    skipped += 1
+                    continue
                 raise ObservabilityError(
                     f"{path}:{lineno}: span record missing keys {sorted(missing)}"
                 )
@@ -191,17 +266,34 @@ def _load_jsonl(path: Path, text: str) -> tuple[list[SpanRecord], dict]:
                     start=record["start"],
                     duration=record["dur"],
                     attrs=record.get("attrs", {}),
+                    pid=record.get("pid"),
+                    tid=record.get("tid"),
                 )
             )
         elif kind in ("counter", "gauge"):
+            if "name" not in record or "value" not in record:
+                if lenient:
+                    skipped += 1
+                    continue
+                raise ObservabilityError(
+                    f"{path}:{lineno}: {kind} record missing name/value"
+                )
             metrics[kind + "s"][record["name"]] = record["value"]
         elif kind == "timing":
+            if "name" not in record:
+                if lenient:
+                    skipped += 1
+                    continue
+                raise ObservabilityError(f"{path}:{lineno}: timing record missing name")
             metrics["timings"][record["name"]] = {
                 key: value for key, value in record.items() if key not in ("type", "name")
             }
         elif kind != "meta":
+            if lenient:
+                skipped += 1
+                continue
             raise ObservabilityError(f"{path}:{lineno}: unknown record type {kind!r}")
-    return spans, metrics
+    return spans, metrics, skipped
 
 
 def _load_chrome(path: Path, text: str) -> tuple[list[SpanRecord], dict]:
@@ -234,6 +326,8 @@ def _load_chrome(path: Path, text: str) -> tuple[list[SpanRecord], dict]:
                 start=event["ts"] / 1e6,
                 duration=event.get("dur", 0.0) / 1e6,
                 attrs=args,
+                pid=event.get("pid"),
+                tid=event.get("tid"),
             )
         )
     other = document.get("otherData", {})

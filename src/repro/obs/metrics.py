@@ -129,7 +129,7 @@ class TimingHistogram:
         """Exportable summary of this histogram."""
         if not self.count:
             return {"count": 0, "total": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+                    "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "total": self.total,
@@ -138,7 +138,50 @@ class TimingHistogram:
             "max": self.maximum,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
+
+    def dump_state(self) -> dict:
+        """Full mergeable state (exact totals, buckets, bounded sample)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "bounds": list(self.bucket_bounds),
+            "buckets": list(self._bucket_counts),
+            "samples": list(self._samples),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`dump_state` into this one.
+
+        Exact statistics (count/total/min/max) always merge exactly;
+        bucket counts merge exactly when the bounds agree (they do for
+        every histogram this package creates) and are otherwise
+        reconstructed from the bounded sample.  Percentiles stay
+        estimates over the combined bounded sample, as for a single
+        process.
+        """
+        count = int(state.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        self.minimum = min(self.minimum, float(state.get("min", self.minimum)))
+        self.maximum = max(self.maximum, float(state.get("max", self.maximum)))
+        samples = state.get("samples", [])
+        if tuple(state.get("bounds", ())) == self.bucket_bounds:
+            for i, n in enumerate(state.get("buckets", [])):
+                self._bucket_counts[i] += int(n)
+        else:  # pragma: no cover - foreign bounds only via hand-built states
+            for seconds in samples:
+                self._bucket_counts[
+                    bisect.bisect_left(self.bucket_bounds, seconds)
+                ] += 1
+        room = _HISTOGRAM_SAMPLE_CAP - len(self._samples)
+        if room > 0:
+            self._samples.extend(samples[:room])
 
 
 class MetricsRegistry:
@@ -205,3 +248,26 @@ class MetricsRegistry:
             "gauges": {g.name: g.value for g in gauges},
             "timings": {t.name: t.as_dict() for t in timings},
         }
+
+    def dump_state(self) -> dict:
+        """Picklable full state for cross-process merging (see tracer.adopt)."""
+        counters, gauges, timings = self.instruments()
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "timings": {t.name: t.dump_state() for t in timings},
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` from another process into this registry.
+
+        Counters add, gauges take the incoming value (last write wins,
+        matching single-process semantics), timing histograms merge their
+        exact statistics and bounded samples.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist_state in state.get("timings", {}).items():
+            self.timing(name).merge_state(hist_state)

@@ -11,10 +11,16 @@ the bounded percentile sample.
 Instrument names in this codebase are dotted (``engine.sliding_cache.hit``);
 :func:`sanitize_metric_name` maps them onto the Prometheus grammar
 ``[a-zA-Z_:][a-zA-Z0-9_:]*`` under a ``repro_`` namespace prefix.
+
+Every payload additionally carries a ``repro_build_info`` gauge — the
+standard constant-1 series whose labels identify the build (package
+version, python version/implementation, platform), so dashboards can
+join measurements against the code that produced them.
 """
 
 from __future__ import annotations
 
+import platform as _platform
 import re
 
 from repro.obs.metrics import MetricsRegistry
@@ -77,13 +83,44 @@ def _histogram_name(raw: str) -> str:
     return name if name.endswith("_seconds") else f"{name}_seconds"
 
 
+def build_info() -> dict:
+    """Build/runtime identity labels for the ``repro_build_info`` series.
+
+    Also served verbatim as the ``build`` section of ``/status``.
+    """
+    from repro import __version__
+
+    return {
+        "version": __version__,
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "platform": _platform.platform(),
+    }
+
+
+def render_build_info(namespace: str = NAMESPACE) -> str:
+    """The constant-1 ``<namespace>_build_info`` gauge section."""
+    name = f"{namespace}_build_info"
+    labels = ",".join(
+        f'{sanitize_label_name(key)}="{escape_label_value(str(value))}"'
+        for key, value in sorted(build_info().items())
+    )
+    return (
+        f"# HELP {name} Build and runtime identity (constant 1).\n"
+        f"# TYPE {name} gauge\n"
+        f"{name}{{{labels}}} 1\n"
+    )
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """The full ``/metrics`` payload for ``registry`` (may be empty).
+    """The full ``/metrics`` payload for ``registry``.
 
     Counters are exposed as ``repro_<name>_total``, gauges as
     ``repro_<name>``, timing histograms as ``repro_<name>_seconds`` with
     cumulative ``le`` buckets ending at ``+Inf`` and exact
-    ``_sum``/``_count`` series.
+    ``_sum``/``_count`` series.  The payload always ends with the
+    ``repro_build_info`` identity gauge, so even an empty registry scrapes
+    as a live, identifiable target.
     """
     counters, gauges, timings = registry.instruments()
     lines: list[str] = []
@@ -108,4 +145,5 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
         lines.append(f"{name}_sum {format_value(timing.total)}")
         lines.append(f"{name}_count {timing.count}")
-    return "\n".join(lines) + "\n" if lines else ""
+    body = "\n".join(lines) + "\n" if lines else ""
+    return body + render_build_info()

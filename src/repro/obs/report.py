@@ -4,6 +4,12 @@ Spans sharing a (parent-path, name) are merged into one
 :class:`SpanTreeNode` carrying call count, total wall time and *self*
 time (total minus the time spent in child spans), then rendered as an
 indented tree — the output of the ``repro trace`` subcommand.
+
+When the trace was recorded with :mod:`repro.obs.profile` enabled, the
+spans additionally carry cpu/rss/alloc attributes; :func:`profile_rollup`
+folds those into per-stage resource totals and
+:func:`format_profile_rollup` renders them (the ``repro --profile``
+stderr report and part of ``repro trace`` output for profiled traces).
 """
 
 from __future__ import annotations
@@ -122,14 +128,94 @@ def format_metrics(metrics: dict) -> str:
     return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
+def profile_rollup(spans: Sequence[SpanRecord]) -> list[dict]:
+    """Per-stage resource totals over profiled spans (cpu-descending).
+
+    Only spans that carry profiler attributes contribute (see
+    :mod:`repro.obs.profile`); each row aggregates every span sharing a
+    name, across processes: call count, wall/cpu seconds summed, peak
+    ``rss_kb`` across calls, allocation deltas summed when tracemalloc
+    sampling was on.
+    """
+    stages: dict[str, dict] = {}
+    for span in spans:
+        if "cpu" not in span.attrs:
+            continue
+        row = stages.get(span.name)
+        if row is None:
+            row = stages[span.name] = {
+                "name": span.name,
+                "calls": 0,
+                "wall": 0.0,
+                "cpu": 0.0,
+                "rss_kb": 0.0,
+                "alloc_kb": None,
+            }
+        row["calls"] += 1
+        row["wall"] += span.duration
+        row["cpu"] += float(span.attrs.get("cpu", 0.0))
+        row["rss_kb"] = max(row["rss_kb"], float(span.attrs.get("rss_kb", 0.0)))
+        alloc = span.attrs.get("alloc_kb")
+        if alloc is not None:
+            row["alloc_kb"] = (row["alloc_kb"] or 0.0) + float(alloc)
+    return sorted(stages.values(), key=lambda r: -r["cpu"])
+
+
+def format_profile_rollup(rollup: list[dict]) -> str:
+    """Render :func:`profile_rollup` rows as an aligned table."""
+    if not rollup:
+        return "(no profiled spans — record with profiling enabled)"
+    lines = [
+        f"{'stage':<44s} {'calls':>6s} {'wall':>10s} {'cpu':>10s} "
+        f"{'rss':>10s} {'alloc':>10s}"
+    ]
+    for row in rollup:
+        alloc = (
+            f"{row['alloc_kb']:+.0f}kB" if row["alloc_kb"] is not None else "-"
+        )
+        lines.append(
+            f"{row['name']:<44s} {row['calls']:>6d} "
+            f"{format_duration(row['wall']):>10s} {format_duration(row['cpu']):>10s} "
+            f"{row['rss_kb'] / 1024.0:>8.1f}MB {alloc:>10s}"
+        )
+    return "\n".join(lines)
+
+
+def _compose_summary(spans: Sequence[SpanRecord], metrics: dict) -> str:
+    parts = [format_span_tree(aggregate_spans(spans))]
+    rollup = profile_rollup(spans)
+    if rollup:
+        parts.append("profile:\n" + format_profile_rollup(rollup))
+    parts.append(format_metrics(metrics))
+    return "\n\n".join(parts)
+
+
 def summarize_tracer(tracer: Tracer) -> str:
-    """Span tree + metrics summary of a live tracer."""
-    tree = format_span_tree(aggregate_spans(tracer.spans))
-    return f"{tree}\n\n{format_metrics(tracer.metrics.snapshot())}"
+    """Span tree (+ profile rollup, when present) + metrics of a live tracer."""
+    return _compose_summary(tracer.spans, tracer.metrics.snapshot())
 
 
 def summarize_trace_file(path: str | Path) -> str:
     """Span tree + metrics summary of a trace file in either format."""
     spans, metrics = load_trace_file(path)
-    tree = format_span_tree(aggregate_spans(spans))
-    return f"{tree}\n\n{format_metrics(metrics)}"
+    return _compose_summary(spans, metrics)
+
+
+def summarize_trace_file_lenient(path: str | Path) -> tuple[str, int, int]:
+    """Summary tolerating corrupt records (for traces from interrupted runs).
+
+    Returns ``(summary_text, n_records, n_skipped)`` where ``n_records``
+    counts the span and metric records that did load.  Used by the
+    ``repro trace`` subcommand: it warns about skipped records and fails
+    only when nothing at all was readable.
+    """
+    from repro.obs.export import load_trace_file_lenient
+
+    spans, metrics, skipped = load_trace_file_lenient(path)
+    n_records = (
+        len(spans)
+        + len(metrics["counters"])
+        + len(metrics["gauges"])
+        + len(metrics["timings"])
+    )
+    return _compose_summary(spans, metrics), n_records, skipped

@@ -16,11 +16,21 @@ When enabled, spans nest through an explicit stack::
 
 and finished spans accumulate as flat :class:`SpanRecord` rows (id +
 parent id), ready for the exporters in :mod:`repro.obs.export`.
+
+Traces can cross process boundaries: :meth:`Tracer.context` captures a
+propagatable trace context (trace id + the currently open span), a child
+process records into its own tracer, and :meth:`Tracer.adopt` merges the
+child's spans back into the coordinator's trace — ids renumbered into the
+coordinator's space, start times rebased onto the coordinator's epoch,
+and every adopted span stamped with the child's pid.  The worker pool
+(:mod:`repro.parallel.pool`) does this automatically for every sharded
+task, so one ``--trace`` file shows the whole fan-out.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -30,7 +40,13 @@ from repro.obs.metrics import MetricsRegistry
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span, in tracer-relative seconds."""
+    """One finished span, in tracer-relative seconds.
+
+    ``pid``/``tid`` are ``None`` for spans recorded in the owning process
+    (exporters substitute the tracer's own pid); spans adopted from a
+    worker carry the worker's pid so multi-process traces keep one lane
+    per process in ``chrome://tracing``.
+    """
 
     span_id: int
     parent_id: int | None
@@ -38,6 +54,8 @@ class SpanRecord:
     start: float
     duration: float
     attrs: dict = field(default_factory=dict)
+    pid: int | None = None
+    tid: int | None = None
 
     @property
     def end(self) -> float:
@@ -66,7 +84,7 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """A live span; records itself on the tracer when the block exits."""
 
-    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start", "_prof")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self._tracer = tracer
@@ -84,12 +102,18 @@ class _Span:
         stack = tracer._stack
         self.parent_id = stack[-1][0] if stack else None
         stack.append((self.span_id, self.name))
+        begin = tracer._profile_begin
+        self._prof = begin() if begin is not None else None
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
         end = time.perf_counter()
         tracer = self._tracer
+        if self._prof is not None and tracer._profile_end is not None:
+            # Resource deltas (cpu/rss/alloc) land as span attributes; the
+            # sampling cost itself sits outside the timed window above.
+            tracer._profile_end(self._prof, self.attrs)
         if tracer._stack and tracer._stack[-1][0] == self.span_id:
             tracer._stack.pop()
         tracer.spans.append(
@@ -112,17 +136,26 @@ class Tracer:
         self.enabled = False
         self.spans: list[SpanRecord] = []
         self.metrics = MetricsRegistry()
+        #: Correlates all spans of one recording session, across processes.
+        self.trace_id: str | None = None
+        #: The pid that owns this tracer's locally recorded spans.
+        self.pid = os.getpid()
         #: Open spans as (span_id, name), innermost last.
         self._stack: list[tuple[int, str]] = []
         self._next_id = 0
         self._epoch = 0.0
+        # Installed by repro.obs.profile while profiling is enabled.
+        self._profile_begin: Callable[[], Any] | None = None
+        self._profile_end: Callable[[Any, dict], None] | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def enable(self) -> "Tracer":
         """Clear prior data and start recording; returns self."""
         self.reset()
+        self.pid = os.getpid()
         self._epoch = time.perf_counter()
+        self.trace_id = f"{self.pid:x}-{os.urandom(6).hex()}"
         self.enabled = True
         return self
 
@@ -159,6 +192,108 @@ class Tracer:
         if self.enabled and self._stack:
             return self._stack[-1]
         return None
+
+    # -- cross-process propagation -------------------------------------------
+
+    @property
+    def epoch(self) -> float:
+        """The raw ``time.perf_counter()`` value of the last :meth:`enable`.
+
+        ``perf_counter`` reads a system-wide monotonic clock on every
+        platform the pool supports, so epochs taken in different processes
+        share a timebase and child spans can be rebased exactly.
+        """
+        return self._epoch
+
+    def context(self) -> dict | None:
+        """Propagatable trace context, or ``None`` while disabled.
+
+        Ship the returned dict to a child process (it is small and plain)
+        and record there with a fresh tracer; :meth:`adopt` merges the
+        child's :meth:`export_state` back under ``parent_span``.
+        """
+        if not self.enabled:
+            return None
+        from repro.obs import profile as _profile
+
+        return {
+            "trace_id": self.trace_id,
+            "parent_span": self._stack[-1][0] if self._stack else None,
+            "profile": _profile.profiling_enabled(),
+        }
+
+    def export_state(self) -> dict:
+        """This tracer's recorded data as one picklable envelope.
+
+        Called inside a worker after a task finishes; the coordinator
+        passes the envelope to :meth:`adopt`.
+        """
+        return {
+            "pid": self.pid,
+            "epoch": self._epoch,
+            "trace_id": self.trace_id,
+            "spans": [
+                {
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "start": span.start,
+                    "dur": span.duration,
+                    "attrs": span.attrs,
+                }
+                for span in self.spans
+            ],
+            "metrics": self.metrics.dump_state(),
+        }
+
+    def adopt(self, state: dict, parent_span: int | None = None) -> int:
+        """Merge a child tracer's :meth:`export_state` into this trace.
+
+        Span ids are renumbered into this tracer's id space (internal
+        parent links preserved), top-level child spans are parented under
+        ``parent_span``, start times are rebased from the child's epoch
+        onto this tracer's, and every adopted span carries the child's
+        pid.  Child counters add into this registry, gauges overwrite,
+        and timing histograms merge exactly.  Returns the number of spans
+        adopted.
+        """
+        pid = int(state.get("pid", 0)) or None
+        shift = float(state.get("epoch", self._epoch)) - self._epoch
+        id_map: dict[int, int] = {}
+        records = state.get("spans", [])
+        for record in records:
+            id_map[record["id"]] = self._next_span_id()
+        for record in records:
+            old_parent = record["parent"]
+            self.spans.append(
+                SpanRecord(
+                    span_id=id_map[record["id"]],
+                    parent_id=(
+                        id_map[old_parent]
+                        if old_parent in id_map
+                        else parent_span
+                    ),
+                    name=record["name"],
+                    start=record["start"] + shift,
+                    duration=record["dur"],
+                    attrs=dict(record.get("attrs", {})),
+                    pid=pid,
+                    tid=record.get("tid"),
+                )
+            )
+        self.metrics.merge_state(state.get("metrics", {}))
+        return len(records)
+
+    # -- profiling hooks -----------------------------------------------------
+
+    def set_profiler(
+        self,
+        begin: Callable[[], Any] | None,
+        end: Callable[[Any, dict], None] | None,
+    ) -> None:
+        """Install (or clear, with ``None``) the per-span resource sampler."""
+        self._profile_begin = begin
+        self._profile_end = end
 
     def traced(self, name: str | None = None) -> Callable:
         """Decorator: wrap a function in a span named after it.

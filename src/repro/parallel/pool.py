@@ -21,6 +21,18 @@ Three building blocks, shared by the engine, attribution and SQL layers:
   is inherited copy-on-write, otherwise it is shipped once per worker
   through the initializer.
 
+Distributed tracing: while the coordinator's tracer is recording,
+``map_shards`` propagates its trace context (:meth:`Tracer.context`) with
+every shard task.  The worker runs the task under a fresh per-task child
+tracer inside a ``worker.shard`` span (resource-profiled too when the
+coordinator has profiling on), exports the child's spans and metrics as a
+picklable envelope riding back with the result, and the coordinator
+adopts them (:meth:`Tracer.adopt`) — renumbered, time-rebased, stamped
+with the worker pid, and parented under the coordinator-side
+``parallel.shard`` span — so one trace file shows the whole fan-out.  While tracing is off
+no context is shipped and tasks run exactly as before (zero envelope
+overhead on the hot path).
+
 Pool lifecycle and task counts are visible two ways: obs gauges/counters
 (``parallel.pool.workers``, ``parallel.tasks_submitted``, per-shard
 ``parallel.shard`` spans at the call sites) and :func:`pool_status`, the
@@ -134,6 +146,8 @@ def _worker_init(payload: Any, has_payload: bool) -> None:
     forking thread survives into the child, so server *threads* are gone,
     but the recording state is reset here explicitly so worker-side
     instrumentation can never interleave with the coordinator's trace.
+    Worker-side tracing happens only deliberately, per task, under a
+    propagated context (see :func:`_traced_task`).
     """
     global _IN_WORKER, _PAYLOAD
     _IN_WORKER = True
@@ -142,6 +156,42 @@ def _worker_init(payload: Any, has_payload: bool) -> None:
     tracer = obs.get_tracer()
     tracer.disable()
     tracer.reset()
+
+
+def _traced_task(
+    ctx: dict, fn: Callable[..., Any], args: tuple, index: int
+) -> tuple[Any, dict]:
+    """Run one shard task under a per-task child tracer (worker side).
+
+    The child tracer records a ``worker.shard`` root span around ``fn``
+    (plus whatever spans/metrics ``fn`` itself emits — worker code uses
+    the same ``obs`` helpers as the coordinator) and is torn back down
+    after every task, so a worker that later runs an untraced task leaks
+    nothing.  Returns ``(result, envelope)`` where ``envelope`` is the
+    child tracer's :meth:`~repro.obs.tracer.Tracer.export_state`.
+    """
+    tracer = obs.get_tracer()
+    tracer.enable()
+    tracer.trace_id = ctx.get("trace_id")
+    profiling = bool(ctx.get("profile"))
+    if profiling:
+        from repro.obs import profile as _profile
+
+        _profile.enable_profiling()
+    try:
+        with tracer.span(
+            "worker.shard", fn=getattr(fn, "__name__", str(fn)), index=index
+        ):
+            result = fn(*args)
+        envelope = tracer.export_state()
+    finally:
+        if profiling:
+            from repro.obs import profile as _profile
+
+            _profile.disable_profiling()
+        tracer.disable()
+        tracer.reset()
+    return result, envelope
 
 
 class WorkerPool:
@@ -202,9 +252,20 @@ class WorkerPool:
 
         ``fn`` must be a module-level (picklable) function.  Each shard's
         wait is recorded as a ``parallel.shard`` span so traces show the
-        coordinator-side critical path per shard.
+        coordinator-side critical path per shard.  While the coordinator
+        tracer is recording, each task additionally runs under a worker
+        child tracer whose spans/metrics come back with the result and are
+        adopted into the coordinator trace (see :func:`_traced_task`).
         """
-        futures = [self._executor.submit(fn, *args) for args in shard_args]
+        tracer = obs.get_tracer()
+        ctx = tracer.context()
+        if ctx is None:
+            futures = [self._executor.submit(fn, *args) for args in shard_args]
+        else:
+            futures = [
+                self._executor.submit(_traced_task, ctx, fn, tuple(args), i)
+                for i, args in enumerate(shard_args)
+            ]
         n = len(futures)
         self._submitted += n
         with _STATS_LOCK:
@@ -213,8 +274,18 @@ class WorkerPool:
         results: list[Any] = []
         try:
             for i, future in enumerate(futures):
-                with obs.span("parallel.shard", index=i, shards=n):
-                    results.append(future.result())
+                with obs.span("parallel.shard", index=i, shards=n) as shard_span:
+                    if ctx is None:
+                        results.append(future.result())
+                    else:
+                        result, envelope = future.result()
+                        adopted = tracer.adopt(
+                            envelope, parent_span=shard_span.span_id
+                        )
+                        shard_span.set(
+                            worker_pid=envelope.get("pid"), worker_spans=adopted
+                        )
+                        results.append(result)
                 self._completed += 1
                 with _STATS_LOCK:
                     _STATS["tasks_completed"] += 1

@@ -204,7 +204,14 @@ def _null_mask(values: np.ndarray) -> np.ndarray:
 
 
 def worker_probe() -> dict:
-    """Report the worker's inherited-state surface (used by fork-safety tests)."""
+    """Report the worker's inherited-state surface (used by fork-safety tests).
+
+    ``tracing_enabled`` is True only while the task runs under a per-task
+    child tracer (coordinator tracing on → context propagated); the
+    ``tracer_spans`` count covers *recorded* spans, which must be zero
+    either way — a worker never inherits the coordinator's history, and a
+    child tracer starts fresh for every task.
+    """
     import os
     import threading
 
@@ -215,6 +222,7 @@ def worker_probe() -> dict:
         "in_worker": _pool.in_worker(),
         "tracing_enabled": obs.tracing_enabled(),
         "tracer_spans": len(tracer.spans),
+        "trace_id": tracer.trace_id if obs.tracing_enabled() else None,
         "thread_count": threading.active_count(),
         "pid": os.getpid(),
     }

@@ -18,7 +18,10 @@ ingests blocks:
 ``/status``
     JSON snapshot of the monitor: current window, latest metric values,
     blocks ingested, lag, plus supervision/fault/data-quality state
-    under ``resilience`` and ``quality``.
+    under ``resilience`` and ``quality``, worker-pool state under
+    ``workers``, build identity under ``build``, and per-histogram
+    latency summaries (count/mean/p50/p99) under ``timings`` — the
+    sections the ``repro top`` dashboard renders.
 
 :func:`run_monitor` drives a monitor over a block feed while serving
 scrapes concurrently; the CLI's ``repro monitor --serve PORT`` wires it
@@ -39,7 +42,7 @@ from repro import obs
 from repro.core.streaming import StreamingMonitor, ThresholdRule
 from repro.errors import ResilienceError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import build_info, render_prometheus
 from repro.parallel import pool_status
 from repro.resilience.faults import FaultInjector
 from repro.resilience.supervisor import MonitorSupervisor
@@ -160,7 +163,23 @@ class MonitorState:
                 },
                 "quality": self.quality,
                 "workers": pool_status(),
+                "build": build_info(),
+                "timings": _timing_summaries(obs.get_tracer().metrics),
             }
+
+
+def _timing_summaries(registry: MetricsRegistry) -> dict:
+    """Per-histogram latency summaries for ``/status`` (count/mean/p50/p99)."""
+    _, _, timings = registry.instruments()
+    return {
+        t.name: {
+            "count": t.count,
+            "mean": round(t.mean, 9),
+            "p50": round(t.percentile(50), 9),
+            "p99": round(t.percentile(99), 9),
+        }
+        for t in timings
+    }
 
 
 class _TelemetryHTTPServer(ThreadingHTTPServer):

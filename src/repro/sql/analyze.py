@@ -14,6 +14,13 @@ output::
        ├─ Aggregate keys=1 aggregates=1    time=2.22ms in=86305 out=1137
        ...
 
+Operators additionally report the bytes of column data they scanned and
+the rows that *spilled* off the columnar fast path onto per-row Python
+loops (``bytes=``/``spill=`` in the rendering); while the process-wide
+tracer is recording, those totals also accumulate as
+``sql.op.<kind>.rows_out`` / ``.bytes_scanned`` / ``.spill_rows``
+counters in the Prometheus-exported registry.
+
 When no trace is requested the executor's stage hooks short-circuit to a
 shared null operator, and when the process-wide tracer (:mod:`repro.obs`)
 is enabled the same hooks emit ``sql.*`` spans instead, so ``--trace``
@@ -30,13 +37,22 @@ from repro import obs
 
 @dataclass
 class PlanNode:
-    """One operator's measured execution statistics."""
+    """One operator's measured execution statistics.
+
+    ``bytes_scanned`` is the raw size of the column data an operator
+    touched (scan-type operators).  ``spilled_rows`` counts rows that fell
+    off the columnar fast path onto a per-row Python loop — there is no
+    disk spill in this engine, so "spill" measures the analogous cliff:
+    work leaving vectorized numpy kernels.
+    """
 
     op: str
     detail: str = ""
     rows_in: int | None = None
     rows_out: int | None = None
     rows_est: int | None = None
+    bytes_scanned: int | None = None
+    spilled_rows: int | None = None
     seconds: float = 0.0
     children: list = field(default_factory=list)
 
@@ -81,6 +97,22 @@ class _OpHandle:
     def rows_est(self, value: int | None) -> None:
         self.node.rows_est = value
 
+    @property
+    def bytes_scanned(self) -> int | None:
+        return self.node.bytes_scanned
+
+    @bytes_scanned.setter
+    def bytes_scanned(self, value: int | None) -> None:
+        self.node.bytes_scanned = value
+
+    @property
+    def spilled_rows(self) -> int | None:
+        return self.node.spilled_rows
+
+    @spilled_rows.setter
+    def spilled_rows(self, value: int | None) -> None:
+        self.node.spilled_rows = value
+
     def __enter__(self) -> "_OpHandle":
         self._trace._stack.append(self.node)
         self._start = time.perf_counter()
@@ -91,13 +123,17 @@ class _OpHandle:
         stack = self._trace._stack
         if stack and stack[-1] is self.node:
             stack.pop()
+        _feed_registry(
+            self.node.op, self.node.rows_out, self.node.bytes_scanned,
+            self.node.spilled_rows,
+        )
         return False
 
 
 class _NullOp:
     """Absorbs the stage hooks when neither analyze nor tracing is on."""
 
-    __slots__ = ("rows_in", "rows_out", "rows_est")
+    __slots__ = ("rows_in", "rows_out", "rows_est", "bytes_scanned", "spilled_rows")
 
     def __enter__(self) -> "_NullOp":
         return self
@@ -109,16 +145,44 @@ class _NullOp:
 _NULL_OP = _NullOp()
 
 
+def _feed_registry(
+    op: str,
+    rows_out: int | None,
+    bytes_scanned: int | None,
+    spilled_rows: int | None,
+) -> None:
+    """Accumulate per-operator totals into the process-wide registry.
+
+    One counter family per operator kind (``sql.op.scan.rows_out``,
+    ``...bytes_scanned``, ``...spill_rows``) — the operator vocabulary is
+    small and fixed, so cardinality stays bounded.  No-op while the
+    tracer is disabled.
+    """
+    if not obs.tracing_enabled():
+        return
+    key = op.lower()
+    if rows_out:
+        obs.counter(f"sql.op.{key}.rows_out", rows_out)
+    if bytes_scanned:
+        obs.counter(f"sql.op.{key}.bytes_scanned", bytes_scanned)
+    if spilled_rows:
+        obs.counter(f"sql.op.{key}.spill_rows", spilled_rows)
+
+
 class _ObsOp:
     """Adapts a stage hook onto a span of the process-wide tracer."""
 
-    __slots__ = ("_span", "rows_in", "rows_out", "rows_est")
+    __slots__ = ("_span", "_op", "rows_in", "rows_out", "rows_est",
+                 "bytes_scanned", "spilled_rows")
 
     def __init__(self, op: str, detail: str) -> None:
         self._span = obs.span(f"sql.{op}", detail=detail) if detail else obs.span(f"sql.{op}")
+        self._op = op
         self.rows_in: int | None = None
         self.rows_out: int | None = None
         self.rows_est: int | None = None
+        self.bytes_scanned: int | None = None
+        self.spilled_rows: int | None = None
 
     def __enter__(self) -> "_ObsOp":
         self._span.__enter__()
@@ -131,6 +195,11 @@ class _ObsOp:
             self._span.set(rows_out=self.rows_out)
         if self.rows_est is not None:
             self._span.set(rows_est=self.rows_est)
+        if self.bytes_scanned is not None:
+            self._span.set(bytes_scanned=self.bytes_scanned)
+        if self.spilled_rows is not None:
+            self._span.set(spilled_rows=self.spilled_rows)
+        _feed_registry(self._op, self.rows_out, self.bytes_scanned, self.spilled_rows)
         return self._span.__exit__(*exc_info)
 
 
@@ -161,6 +230,16 @@ def stage_op(trace: ExecutionTrace | None, op: str, detail: str = ""):
     return _NULL_OP
 
 
+def _format_bytes(n: int) -> str:
+    """Human byte size with one-letter unit (``4.2MB``, ``978B``)."""
+    size = float(n)
+    for unit in ("B", "kB", "MB", "GB"):
+        if size < 1024.0 or unit == "GB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024.0
+    return f"{int(size)}B"  # pragma: no cover - unreachable
+
+
 def format_plan(node: PlanNode, include_time: bool = True) -> str:
     """Render a plan tree with per-operator wall time and row counts.
 
@@ -181,6 +260,10 @@ def format_plan(node: PlanNode, include_time: bool = True) -> str:
             stats.append(f"rows={node.rows_out}")
         if node.rows_est is not None:
             stats.append(f"est={node.rows_est}")
+        if node.bytes_scanned is not None:
+            stats.append(f"bytes={_format_bytes(node.bytes_scanned)}")
+        if node.spilled_rows:
+            stats.append(f"spill={node.spilled_rows}")
         label = f"{prefix}{connector}{node.label}"
         lines.append(f"{label:<45s} {' '.join(stats)}".rstrip())
         for i, child in enumerate(node.children):

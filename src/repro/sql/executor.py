@@ -76,6 +76,24 @@ _PARALLEL_MIN_ROWS = 50_000
 #: partial and always run serially.
 _PARALLEL_FUNCS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
 
+#: Rows processed by per-row Python fallbacks since process start.  There
+#: is no disk spill in this engine; "spill" counts the analogous cliff —
+#: rows leaving the vectorized numpy kernels.  Stage ops diff this around
+#: their block to attribute spilled rows to an operator.
+_SPILL_ROWS = 0
+
+
+def _note_spill(rows: int) -> None:
+    global _SPILL_ROWS
+    _SPILL_ROWS += int(rows)
+
+
+def _table_bytes(table: Table) -> int:
+    """Raw size of a table's column buffers (what a scan materializes)."""
+    return int(
+        sum(table.column(name).values.nbytes for name in table.column_names)
+    )
+
 
 def query(sql: str, **tables: Table) -> Table:
     """Parse and execute ``sql`` against keyword-argument tables.
@@ -437,11 +455,13 @@ class QueryEngine:
             with stage_op(trace, "Filter") as op:
                 op.rows_in = table.num_rows
                 op.rows_est = est.get("filter")
+                spill_base = _SPILL_ROWS
                 mask = _as_bool_mask(
                     _evaluate(where_expr, table, scope), table.num_rows
                 )
                 table = table.filter(mask)
                 op.rows_out = table.num_rows
+                op.spilled_rows = (_SPILL_ROWS - spill_base) or None
         if query_plan.is_aggregation:
             detail = (
                 f"keys={len(select.group_by)} aggregates={len(query_plan.aggregates)}"
@@ -449,8 +469,10 @@ class QueryEngine:
             with stage_op(trace, "Aggregate", detail) as op:
                 op.rows_in = table.num_rows
                 op.rows_est = est.get("aggregate")
+                spill_base = _SPILL_ROWS
                 result = self._run_aggregation(query_plan, table, scope, trace)
                 op.rows_out = result.num_rows
+                op.spilled_rows = (_SPILL_ROWS - spill_base) or None
         else:
             with stage_op(trace, "Project", _project_detail(query_plan)) as op:
                 op.rows_est = est.get("project")
@@ -550,6 +572,7 @@ class QueryEngine:
             with stage_op(trace, "Scan", source.name) as op:
                 table = self._lookup(source.name)
                 op.rows_out = table.num_rows
+                op.bytes_scanned = _table_bytes(table)
                 if scan is not None:
                     op.rows_est = scan.base_rows
             return _Scope.single(source.binding, table)
@@ -575,17 +598,20 @@ class QueryEngine:
             if scan.columns is not None:
                 table = table.select(list(scan.columns))
             op.rows_out = table.num_rows
+            op.bytes_scanned = _table_bytes(table)
         scope = _Scope.single(source.binding, table)
         if scan.pushed:
             with stage_op(trace, "Filter", "pushed") as op:
                 op.rows_in = table.num_rows
                 op.rows_est = scan.est_rows
+                spill_base = _SPILL_ROWS
                 predicate = and_combine(list(scan.pushed))
                 mask = _as_bool_mask(
                     _evaluate(predicate, table, scope), table.num_rows
                 )
                 table = table.filter(mask)
                 op.rows_out = table.num_rows
+                op.spilled_rows = (_SPILL_ROWS - spill_base) or None
             scope = _Scope.single(source.binding, table)
         return scope
 
@@ -1188,6 +1214,10 @@ def _compare(op: str, left: Any, right: Any) -> np.ndarray:
 
 def _compare_object(op: str, left: Any, right: Any) -> np.ndarray:
     import operator as _operator
+
+    _note_spill(
+        len(left) if isinstance(left, np.ndarray) else len(right)
+    )
 
     ops = {
         "=": _operator.eq,

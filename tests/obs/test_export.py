@@ -8,6 +8,7 @@ from repro.errors import ObservabilityError
 from repro.obs.export import (
     TRACE_FORMAT_VERSION,
     load_trace_file,
+    load_trace_file_lenient,
     to_chrome_trace,
     to_jsonl_records,
     validate_trace_file,
@@ -30,6 +31,33 @@ def traced():
     tracer.timing("build", 0.125)
     tracer.disable()
     return tracer
+
+
+@pytest.fixture
+def multiprocess_traced():
+    """A coordinator trace with spans adopted from two 'worker' tracers.
+
+    Built the way the pool builds it — child tracers record under the
+    propagated trace id, export their state, and the coordinator adopts
+    each envelope under a shard span — but synchronously, so the test
+    controls the worker 'pids'.
+    """
+    coordinator = Tracer().enable()
+    with coordinator.span("sweep") as sweep:
+        for fake_pid in (11_111, 22_222):
+            with coordinator.span("shard") as shard:
+                worker = Tracer()
+                worker.enable()
+                worker.pid = fake_pid
+                worker.trace_id = coordinator.trace_id
+                with worker.span("worker.shard"):
+                    with worker.span("worker.inner"):
+                        pass
+                envelope = worker.export_state()
+            coordinator.adopt(envelope, parent_span=shard.span_id)
+        assert sweep is not None
+    coordinator.disable()
+    return coordinator
 
 
 class TestJsonl:
@@ -157,3 +185,112 @@ class TestValidation:
         path.write_text(json.dumps(record) + "\n")
         with pytest.raises(ObservabilityError, match="unknown parent"):
             validate_trace_file(path)
+
+
+class TestMultiProcessChrome:
+    """Chrome export/load round-trips of a multi-process (adopted) trace."""
+
+    def test_process_name_lanes_per_worker(self, multiprocess_traced):
+        document = to_chrome_trace(multiprocess_traced)
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[multiprocess_traced.pid] == "repro coordinator"
+        assert names[11_111] == "repro worker 11111"
+        assert names[22_222] == "repro worker 22222"
+
+    def test_events_carry_real_pids(self, multiprocess_traced):
+        document = to_chrome_trace(multiprocess_traced)
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_name: dict[str, set[int]] = {}
+        for event in xs:
+            by_name.setdefault(event["name"], set()).add(event["pid"])
+        assert by_name["sweep"] == {multiprocess_traced.pid}
+        assert by_name["worker.shard"] == {11_111, 22_222}
+        assert by_name["worker.inner"] == {11_111, 22_222}
+
+    def test_round_trip_preserves_pids_and_linkage(
+        self, multiprocess_traced, tmp_path
+    ):
+        path = write_trace(multiprocess_traced, tmp_path / "multi.json")
+        validate_trace_file(path)
+        spans, _ = load_trace_file(path)
+        by_id = {s.span_id: s for s in spans}
+        workers = [s for s in spans if s.name == "worker.shard"]
+        inners = [s for s in spans if s.name == "worker.inner"]
+        assert {s.pid for s in workers} == {11_111, 22_222}
+        # Worker-internal linkage survived: inner -> worker.shard, and
+        # each worker.shard parents under its adopting shard span.
+        for inner in inners:
+            assert by_id[inner.parent_id].name == "worker.shard"
+            assert inner.pid == by_id[inner.parent_id].pid
+        for worker in workers:
+            assert by_id[worker.parent_id].name == "shard"
+
+    def test_jsonl_round_trip_preserves_pids(self, multiprocess_traced, tmp_path):
+        path = write_trace(multiprocess_traced, tmp_path / "multi.jsonl")
+        validate_trace_file(path)
+        spans, _ = load_trace_file(path)
+        pids = {s.name: s.pid for s in spans}
+        # Coordinator spans carry the writing process's pid explicitly.
+        assert pids["sweep"] == multiprocess_traced.pid
+        assert pids["worker.shard"] in (11_111, 22_222)
+
+
+class TestLenientLoading:
+    def _write_good_and_bad(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good_span = {
+            "type": "span", "id": 1, "parent": None,
+            "name": "ok", "start": 0.0, "dur": 0.5,
+        }
+        lines = [
+            json.dumps({"type": "meta", "format": "repro-trace", "version": 1}),
+            json.dumps(good_span),
+            '{"type": "span", "id": 2, "nam',  # truncated mid-write
+            json.dumps({"type": "span", "id": 3, "name": "partial"}),  # keys missing
+            json.dumps({"type": "counter", "name": "hits"}),  # value missing
+            json.dumps({"type": "mystery"}),
+            json.dumps({"type": "counter", "name": "good", "value": 2.0}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_skips_and_counts_corrupt_records(self, tmp_path):
+        path = self._write_good_and_bad(tmp_path)
+        spans, metrics, skipped = load_trace_file_lenient(path)
+        assert [s.name for s in spans] == ["ok"]
+        assert metrics["counters"] == {"good": 2.0}
+        assert skipped == 4
+
+    def test_strict_loader_still_raises_on_same_file(self, tmp_path):
+        path = self._write_good_and_bad(tmp_path)
+        with pytest.raises(ObservabilityError):
+            load_trace_file(path)
+
+    def test_clean_file_loads_with_zero_skips(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.jsonl")
+        spans, metrics, skipped = load_trace_file_lenient(path)
+        assert skipped == 0
+        assert len(spans) == 3
+        assert metrics["counters"] == {"cache.hit": 3.0}
+
+    def test_corrupt_chrome_document_counts_one_skip(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text('{"traceEvents": [{"name": "x"')  # truncated JSON
+        spans, metrics, skipped = load_trace_file_lenient(path)
+        assert spans == []
+        assert skipped == 1
+        assert metrics == {"counters": {}, "gauges": {}, "timings": {}}
+
+    def test_intact_chrome_document_loads(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.json")
+        spans, _, skipped = load_trace_file_lenient(path)
+        assert skipped == 0
+        assert len(spans) == 3
+
+    def test_missing_file_still_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no trace file"):
+            load_trace_file_lenient(tmp_path / "absent.jsonl")

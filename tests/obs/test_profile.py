@@ -1,0 +1,154 @@
+"""Tests for opt-in per-span resource profiling (:mod:`repro.obs.profile`).
+
+Profiling piggybacks on the tracer's span lifecycle: while enabled every
+recorded span gains ``cpu``/``rss_kb`` attributes (plus ``alloc_kb`` /
+``alloc_peak_kb`` under tracemalloc sampling), and while disabled the
+tracer must not call into the sampler at all.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import profile
+from repro.obs.report import format_profile_rollup, profile_rollup
+
+
+@pytest.fixture
+def tracer():
+    obs.enable_tracing()
+    try:
+        yield obs.get_tracer()
+    finally:
+        profile.disable_profiling()
+        obs.disable_tracing()
+        obs.get_tracer().reset()
+
+
+class TestEnableDisable:
+    def test_off_by_default(self):
+        assert profile.profiling_enabled() is False
+
+    def test_enable_then_disable(self, tracer):
+        profile.enable_profiling()
+        assert profile.profiling_enabled() is True
+        profile.disable_profiling()
+        assert profile.profiling_enabled() is False
+
+    def test_disable_clears_tracer_hooks(self, tracer):
+        profile.enable_profiling()
+        profile.disable_profiling()
+        with obs.span("after.disable"):
+            pass
+        assert "cpu" not in tracer.spans[-1].attrs
+
+
+class TestSampling:
+    def test_spans_gain_cpu_and_rss(self, tracer):
+        profile.enable_profiling()
+        with obs.span("work"):
+            sum(range(10_000))
+        span = tracer.spans[-1]
+        assert span.attrs["cpu"] >= 0.0
+        assert span.attrs["rss_kb"] > 0
+        assert "alloc_kb" not in span.attrs
+
+    def test_nested_spans_each_sampled(self, tracer):
+        profile.enable_profiling()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert all("cpu" in s.attrs for s in tracer.spans)
+
+    def test_tracemalloc_adds_alloc_attrs(self, tracer):
+        profile.enable_profiling(trace_malloc=True)
+        with obs.span("alloc"):
+            blob = [bytearray(64_000) for _ in range(4)]
+        span = tracer.spans[-1]
+        assert span.attrs["alloc_peak_kb"] >= span.attrs["alloc_kb"]
+        assert span.attrs["alloc_peak_kb"] > 100.0  # ~250 KiB allocated
+        del blob
+
+    def test_disable_stops_tracemalloc_it_started(self, tracer):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        profile.enable_profiling(trace_malloc=True)
+        assert tracemalloc.is_tracing()
+        profile.disable_profiling()
+        # tracemalloc slows every allocation in the process — it must
+        # not outlive the profiling run it was started for.
+        assert not tracemalloc.is_tracing()
+
+    def test_unprofiled_spans_have_no_resource_attrs(self, tracer):
+        with obs.span("plain"):
+            pass
+        attrs = tracer.spans[-1].attrs
+        assert "cpu" not in attrs and "rss_kb" not in attrs
+
+    def test_rss_kb_reads_positive(self):
+        assert profile.rss_kb() > 0
+
+
+class TestProfiledDecorator:
+    def test_plain_call_while_tracing_off(self):
+        assert not obs.tracing_enabled()
+
+        @profile.profiled()
+        def compute(x):
+            return x * 2
+
+        assert compute(21) == 42
+        assert obs.get_tracer().spans == []
+
+    def test_records_named_span_when_tracing(self, tracer):
+        @profile.profiled("stage.double")
+        def compute(x):
+            return x * 2
+
+        profile.enable_profiling()
+        assert compute(21) == 42
+        span = tracer.spans[-1]
+        assert span.name == "stage.double"
+        assert "cpu" in span.attrs
+
+    def test_default_name_from_module_and_function(self, tracer):
+        @profile.profiled()
+        def helper():
+            return 1
+
+        helper()
+        assert tracer.spans[-1].name.endswith(".helper")
+
+
+class TestRollup:
+    def _trace_some_stages(self, tracer):
+        profile.enable_profiling()
+        for _ in range(3):
+            with obs.span("stage.a"):
+                sum(range(2_000))
+        with obs.span("stage.b"):
+            pass
+
+    def test_rollup_groups_by_span_name(self, tracer):
+        self._trace_some_stages(tracer)
+        rollup = profile_rollup(tracer.spans)
+        by_name = {row["name"]: row for row in rollup}
+        assert by_name["stage.a"]["calls"] == 3
+        assert by_name["stage.b"]["calls"] == 1
+        assert by_name["stage.a"]["rss_kb"] > 0
+
+    def test_rollup_skips_unprofiled_spans(self, tracer):
+        with obs.span("unprofiled"):
+            pass
+        self._trace_some_stages(tracer)
+        names = {row["name"] for row in profile_rollup(tracer.spans)}
+        assert "unprofiled" not in names
+
+    def test_format_renders_every_row(self, tracer):
+        self._trace_some_stages(tracer)
+        text = format_profile_rollup(profile_rollup(tracer.spans))
+        assert "stage.a" in text and "stage.b" in text
+        assert "cpu" in text.splitlines()[0]
+
+    def test_format_empty_rollup(self):
+        assert format_profile_rollup([]).startswith("(no profiled spans")

@@ -26,9 +26,10 @@ from repro.obs.prometheus import (
 
 #: The exposition format's metric-name grammar.
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
-#: One sample line: name, optional labels, value.
+#: One sample line: name, optional comma-separated labels, value.
 _SAMPLE_LINE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"\})? "
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
     r"(NaN|[+-]Inf|-?[0-9].*)$"
 )
 
@@ -84,8 +85,25 @@ class TestFormatValue:
 
 
 class TestRender:
-    def test_empty_registry_renders_empty(self):
-        assert render_prometheus(MetricsRegistry()) == ""
+    def test_empty_registry_renders_only_build_info(self):
+        text = render_prometheus(MetricsRegistry())
+        assert "repro_build_info{" in text
+        assert_valid_exposition(text)
+        # Nothing but the identity gauge: no counters/histograms leak in.
+        samples = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(samples) == 1 and samples[0].startswith("repro_build_info")
+
+    def test_build_info_carries_version_and_python_labels(self):
+        import platform
+
+        import repro
+
+        text = render_prometheus(MetricsRegistry())
+        assert f'version="{repro.__version__}"' in text
+        assert f'python="{platform.python_version()}"' in text
+        assert 'platform="' in text
 
     def test_counter_becomes_total_with_metadata(self):
         registry = MetricsRegistry()

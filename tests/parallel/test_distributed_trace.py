@@ -1,0 +1,194 @@
+"""Acceptance tests for distributed tracing across the worker pool.
+
+A ``workers=2`` sweep with tracing (and profiling) enabled must produce
+ONE merged trace on the coordinator where every worker-side
+``worker.shard`` span carries its worker pid and parents — transitively
+— under the coordinator's sweep span; the written file must pass
+``repro trace --validate``'s checker; and the numeric results must stay
+**byte-identical** to the untraced serial run, because observability is
+never allowed to change an answer.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.chain.attribution import attribute
+from repro.core.engine import MeasurementEngine
+from repro.obs import profile as profile_mod
+from repro.obs.export import load_trace_file, validate_trace_file, write_trace
+from repro.windows.base import BlockWindow
+
+from tests.conftest import make_tiny_chain
+
+METRICS = ("gini", "entropy", "nakamoto")
+
+
+def _producers(n_blocks: int, seed: int = 7) -> list[list[str]]:
+    rng = np.random.default_rng(seed)
+    names = [f"m{i}" for i in range(9)]
+    return [[names[int(rng.integers(0, len(names)))]] for _ in range(n_blocks)]
+
+
+def _windows(n_blocks: int, size: int = 16, step: int = 8) -> list[BlockWindow]:
+    return [
+        BlockWindow(i, f"w{i}", lo, min(lo + size, n_blocks))
+        for i, lo in enumerate(range(0, n_blocks - size + 1, step))
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    chain = make_tiny_chain(_producers(96))
+    return MeasurementEngine(attribute(chain, "per-address"), workers=1)
+
+
+@pytest.fixture
+def traced_profiled():
+    """Tracing + profiling on, torn down and reset afterwards."""
+    obs.enable_tracing()
+    profile_mod.enable_profiling()
+    try:
+        yield obs.get_tracer()
+    finally:
+        profile_mod.disable_profiling()
+        obs.disable_tracing()
+        obs.get_tracer().reset()
+
+
+def _ancestry(span, by_id):
+    names = []
+    parent = span.parent_id
+    while parent is not None:
+        record = by_id[parent]
+        names.append(record.name)
+        parent = record.parent_id
+    return names
+
+
+class TestDistributedSweepTrace:
+    def test_worker_spans_merge_under_sweep_with_pids(
+        self, engine, traced_profiled
+    ):
+        windows = _windows(engine.credits.n_blocks)
+        engine.measure_many(METRICS, windows, workers=2)
+        spans = traced_profiled.spans
+        by_id = {s.span_id: s for s in spans}
+        worker_spans = [s for s in spans if s.name == "worker.shard"]
+        assert len(worker_spans) >= 2, "sweep must have sharded"
+        for span in worker_spans:
+            # Every worker span carries its (non-coordinator) worker pid...
+            assert span.pid is not None
+            assert span.pid != os.getpid()
+            # ...and parents, transitively, under the coordinator's
+            # sweep span via the per-shard gather span.
+            chain = _ancestry(span, by_id)
+            assert chain[0] == "parallel.shard"
+            assert "engine.measure_many" in chain
+            # Profiling context propagated: the worker sampled resources.
+            assert "cpu" in span.attrs
+            assert span.attrs["rss_kb"] > 0
+        # Spans recorded by the coordinator itself have no pid override.
+        sweep = next(s for s in spans if s.name == "engine.measure_many")
+        assert sweep.pid is None
+
+    def test_written_trace_validates_and_keeps_linkage(
+        self, engine, traced_profiled, tmp_path
+    ):
+        windows = _windows(engine.credits.n_blocks)
+        engine.measure_many(METRICS, windows, workers=2)
+        path = tmp_path / "sweep.jsonl"
+        write_trace(traced_profiled, path)
+        report = validate_trace_file(path)
+        assert report["n_spans"] >= len(traced_profiled.spans)
+        spans, _ = load_trace_file(path)
+        by_id = {s.span_id: s for s in spans}
+        worker_spans = [s for s in spans if s.name == "worker.shard"]
+        assert worker_spans, "worker spans must survive the round trip"
+        pids = {s.pid for s in worker_spans}
+        assert None not in pids and os.getpid() not in pids
+        for span in worker_spans:
+            assert "engine.measure_many" in _ancestry(span, by_id)
+
+    def test_worker_timing_rebased_inside_sweep(self, engine, traced_profiled):
+        # Workers run concurrently with the coordinator's gather loop, so
+        # a worker span may START before its per-shard gather span opens —
+        # but epoch rebasing must land every worker span inside the sweep
+        # span's window (generous slack for clock granularity).
+        windows = _windows(engine.credits.n_blocks)
+        engine.measure_many(METRICS, windows, workers=2)
+        spans = traced_profiled.spans
+        sweep = next(s for s in spans if s.name == "engine.measure_many")
+        for span in spans:
+            if span.name != "worker.shard":
+                continue
+            assert span.start >= sweep.start - 1e-3
+            assert span.end <= sweep.end + 1e-3
+
+
+class TestObservabilityNeverChangesResults:
+    def test_traced_profiled_parallel_sweep_is_byte_identical(self, engine):
+        windows = _windows(engine.credits.n_blocks)
+        plain = engine.measure_many(METRICS, windows, workers=2)
+        serial = engine.measure_many(METRICS, windows, workers=1)
+        obs.enable_tracing()
+        profile_mod.enable_profiling()
+        try:
+            traced = engine.measure_many(METRICS, windows, workers=2)
+        finally:
+            profile_mod.disable_profiling()
+            obs.disable_tracing()
+            obs.get_tracer().reset()
+        for name in METRICS:
+            for other in (plain, serial):
+                assert traced[name].values.tobytes() == other[name].values.tobytes()
+                assert traced[name].indices.tobytes() == other[name].indices.tobytes()
+                assert traced[name].labels == other[name].labels
+                assert traced[name].skipped == other[name].skipped
+
+
+class TestContextAndAdoption:
+    """Unit-level checks of the propagation/adoption plumbing itself."""
+
+    def test_context_none_while_disabled(self):
+        assert not obs.tracing_enabled()
+        assert obs.get_tracer().context() is None
+
+    def test_context_carries_trace_id_and_profile_flag(self):
+        obs.enable_tracing()
+        try:
+            ctx = obs.get_tracer().context()
+            assert ctx["trace_id"] == obs.get_tracer().trace_id
+            assert ctx["profile"] is False
+            profile_mod.enable_profiling()
+            assert obs.get_tracer().context()["profile"] is True
+        finally:
+            profile_mod.disable_profiling()
+            obs.disable_tracing()
+            obs.get_tracer().reset()
+
+    def test_adopt_renumbers_and_merges_metrics(self):
+        from repro.obs.tracer import Tracer
+
+        child = Tracer()
+        child.enable()
+        with child.span("child.outer"):
+            with child.span("child.inner"):
+                pass
+        child.metrics.counter("child.count").inc(3)
+        envelope = child.export_state()
+
+        parent = Tracer()
+        parent.enable()
+        with parent.span("parent.anchor") as anchor:
+            adopted = parent.adopt(envelope, parent_span=anchor.span_id)
+        assert adopted == 2
+        by_name = {s.name: s for s in parent.spans}
+        outer, inner = by_name["child.outer"], by_name["child.inner"]
+        # Internal linkage preserved; top-level reparented under anchor.
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == by_name["parent.anchor"].span_id
+        assert outer.pid == child.pid
+        assert parent.metrics.counter("child.count").value == 3

@@ -5,6 +5,13 @@ tracer (enabled flag, recorded spans) and the telemetry server's handler
 plumbing would come along silently.  The pool initializer scrubs that
 state; these tests prove it by probing workers while the parent is
 actively tracing and serving HTTP.
+
+Worker-side tracing still happens — but only *deliberately*: when the
+coordinator is recording, each task runs under a fresh per-task child
+tracer carrying the propagated trace id (distributed tracing), which is
+torn down after the task.  The tests below distinguish that from
+inheritance: recorded coordinator spans never appear in a worker, and
+with coordinator tracing off the workers see tracing fully disabled.
 """
 
 import os
@@ -37,14 +44,31 @@ def _probe(pool: WorkerPool, n: int = 4) -> list[dict]:
 
 class TestForkSafety:
     def test_worker_does_not_inherit_tracing(self, tracing_parent):
+        # With the coordinator recording, tasks run under a per-task child
+        # tracer (distributed tracing) — but the parent's recorded spans
+        # must never leak in, and the child carries the propagated trace
+        # id rather than an inherited recording session.
         assert tracing_parent.enabled
         assert len(tracing_parent.spans) >= 1
         with WorkerPool(2) as pool:
             probes = _probe(pool)
         for probe in probes:
             assert probe["in_worker"] is True
+            assert probe["tracing_enabled"] is True
+            assert probe["tracer_spans"] == 0
+            assert probe["trace_id"] == tracing_parent.trace_id
+
+    def test_worker_tracing_off_without_coordinator_tracing(self):
+        # No recording session in the parent -> no context propagated ->
+        # the scrubbed state is all a worker ever sees.
+        assert not obs.tracing_enabled()
+        with WorkerPool(2) as pool:
+            probes = _probe(pool)
+        for probe in probes:
+            assert probe["in_worker"] is True
             assert probe["tracing_enabled"] is False
             assert probe["tracer_spans"] == 0
+            assert probe["trace_id"] is None
 
     def test_worker_does_not_inherit_server_threads(self, tracing_parent):
         # A live HTTP server means extra parent threads; only the forking
@@ -69,5 +93,11 @@ class TestForkSafety:
         with WorkerPool(2) as pool:
             pool.map_shards(worker_probe, [()])
         assert tracing_parent.enabled
-        # The coordinator-side shard waits were themselves traced.
-        assert any(span.name == "parallel.shard" for span in tracing_parent.spans)
+        # The coordinator-side shard waits were themselves traced, and the
+        # worker's child spans were adopted into the same trace with the
+        # worker's pid stamped on them.
+        shard_spans = [s for s in tracing_parent.spans if s.name == "parallel.shard"]
+        worker_spans = [s for s in tracing_parent.spans if s.name == "worker.shard"]
+        assert shard_spans and worker_spans
+        for span in worker_spans:
+            assert span.pid is not None and span.pid != os.getpid()

@@ -537,3 +537,104 @@ class TestQueryOptimizerFlags:
         )
         assert code == 2
         assert "bad --index spec" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_prints_rollup_and_resets_state(self, capsys):
+        from repro import obs
+        from repro.obs import profile
+
+        code = main(
+            ["--profile", "measure", "--chain", "bitcoin",
+             "--metric", "gini", "--windows", "fixed-month"]
+        )
+        assert code == 0
+        # --profile without --trace must leave no global state behind.
+        assert not obs.tracing_enabled()
+        assert not profile.profiling_enabled()
+        out = capsys.readouterr().out
+        assert "profile rollup (per stage):" in out
+        assert "cli.measure" in out
+        assert "cpu" in out
+
+    def test_profile_with_trace_attaches_resource_attrs(self, tmp_path, capsys):
+        from repro.obs.export import load_trace_file
+
+        path = tmp_path / "profiled.jsonl"
+        code = main(
+            ["--trace", str(path), "--profile", "measure", "--chain",
+             "bitcoin", "--metric", "nakamoto", "--windows", "fixed-month"]
+        )
+        assert code == 0
+        spans, _ = load_trace_file(path)
+        profiled = [s for s in spans if "cpu" in s.attrs]
+        assert profiled, "spans must carry resource attrs under --profile"
+        assert all(s.attrs["rss_kb"] > 0 for s in profiled)
+
+
+class TestTraceLenientSummary:
+    def test_summary_skips_truncated_tail_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        good = {"type": "span", "id": 1, "parent": None,
+                "name": "cli.measure", "start": 0.0, "dur": 0.5}
+        path.write_text(
+            json.dumps({"type": "meta", "format": "repro-trace", "version": 1})
+            + "\n" + json.dumps(good) + "\n"
+            + '{"type": "span", "id": 2, "na'  # killed mid-write
+        )
+        code = main(["trace", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipped 1 corrupt record(s)" in captured.err
+        assert "cli.measure" in captured.out
+
+    def test_summary_of_fully_corrupt_file_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json at all\nstill not json\n")
+        code = main(["trace", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no readable records" in captured.err
+
+
+class TestTopCommand:
+    def test_url_and_port_are_exclusive(self, capsys):
+        code = main(["top", "--url", "http://x/status", "--port", "1"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_needs_url_or_port(self, capsys):
+        code = main(["top"])
+        assert code == 2
+        assert "needs --url or --port" in capsys.readouterr().err
+
+    def test_interval_must_be_positive(self, capsys):
+        code = main(["top", "--port", "1", "--interval", "0"])
+        assert code == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_1(self, capsys):
+        code = main(
+            ["top", "--url", "http://127.0.0.1:1", "--iterations", "1"]
+        )
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().out
+
+    def test_renders_one_frame_from_live_server(self, capsys):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.serve import TelemetryServer
+
+        status = {
+            "chain": "bitcoin", "uptime_seconds": 10.0, "ready": True,
+            "blocks_ingested": 100, "build": {"version": "1.3.0"},
+        }
+        server = TelemetryServer(MetricsRegistry(), status_fn=lambda: status)
+        with server:
+            code = main(
+                ["top", "--port", str(server.port),
+                 "--iterations", "1", "--no-clear"]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top — chain=bitcoin" in out
+        assert "[ready]" in out
