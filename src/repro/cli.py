@@ -8,8 +8,9 @@ Subcommands::
     repro-decentralization study
     repro-decentralization query      --chain bitcoin --sql "SELECT ..."
     repro-decentralization trace      trace.json
-    repro-decentralization monitor    --chain bitcoin --serve 9464
+    repro-decentralization monitor    --chain bitcoin --serve 9464 --slo slo.toml
     repro-decentralization top        --port 9464
+    repro-decentralization alerts     alerts.jsonl --follow
     repro-decentralization chaos      --seed 7 --blocks 4096
     repro-decentralization bench-diff OLD.json NEW.json --fail-over 1.25
 
@@ -30,8 +31,8 @@ measurement engine and SQL aggregation (``auto`` = one worker per CPU;
 ``1`` forces the serial path; see ``docs/PARALLELISM.md``).
 
 Exit codes are part of the contract: ``2`` for argument/validation
-errors (including a malformed ``--inject-faults`` spec), ``1`` for
-runtime failures (I/O, unknown figures, exhausted retries or an open
+errors (including a malformed ``--inject-faults`` spec or ``--slo``
+file), ``1`` for runtime failures (I/O, unknown figures, exhausted retries or an open
 circuit breaker, a chaos-run divergence, a benchmark regression past
 ``--fail-over``), ``0`` otherwise.
 """
@@ -319,11 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     monitor.add_argument(
         "--alert-below", action="append", default=[], metavar="METRIC=VALUE",
-        help="alert when METRIC drops below VALUE (repeatable)",
+        help="alert when METRIC drops below VALUE (repeatable; also "
+        "accepts the progress metrics lag_blocks/blocks_ingested, which "
+        "alert through the stateful engine only)",
     )
     monitor.add_argument(
         "--alert-above", action="append", default=[], metavar="METRIC=VALUE",
         help="alert when METRIC rises above VALUE (repeatable)",
+    )
+    monitor.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="evaluate declarative SLOs from a TOML/JSON file with "
+        "multi-window burn rates (see docs/OBSERVABILITY.md)",
+    )
+    monitor.add_argument(
+        "--alert-log", metavar="FILE", default=None,
+        help="append every alert lifecycle event to FILE as JSONL "
+        "(tail it with 'repro alerts FILE')",
+    )
+    monitor.add_argument(
+        "--alert-webhook", metavar="URL", default=None,
+        help="POST every alert lifecycle event to URL as JSON "
+        "(retried; delivery failures are logged, never fatal)",
+    )
+    monitor.add_argument(
+        "--anomaly", action="append", default=[], metavar="METRIC",
+        help="flag EWMA z-score anomalies in METRIC through the alert "
+        "engine (repeatable)",
     )
     monitor.add_argument(
         "--inject-faults", metavar="SPEC", default=None,
@@ -366,6 +389,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--page-size", type=int, default=256,
         help="ingest page size in blocks (default 256)",
+    )
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="print or follow an alert JSONL log written with "
+        "'repro monitor --alert-log'",
+    )
+    alerts.add_argument("file", help="alert JSONL file to read")
+    alerts.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep reading as the file grows (Ctrl-C to stop)",
+    )
+    alerts.add_argument(
+        "--lines", type=int, default=None, metavar="N",
+        help="print only the last N events before following",
+    )
+    alerts.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval while following (default 0.5s)",
     )
 
     bench_diff = sub.add_parser(
@@ -465,6 +507,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "alerts":
+        return _cmd_alerts(args)
     if args.command == "bench-diff":
         return _cmd_bench_diff(args)
     if args.command == "chaos":
@@ -890,6 +934,9 @@ def _block_feed(chain, limit: int | None) -> Iterator[list[str]]:
 
 def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
     from repro.core.streaming import ThresholdRule
+    from repro.errors import ValidationError
+    from repro.obs.alerts import AlertRule, JSONLSink, WebhookSink
+    from repro.obs.slo import load_slo_file
     from repro.serve import run_monitor
 
     if args.window <= 0:
@@ -924,17 +971,49 @@ def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
     if below is None or above is None:
         return 2
     monitored = ("gini", "entropy", "nakamoto")
+    # Progress metrics exist only in the stateful engine's value map, not
+    # in the streaming monitor's window evaluations.
+    progress = ("lag_blocks", "blocks_ingested")
     rules = []
+    extra_alert_rules = []
     for metric, value in below:
-        if metric not in monitored:
+        if metric in monitored:
+            rules.append(ThresholdRule(metric, below=value))
+        elif metric in progress:
+            extra_alert_rules.append(
+                AlertRule(f"{metric}-below-{value:g}", metric=metric, below=value)
+            )
+        else:
             print(f"error: unknown alert metric {metric!r}", file=sys.stderr)
             return 2
-        rules.append(ThresholdRule(metric, below=value))
     for metric, value in above:
-        if metric not in monitored:
+        if metric in monitored:
+            rules.append(ThresholdRule(metric, above=value))
+        elif metric in progress:
+            extra_alert_rules.append(
+                AlertRule(f"{metric}-above-{value:g}", metric=metric, above=value)
+            )
+        else:
             print(f"error: unknown alert metric {metric!r}", file=sys.stderr)
             return 2
-        rules.append(ThresholdRule(metric, above=value))
+    for metric in args.anomaly:
+        if metric not in monitored:
+            print(f"error: unknown --anomaly metric {metric!r}", file=sys.stderr)
+            return 2
+    slos = []
+    if args.slo:
+        try:
+            slos = load_slo_file(args.slo)
+        except ValidationError as exc:
+            # A malformed SLO file is an argument error, same contract as
+            # bad window or fault specs.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    alert_sinks = []
+    if args.alert_log:
+        alert_sinks.append(JSONLSink(args.alert_log))
+    if args.alert_webhook:
+        alert_sinks.append(WebhookSink(args.alert_webhook))
 
     # `monitor --serve` is a long-running process: enable metric recording
     # so counters/timings from the pipeline reach /metrics scrapes, and
@@ -974,6 +1053,10 @@ def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
             print_fn=lambda line: print(line, flush=True),
             max_restarts=args.max_restarts,
             injector=injector,
+            slos=slos,
+            alert_sinks=alert_sinks,
+            anomaly_metrics=args.anomaly,
+            extra_alert_rules=extra_alert_rules,
         )
     finally:
         for signum, handler in previous_handlers:
@@ -982,13 +1065,76 @@ def _cmd_monitor(study: DecentralizationStudy, args: argparse.Namespace) -> int:
             obs.disable_tracing()
     latest = ", ".join(f"{k}={v:.4f}" for k, v in sorted(result.latest.items()))
     restarts = f", {result.restarts} restart(s)" if result.restarts else ""
+    lifecycle = (
+        f", {result.alerts_fired} fired/{result.alerts_resolved} resolved"
+        if result.alerts_fired or result.alerts_resolved
+        else ""
+    )
     print(
         f"monitored {result.blocks} blocks: {result.evaluations} evaluations, "
-        f"{result.alerts} alerts{restarts}"
+        f"{result.alerts} alerts{lifecycle}{restarts}"
     )
     if latest:
         print(f"latest: {latest}")
     return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time as time_mod
+
+    from repro.obs.alerts import format_alert_event
+
+    if args.lines is not None and args.lines < 0:
+        print(f"error: --lines must be >= 0, got {args.lines}", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print(f"error: --interval must be > 0, got {args.interval}", file=sys.stderr)
+        return 2
+
+    def emit(lines: list[str], skipped: int, limit: int | None = None) -> int:
+        events = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json_mod.loads(line))
+            except json_mod.JSONDecodeError:
+                skipped += 1
+        if limit is not None:
+            events = events[-limit:] if limit > 0 else []
+        for event in events:
+            print(format_alert_event(event), flush=True)
+        return skipped
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            skipped = emit(fh.readlines(), 0, limit=args.lines)
+            if not args.follow:
+                if skipped:
+                    print(
+                        f"warning: skipped {skipped} malformed line(s)",
+                        file=sys.stderr,
+                    )
+                return 0
+            # Follow mode: keep reading appended lines until Ctrl-C (a
+            # partial final line is retried on the next poll).
+            buffer = ""
+            while True:
+                chunk = fh.read()
+                if chunk:
+                    buffer += chunk
+                    whole, _, buffer = buffer.rpartition("\n")
+                    if whole:
+                        skipped = emit(whole.splitlines(), skipped)
+                else:
+                    time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"error: cannot read alert log {args.file}: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:

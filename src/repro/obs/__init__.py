@@ -16,9 +16,16 @@ that machinery visible:
   (:mod:`repro.obs.export`) with schema validation and per-process
   pid/tid lanes,
 * span-tree summaries with self/total times and per-stage profile
-  rollups (:mod:`repro.obs.report`), and
+  rollups (:mod:`repro.obs.report`),
 * a live terminal dashboard over a serving monitor
-  (:mod:`repro.obs.top`, the ``repro top`` subcommand).
+  (:mod:`repro.obs.top`, the ``repro top`` subcommand),
+* bounded in-process metric history with downsampling rollups
+  (:mod:`repro.obs.timeseries`, attached to a registry via
+  :meth:`~repro.obs.metrics.MetricsRegistry.set_history`),
+* declarative SLOs with Google-SRE multi-window burn rates
+  (:mod:`repro.obs.slo`), and
+* stateful pending/firing/resolved alerting with pluggable sinks and an
+  EWMA z-score anomaly detector (:mod:`repro.obs.alerts`).
 
 Tracing is **off by default** and the disabled path is a shared no-op
 (one ``enabled`` check per call site; see
@@ -35,6 +42,19 @@ Enable around a workload with :func:`enable_tracing` or, end to end, via
 the CLI's global ``--trace FILE`` flag.
 """
 
+from repro.obs.alerts import (
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    AlertSink,
+    AnomalyDetector,
+    JSONLSink,
+    LogSink,
+    WebhookSink,
+    anomaly_rule,
+    format_alert_event,
+    rules_from_thresholds,
+)
 from repro.obs.export import (
     load_trace_file,
     load_trace_file_lenient,
@@ -66,6 +86,8 @@ from repro.obs.report import (
     summarize_trace_file_lenient,
     summarize_tracer,
 )
+from repro.obs.slo import SLO, BurnWindow, SLOEngine, load_slo_file, parse_slo_config
+from repro.obs.timeseries import QuantileSketch, TimeSeriesStore, attach_history
 from repro.obs.tracer import (
     SpanRecord,
     Tracer,
@@ -82,13 +104,28 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
+    "AlertSink",
+    "AnomalyDetector",
+    "BurnWindow",
     "Counter",
     "Gauge",
+    "JSONLSink",
+    "LogSink",
     "MetricsRegistry",
+    "QuantileSketch",
+    "SLO",
+    "SLOEngine",
     "SpanRecord",
+    "TimeSeriesStore",
     "TimingHistogram",
     "Tracer",
+    "WebhookSink",
     "aggregate_spans",
+    "anomaly_rule",
+    "attach_history",
     "build_info",
     "compare_benchmarks",
     "configure_logging",
@@ -98,6 +135,7 @@ __all__ = [
     "disable_tracing",
     "enable_profiling",
     "enable_tracing",
+    "format_alert_event",
     "format_comparison",
     "format_profile_rollup",
     "format_span_tree",
@@ -105,12 +143,15 @@ __all__ = [
     "get_logger",
     "get_tracer",
     "load_benchmark_file",
+    "load_slo_file",
     "load_trace_file",
     "load_trace_file_lenient",
+    "parse_slo_config",
     "profile_rollup",
     "profiled",
     "profiling_enabled",
     "render_prometheus",
+    "rules_from_thresholds",
     "sanitize_metric_name",
     "span",
     "summarize_trace_file",

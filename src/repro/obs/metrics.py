@@ -30,31 +30,47 @@ DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    ``help`` is the human description served on ``/metrics`` ``# HELP``
+    lines; ``history`` is the per-instrument time-series hook installed by
+    :meth:`MetricsRegistry.set_history` — ``None`` (the default) keeps the
+    hot path at a single attribute check.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "help", "history")
+
+    def __init__(self, name: str, help: str | None = None) -> None:
         self.name = name
         self.value = 0.0
+        self.help = help
+        self.history = None
 
     def inc(self, n: float = 1.0) -> None:
         """Add ``n`` (default 1) to the counter."""
         self.value += n
+        history = self.history
+        if history is not None:
+            history(self.value)
 
 
 class Gauge:
     """A point-in-time value; each ``set`` overwrites the last."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "help", "history")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, help: str | None = None) -> None:
         self.name = name
         self.value = 0.0
+        self.help = help
+        self.history = None
 
     def set(self, value: float) -> None:
         """Record the current value."""
         self.value = float(value)
+        history = self.history
+        if history is not None:
+            history(self.value)
 
 
 class TimingHistogram:
@@ -68,10 +84,11 @@ class TimingHistogram:
     """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "bucket_bounds", "_bucket_counts", "_samples")
+                 "bucket_bounds", "_bucket_counts", "_samples", "help", "history")
 
     def __init__(
-        self, name: str, bucket_bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS
+        self, name: str, bucket_bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+        help: str | None = None,
     ) -> None:
         self.name = name
         self.count = 0
@@ -82,6 +99,8 @@ class TimingHistogram:
         #: Per-bucket (non-cumulative) counts; the last slot is +Inf.
         self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
         self._samples: list[float] = []
+        self.help = help
+        self.history = None
 
     def observe(self, seconds: float) -> None:
         """Record one duration."""
@@ -95,6 +114,9 @@ class TimingHistogram:
         self._bucket_counts[bisect.bisect_left(self.bucket_bounds, seconds)] += 1
         if len(self._samples) < _HISTOGRAM_SAMPLE_CAP:
             self._samples.append(seconds)
+        history = self.history
+        if history is not None:
+            history(seconds)
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """Prometheus-style ``(le, cumulative_count)`` pairs ending at +Inf.
@@ -199,33 +221,75 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.timings: dict[str, TimingHistogram] = {}
+        #: The attached time-series store (see :meth:`set_history`), if any.
+        self._history = None
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
+    def counter(self, name: str, help: str | None = None) -> Counter:
+        """Get or create the counter ``name`` (``help`` feeds ``# HELP``)."""
         instrument = self.counters.get(name)
         if instrument is None:
             with self._lock:
-                instrument = self.counters.setdefault(name, Counter(name))
+                instrument = self.counters.setdefault(name, Counter(name, help=help))
+                if self._history is not None and instrument.history is None:
+                    instrument.history = self._history.recorder(name, kind="counter")
+        if help is not None and instrument.help is None:
+            instrument.help = help
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        """Get or create the gauge ``name``."""
+    def gauge(self, name: str, help: str | None = None) -> Gauge:
+        """Get or create the gauge ``name`` (``help`` feeds ``# HELP``)."""
         instrument = self.gauges.get(name)
         if instrument is None:
             with self._lock:
-                instrument = self.gauges.setdefault(name, Gauge(name))
+                instrument = self.gauges.setdefault(name, Gauge(name, help=help))
+                if self._history is not None and instrument.history is None:
+                    instrument.history = self._history.recorder(name, kind="gauge")
+        if help is not None and instrument.help is None:
+            instrument.help = help
         return instrument
 
-    def timing(self, name: str) -> TimingHistogram:
+    def timing(self, name: str, help: str | None = None) -> TimingHistogram:
         """Get or create the timing histogram ``name``."""
         instrument = self.timings.get(name)
         if instrument is None:
             with self._lock:
-                instrument = self.timings.setdefault(name, TimingHistogram(name))
+                instrument = self.timings.setdefault(
+                    name, TimingHistogram(name, help=help)
+                )
+                if self._history is not None and instrument.history is None:
+                    instrument.history = self._history.recorder(name, kind="timing")
+        if help is not None and instrument.help is None:
+            instrument.help = help
         return instrument
 
+    def set_history(self, store) -> None:
+        """Attach (or with ``None`` detach) a time-series history store.
+
+        While attached, every instrument update also appends to the
+        store: counters record their cumulative value, gauges their
+        current value, timing histograms each observed duration.
+        Existing and future instruments are both wired; detaching resets
+        every instrument's hook to the free ``None`` path.
+        """
+        with self._lock:
+            self._history = store
+            for kind, instruments in (
+                ("counter", self.counters),
+                ("gauge", self.gauges),
+                ("timing", self.timings),
+            ):
+                for name, instrument in instruments.items():
+                    instrument.history = (
+                        None if store is None else store.recorder(name, kind=kind)
+                    )
+
+    @property
+    def history(self):
+        """The attached time-series store, or ``None``."""
+        return self._history
+
     def reset(self) -> None:
-        """Drop every instrument."""
+        """Drop every instrument (an attached history store stays attached)."""
         with self._lock:
             self.counters.clear()
             self.gauges.clear()

@@ -65,6 +65,11 @@ def escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
 
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the exposition format (``\\``, newline)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def format_value(value: float) -> str:
     """Render a sample value; integers lose the trailing ``.0``."""
     as_float = float(value)
@@ -128,17 +133,20 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         name = sanitize_metric_name(counter.name)
         if not name.endswith("_total"):
             name = f"{name}_total"
-        lines.append(f"# HELP {name} Counter {counter.name!r}.")
+        help_text = counter.help or f"Counter {counter.name!r}."
+        lines.append(f"# HELP {name} {escape_help_text(help_text)}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {format_value(counter.value)}")
     for gauge in gauges:
         name = sanitize_metric_name(gauge.name)
-        lines.append(f"# HELP {name} Gauge {gauge.name!r}.")
+        help_text = gauge.help or f"Gauge {gauge.name!r}."
+        lines.append(f"# HELP {name} {escape_help_text(help_text)}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {format_value(gauge.value)}")
     for timing in timings:
         name = _histogram_name(timing.name)
-        lines.append(f"# HELP {name} Timing histogram {timing.name!r} (seconds).")
+        help_text = timing.help or f"Timing histogram {timing.name!r} (seconds)."
+        lines.append(f"# HELP {name} {escape_help_text(help_text)}")
         lines.append(f"# TYPE {name} histogram")
         for bound, cumulative in timing.cumulative_buckets():
             le = "+Inf" if bound == float("inf") else format_value(bound)

@@ -54,6 +54,26 @@ def fetch_status(url: str, timeout: float = 2.0) -> dict:
     return status
 
 
+#: Eight-level block ramp for terminal sparklines.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list, width: int = 40) -> str:
+    """Render recent values as a block-character sparkline (pure).
+
+    >>> sparkline([0.0, 0.5, 1.0])
+    '▁▄█'
+    """
+    tail = [float(v) for v in values[-width:]]
+    if not tail:
+        return ""
+    low, high = min(tail), max(tail)
+    if high - low < 1e-12:
+        return _SPARK_CHARS[0] * len(tail)
+    scale = (len(_SPARK_CHARS) - 1) / (high - low)
+    return "".join(_SPARK_CHARS[int((v - low) * scale)] for v in tail)
+
+
 def _fmt_seconds(seconds: float) -> str:
     if seconds < 1e-3:
         return f"{seconds * 1e6:.0f}µs"
@@ -146,6 +166,42 @@ def render_dashboard(
             "metrics   "
             + "  ".join(f"{name}={value:.4f}" for name, value in sorted(latest.items()))
         )
+
+    sparklines = status.get("sparklines") or {}
+    drawn = [
+        (name, sparkline(values))
+        for name, values in sorted(sparklines.items())
+        if values
+    ]
+    if drawn:
+        lines.append("")
+        for name, art in drawn:
+            lines.append(f"history   {name:<10s} {art}")
+
+    alerting = status.get("alerting") or {}
+    if alerting.get("rules"):
+        lines.append("")
+        lines.append(
+            f"alerts    rules={alerting.get('rules', 0)}"
+            f" firing={alerting.get('firing', 0)}"
+            f" fired={alerting.get('fired_total', 0)}"
+            f" resolved={alerting.get('resolved_total', 0)}"
+        )
+        for instance in alerting.get("active") or []:
+            lines.append(
+                f"  {instance.get('state', '?').upper():<8s}"
+                f" {instance.get('rule', '?')}"
+                f" [{instance.get('severity', '?')}]"
+                f" value={instance.get('value', 0.0):.4g}"
+            )
+
+    slo = status.get("slo") or {}
+    breached = slo.get("breached")
+    if slo.get("objectives"):
+        lines.append(
+            f"slo       objectives={slo.get('objectives', 0)}"
+            f" breached={','.join(breached) if breached else 'none'}"
+        )
     return "\n".join(lines)
 
 
@@ -161,9 +217,12 @@ def run_top(
 
     ``iterations`` bounds the number of frames (``None`` = until
     Ctrl-C/KeyboardInterrupt, which exits 0 — an interactive quit is not
-    an error).  An unreachable server on the *first* poll exits 1; once a
-    frame has rendered, transient fetch errors print a note and keep
-    polling (the monitor may be restarting).
+    an error).  With ``iterations`` set (scripted/CI usage) *any* failed
+    poll prints the target URL and exits 1 — a bounded run must not
+    silently swallow a dead server.  Interactively (``iterations=None``)
+    only the first poll is fatal; once a frame has rendered, transient
+    fetch errors print a note and keep polling (the monitor may be
+    restarting).
     """
     previous: dict | None = None
     frames = 0
@@ -171,8 +230,8 @@ def run_top(
         try:
             status = fetch_status(url)
         except ObservabilityError as exc:
-            if previous is None:
-                print_fn(f"error: {exc}")
+            if previous is None or iterations is not None:
+                print_fn(f"error: polling {url} failed: {exc}")
                 return 1
             print_fn(f"(poll failed, retrying: {exc})")
             try:

@@ -19,9 +19,19 @@ ingests blocks:
     JSON snapshot of the monitor: current window, latest metric values,
     blocks ingested, lag, plus supervision/fault/data-quality state
     under ``resilience`` and ``quality``, worker-pool state under
-    ``workers``, build identity under ``build``, and per-histogram
-    latency summaries (count/mean/p50/p99) under ``timings`` — the
-    sections the ``repro top`` dashboard renders.
+    ``workers``, build identity under ``build``, per-histogram latency
+    summaries (count/mean/p50/p99) under ``timings``, and — when the
+    monitor runs with history enabled — alert-engine state under
+    ``alerting``, burn-rate objective state under ``slo``, store
+    footprint under ``timeseries`` and recent metric values under
+    ``sparklines`` — the sections the ``repro top`` dashboard renders.
+``/api/v1/series`` and ``/api/v1/series/<name>?start=&end=&step=``
+    The time-series store: the bare path lists series names, a named
+    path returns raw points or downsampled rollup buckets depending on
+    ``step`` (see :meth:`~repro.obs.timeseries.TimeSeriesStore.query`).
+``/api/v1/alerts``
+    The stateful alert engine: active instances plus recent lifecycle
+    events (:meth:`~repro.obs.alerts.AlertManager.summary`).
 
 :func:`run_monitor` drives a monitor over a block feed while serving
 scrapes concurrently; the CLI's ``repro monitor --serve PORT`` wires it
@@ -37,12 +47,23 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Iterable, Sequence
+from urllib.parse import parse_qs, urlparse
 
 from repro import obs
 from repro.core.streaming import StreamingMonitor, ThresholdRule
 from repro.errors import ResilienceError
+from repro.obs.alerts import (
+    AlertManager,
+    AlertSink,
+    LogSink,
+    anomaly_rule,
+    format_alert_event,
+    rules_from_thresholds,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import build_info, render_prometheus
+from repro.obs.slo import SLO, SLOEngine
+from repro.obs.timeseries import TimeSeriesStore
 from repro.parallel import pool_status
 from repro.resilience.faults import FaultInjector
 from repro.resilience.supervisor import MonitorSupervisor
@@ -82,6 +103,12 @@ class MonitorState:
         self.last_error: str | None = None
         self.quality: dict | None = None
         self.faults_fn: Callable[[], dict] | None = None
+        #: Optional section providers (wired by :func:`run_monitor` when
+        #: history/alerting are enabled); each feeds one ``/status`` key.
+        self.alerts_fn: Callable[[], dict] | None = None
+        self.slo_fn: Callable[[], dict] | None = None
+        self.timeseries_fn: Callable[[], dict] | None = None
+        self.sparklines_fn: Callable[[], dict] | None = None
 
     def record_push(self, blocks_ingested: int) -> None:
         """Note one ingested block."""
@@ -165,6 +192,10 @@ class MonitorState:
                 "workers": pool_status(),
                 "build": build_info(),
                 "timings": _timing_summaries(obs.get_tracer().metrics),
+                "alerting": self.alerts_fn() if self.alerts_fn else None,
+                "slo": self.slo_fn() if self.slo_fn else None,
+                "timeseries": self.timeseries_fn() if self.timeseries_fn else None,
+                "sparklines": self.sparklines_fn() if self.sparklines_fn else None,
             }
 
 
@@ -190,16 +221,40 @@ class _TelemetryHTTPServer(ThreadingHTTPServer):
     registry: MetricsRegistry
     status_fn: Callable[[], dict]
     ready_fn: Callable[[], bool]
+    store: TimeSeriesStore | None
+    alert_manager: AlertManager | None
 
 
 class _TelemetryHandler(BaseHTTPRequestHandler):
-    """Routes the four telemetry endpoints; logs through ``repro.serve``."""
+    """Routes the telemetry endpoints; logs through ``repro.serve``.
+
+    Every request bumps ``serve.http_requests_total`` and times itself
+    into ``serve.scrape_seconds``; 5xx responses additionally bump
+    ``serve.http_errors_total`` — the pair of counters the availability
+    SLO divides.
+    """
 
     server: _TelemetryHTTPServer
     protocol_version = "HTTP/1.1"
 
     def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
-        path = self.path.split("?", 1)[0]
+        registry = self.server.registry
+        start = time.perf_counter()
+        registry.counter(
+            "serve.http_requests_total",
+            help="Telemetry HTTP requests served (any status).",
+        ).inc()
+        try:
+            self._route()
+        finally:
+            registry.timing(
+                "serve.scrape_seconds",
+                help="Telemetry HTTP request handling latency.",
+            ).observe(time.perf_counter() - start)
+
+    def _route(self) -> None:
+        parsed = urlparse(self.path)
+        path = parsed.path
         if path == "/metrics":
             self._reply(200, render_prometheus(self.server.registry),
                         PROMETHEUS_CONTENT_TYPE)
@@ -213,10 +268,60 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         elif path == "/status":
             body = json.dumps(self.server.status_fn(), indent=2) + "\n"
             self._reply(200, body, "application/json; charset=utf-8")
+        elif path == "/api/v1/alerts":
+            self._reply_alerts()
+        elif path == "/api/v1/series" or path.startswith("/api/v1/series/"):
+            self._reply_series(path, parse_qs(parsed.query))
         else:
             self._reply(404, f"unknown path {path}\n", "text/plain; charset=utf-8")
 
+    def _reply_alerts(self) -> None:
+        manager = self.server.alert_manager
+        if manager is None:
+            self._reply(404, "alerting not enabled\n", "text/plain; charset=utf-8")
+            return
+        payload = manager.summary()
+        payload["history"] = manager.history()
+        self._reply_json(payload)
+
+    def _reply_series(self, path: str, query: dict) -> None:
+        store = self.server.store
+        if store is None:
+            self._reply(404, "timeseries not enabled\n", "text/plain; charset=utf-8")
+            return
+        name = path[len("/api/v1/series/"):] if path != "/api/v1/series" else ""
+        if not name:
+            self._reply_json({"series": store.series_names()})
+            return
+        params = {}
+        for key in ("start", "end", "step"):
+            raw = query.get(key, [None])[0]
+            if raw is None:
+                continue
+            try:
+                params[key] = float(raw)
+            except ValueError:
+                self._reply(400, f"bad {key}={raw!r}: not a number\n",
+                            "text/plain; charset=utf-8")
+                return
+        try:
+            result = store.query(name, **params)
+        except KeyError:
+            self._reply(404, f"unknown series {name!r}\n",
+                        "text/plain; charset=utf-8")
+            return
+        self._reply_json(result)
+
+    def _reply_json(self, payload: dict) -> None:
+        self._reply(200, json.dumps(payload, indent=2) + "\n",
+                    "application/json; charset=utf-8")
+
     def _reply(self, code: int, body: str, content_type: str) -> None:
+        if code >= 500:
+            self.server.registry.counter(
+                "serve.http_errors_total",
+                help="Telemetry HTTP responses with a 5xx status.",
+            ).inc()
         payload = body.encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", content_type)
@@ -245,6 +350,8 @@ class TelemetryServer:
         ready_fn: Callable[[], bool] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        store: TimeSeriesStore | None = None,
+        alert_manager: AlertManager | None = None,
     ) -> None:
         self._server = _TelemetryHTTPServer((host, port), _TelemetryHandler)
         self._server.registry = (
@@ -252,6 +359,8 @@ class TelemetryServer:
         )
         self._server.status_fn = status_fn or dict
         self._server.ready_fn = ready_fn or (lambda: True)
+        self._server.store = store
+        self._server.alert_manager = alert_manager
         self._thread: threading.Thread | None = None
 
     @property
@@ -296,6 +405,8 @@ class MonitorRun:
     latest: dict[str, float] = field(default_factory=dict)
     port: int | None = None
     restarts: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
 
 
 def run_monitor(
@@ -317,6 +428,13 @@ def run_monitor(
     restart_backoff: float = 0.05,
     injector: FaultInjector | None = None,
     quality: dict | None = None,
+    history: bool = True,
+    slos: Sequence[SLO] = (),
+    alert_sinks: Sequence[AlertSink] = (),
+    anomaly_metrics: Sequence[str] = (),
+    extra_alert_rules: Sequence = (),
+    alert_for: float = 0.0,
+    alert_keep_for: float = 0.0,
 ) -> MonitorRun:
     """Replay ``feed`` through a streaming monitor, optionally serving scrapes.
 
@@ -340,6 +458,23 @@ def run_monitor(
     (:meth:`~repro.resilience.faults.FaultInjector.mangle_feed`) and
     surfaces its fired-fault counts in ``/status``; ``quality`` attaches
     an upstream ingest data-quality report there too.
+
+    With ``history`` (the default) a :class:`~repro.obs.timeseries.TimeSeriesStore`
+    is attached to the registry for the duration of the run — every
+    instrument plus each streaming metric (as
+    ``monitor.metric.<chain>.<name>``) records history — and a stateful
+    :class:`~repro.obs.alerts.AlertManager` runs alongside the legacy
+    stateless rules: the same ``rules`` compile into lifecycle rules,
+    ``slos`` add burn-rate rules (:meth:`~repro.obs.slo.SLOEngine.rules`),
+    ``anomaly_metrics`` add EWMA z-score rules, ``extra_alert_rules``
+    attach pre-built :class:`~repro.obs.alerts.AlertRule` objects (the
+    CLI uses this for progress specs like ``lag_blocks``), and
+    ``alert_sinks`` receive every pending/firing/resolved transition (a
+    structured-log sink is always present).  ``alert_for``/``alert_keep_for`` set the
+    compiled threshold rules' fire/resolve dwell times.  The manager
+    evaluates once per window evaluation (plus once at feed end, with
+    lag settled) over the latest metric values extended with
+    ``lag_blocks`` and ``blocks_ingested``.
     """
     monitor = StreamingMonitor(window_size, stride, metrics=metrics)
     for rule in rules:
@@ -357,10 +492,58 @@ def run_monitor(
     alerts_total = 0
     supervisor: MonitorSupervisor | None = None
     server: TelemetryServer | None = None
+    store: TimeSeriesStore | None = None
+    manager: AlertManager | None = None
+    engine: SLOEngine | None = None
+    previous_history = registry.history
+    if history:
+        store = TimeSeriesStore()
+        registry.set_history(store)
+        manager = AlertManager(sinks=[LogSink(), *alert_sinks], registry=registry)
+        for alert_rule in rules_from_thresholds(
+            below=[(r.metric, r.below) for r in rules if r.below is not None],
+            above=[(r.metric, r.above) for r in rules if r.above is not None],
+            for_duration=alert_for,
+            keep_for=alert_keep_for,
+        ):
+            manager.add_rule(alert_rule)
+        for metric in anomaly_metrics:
+            manager.add_rule(anomaly_rule(f"anomaly:{metric}", metric))
+        for alert_rule in extra_alert_rules:
+            manager.add_rule(alert_rule)
+        if slos:
+            engine = SLOEngine(slos, store)
+            for alert_rule in engine.rules():
+                manager.add_rule(alert_rule)
+        state.alerts_fn = manager.summary
+        state.timeseries_fn = store.stats
+        state.sparklines_fn = lambda: {
+            name: store.tail_values(f"monitor.latest.{name}", 40)
+            for name in metrics
+        }
+        if engine is not None:
+            state.slo_fn = engine.summary
+    elif slos:
+        raise ResilienceError("SLO evaluation requires history=True")
+
+    def manager_values() -> dict[str, float]:
+        """Latest metrics extended with ingest progress, for alert rules."""
+        values = dict(monitor.latest())
+        values["blocks_ingested"] = float(monitor.blocks_seen)
+        if total_blocks is not None:
+            values["lag_blocks"] = float(total_blocks - monitor.blocks_seen)
+        return values
+
+    def run_alert_engine() -> None:
+        if manager is None:
+            return
+        for event in manager.evaluate(manager_values()):
+            print_fn(format_alert_event(event.as_dict()))
+
     if serve_port is not None:
         server = TelemetryServer(
             registry, status_fn=state.snapshot, ready_fn=state.is_ready,
-            port=serve_port,
+            port=serve_port, store=store, alert_manager=manager,
         )
         port = server.start()
         print_fn(f"serving telemetry on http://127.0.0.1:{port}")
@@ -389,7 +572,12 @@ def run_monitor(
                 latest = monitor.latest()
                 for name, value in latest.items():
                     registry.gauge(f"monitor.latest.{name}").set(value)
+                    if store is not None:
+                        store.record(
+                            f"monitor.metric.{chain}.{name}", value, kind="metric"
+                        )
                 state.record_evaluation(latest, len(alerts))
+                run_alert_engine()
             if alerts:
                 alerts_total += len(alerts)
                 registry.counter("monitor.alerts_total").inc(len(alerts))
@@ -412,11 +600,15 @@ def run_monitor(
             )
             supervisor.run()
         state.mark_finished()
+        # One settled pass so progress-based rules (e.g. lag_blocks) can
+        # resolve before the server lingers for its final scrapes.
+        run_alert_engine()
         if server is not None and linger != 0.0 and not stop_event.is_set():
             stop_event.wait(None if linger < 0 else linger)
     finally:
         if server is not None:
             server.stop()
+        registry.set_history(previous_history)
     if supervisor is not None and supervisor.exhausted:
         raise ResilienceError(
             f"monitor ingest crashed {supervisor.crashes} time(s); "
@@ -429,4 +621,6 @@ def run_monitor(
         latest=monitor.latest(),
         port=server.port if server is not None else None,
         restarts=supervisor.restarts if supervisor is not None else 0,
+        alerts_fired=manager.fired_total if manager is not None else 0,
+        alerts_resolved=manager.resolved_total if manager is not None else 0,
     )

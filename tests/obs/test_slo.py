@@ -1,0 +1,281 @@
+"""Tests for the SLO burn-rate engine (:mod:`repro.obs.slo`).
+
+Burn-rate math runs against a :class:`TimeSeriesStore` with injected
+clocks so every window boundary is exact; file loading covers JSON
+always and TOML when the interpreter ships ``tomllib``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.alerts import AlertManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    SLO,
+    BurnWindow,
+    SLOEngine,
+    _counter_delta,
+    load_slo_file,
+    parse_slo_config,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+NOW = 100_000.0
+
+
+def store_at(now=NOW):
+    return TimeSeriesStore(clock=lambda: now)
+
+
+class TestBurnWindow:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BurnWindow("bad", 0.0, 60.0, 1.0)
+        with pytest.raises(ValidationError):
+            BurnWindow("bad", 60.0, 60.0, 1.0)
+        with pytest.raises(ValidationError):
+            BurnWindow("bad", 60.0, 120.0, 0.0)
+
+    def test_defaults_are_the_sre_pairs(self):
+        fast, slow = DEFAULT_BURN_WINDOWS
+        assert (fast.short, fast.long, fast.factor) == (300.0, 3600.0, 14.4)
+        assert fast.severity == "page"
+        assert (slow.short, slow.long, slow.factor) == (21600.0, 259200.0, 1.0)
+
+
+class TestSLOValidation:
+    def test_bad_type_target_op(self):
+        with pytest.raises(ValidationError):
+            SLO("s", "nope", 0.99)
+        with pytest.raises(ValidationError):
+            SLO("s", "availability", 1.0)
+        with pytest.raises(ValidationError):
+            SLO("s", "metric", 0.99, series="m", op="~=")
+        with pytest.raises(ValidationError):
+            SLO("s", "metric", 0.99)  # metric needs a series
+        with pytest.raises(ValidationError):
+            SLO("s", "availability", 0.99, windows=())
+
+    def test_budget(self):
+        assert SLO("s", "availability", 0.99).budget == pytest.approx(0.01)
+
+
+class TestBadFraction:
+    def test_metric_counts_violations_of_good_condition(self):
+        store = store_at()
+        # 1 in 4 windows below the nakamoto floor.
+        for i, v in enumerate([4.0, 2.0, 4.0, 4.0]):
+            store.record("nakamoto", v, ts=NOW - 40 + i * 10)
+        slo = SLO("drift", "metric", 0.99, series="nakamoto", op=">=", value=3)
+        assert slo.bad_fraction(store, NOW - 60, NOW) == pytest.approx(0.25)
+
+    def test_latency_counts_slow_observations(self):
+        store = store_at()
+        for i, v in enumerate([0.1, 0.4, 0.1, 0.1]):
+            store.record("lat", v, ts=NOW - 40 + i * 10)
+        slo = SLO("lat", "latency", 0.99, series="lat", value=0.25)
+        assert slo.bad_fraction(store, NOW - 60, NOW) == pytest.approx(0.25)
+
+    def test_availability_uses_counter_deltas(self):
+        store = store_at()
+        # total: 100 -> 200 (delta 100); errors: 5 -> 10 (delta 5).
+        store.record("serve.http_requests_total", 100.0, ts=NOW - 50)
+        store.record("serve.http_requests_total", 200.0, ts=NOW - 10)
+        store.record("serve.http_errors_total", 5.0, ts=NOW - 50)
+        store.record("serve.http_errors_total", 10.0, ts=NOW - 10)
+        slo = SLO("avail", "availability", 0.99)
+        assert slo.bad_fraction(store, NOW - 60, NOW) == pytest.approx(0.05)
+
+    def test_no_data_is_none(self):
+        store = store_at()
+        slo = SLO("drift", "metric", 0.99, series="nakamoto", value=3)
+        assert slo.bad_fraction(store, NOW - 60, NOW) is None
+        assert SLO("a", "availability", 0.99).bad_fraction(store, NOW - 60, NOW) is None
+
+
+class TestCounterDelta:
+    def test_single_point_falls_back_to_pre_window_baseline(self):
+        store = store_at()
+        store.record("c", 40.0, ts=NOW - 500)  # before the window
+        store.record("c", 50.0, ts=NOW - 10)  # the only in-window sample
+        assert _counter_delta(store, "c", NOW - 60, NOW) == pytest.approx(10.0)
+
+    def test_single_point_without_history_counts_from_zero(self):
+        store = store_at()
+        store.record("c", 50.0, ts=NOW - 10)
+        assert _counter_delta(store, "c", NOW - 60, NOW) == pytest.approx(50.0)
+
+    def test_no_points_is_none(self):
+        assert _counter_delta(store_at(), "c", NOW - 60, NOW) is None
+
+
+def drift_slo(**kwargs):
+    defaults = dict(series="nakamoto", op=">=", value=3.0)
+    defaults.update(kwargs)
+    return SLO("drift", "metric", 0.99, **defaults)
+
+
+class TestSLOEngine:
+    def fill(self, store, bad_every=2, span=3600.0, step=30.0):
+        """Half (or 1/bad_every) of the points violate nakamoto >= 3."""
+        t = NOW - span
+        i = 0
+        while t <= NOW:
+            store.record("nakamoto", 2.0 if i % bad_every == 0 else 4.0, ts=t)
+            t += step
+            i += 1
+
+    def test_sustained_breach_trips_both_fast_windows(self):
+        store = store_at()
+        self.fill(store)  # 50% bad for the last hour -> burn 50x budget
+        engine = SLOEngine([drift_slo()], store, clock=lambda: NOW)
+        status = engine.evaluate()[0]
+        assert status["breached"] is True
+        fast = status["windows"][0]
+        assert fast["breached"] is True
+        assert fast["short_burn"] == pytest.approx(50.0, rel=0.1)
+        assert fast["long_burn"] == pytest.approx(50.0, rel=0.1)
+
+    def test_short_blip_does_not_breach_long_window(self):
+        store = store_at()
+        # A two-point blip in an otherwise healthy hour: the 5m window
+        # burns hot but the 1h window stays under 14.4x, so no breach.
+        t = NOW - 3600.0
+        while t <= NOW:
+            store.record("nakamoto", 4.0, ts=t)
+            t += 30.0
+        store.record("nakamoto", 2.0, ts=NOW - 60.0)
+        store.record("nakamoto", 2.0, ts=NOW - 45.0)
+        engine = SLOEngine([drift_slo()], store, clock=lambda: NOW)
+        fast = engine.evaluate()[0]["windows"][0]
+        assert fast["short_burn"] > 14.4
+        assert fast["long_burn"] < 14.4
+        assert fast["breached"] is False
+
+    def test_no_data_burns_are_none_not_breached(self):
+        engine = SLOEngine([drift_slo()], store_at(), clock=lambda: NOW)
+        fast = engine.evaluate()[0]["windows"][0]
+        assert fast["short_burn"] is None
+        assert fast["long_burn"] is None
+        assert fast["breached"] is False
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            SLOEngine([drift_slo(), drift_slo()], store_at())
+
+    def test_rules_fire_through_alert_manager(self):
+        store = store_at()
+        self.fill(store)
+        engine = SLOEngine([drift_slo()], store, clock=lambda: NOW)
+        manager = AlertManager(clock=lambda: NOW, registry=MetricsRegistry())
+        for rule in engine.rules():
+            manager.add_rule(rule)
+        events = manager.evaluate({})
+        names = {e.rule for e in events if e.state == "firing"}
+        assert "slo:drift:fast" in names
+        active = {a["rule"]: a for a in manager.active()}
+        assert active["slo:drift:fast"]["labels"]["slo"] == "drift"
+        # The reported value is the worse burn rate.
+        assert active["slo:drift:fast"]["value"] == pytest.approx(50.0, rel=0.1)
+
+    def test_summary_names_breached_objectives(self):
+        store = store_at()
+        self.fill(store)
+        engine = SLOEngine([drift_slo()], store, clock=lambda: NOW)
+        summary = engine.summary()
+        assert summary["objectives"] == 1
+        assert summary["breached"] == ["drift"]
+
+
+SAMPLE_CONFIG = {
+    "slo": [
+        {
+            "name": "drift",
+            "type": "metric",
+            "target": 0.99,
+            "series": "nakamoto",
+            "op": ">=",
+            "value": 3,
+        },
+        {"name": "avail", "type": "availability", "target": 0.999},
+    ]
+}
+
+
+class TestParseConfig:
+    def test_parses_mapping_and_list_forms(self):
+        slos = parse_slo_config(SAMPLE_CONFIG)
+        assert [s.name for s in slos] == ["drift", "avail"]
+        assert slos[0].value == 3.0
+        assert slos[1].windows == DEFAULT_BURN_WINDOWS
+        assert parse_slo_config(SAMPLE_CONFIG["slo"])[0].name == "drift"
+
+    def test_custom_windows(self):
+        entry = dict(SAMPLE_CONFIG["slo"][0])
+        entry["windows"] = [
+            {"label": "quick", "short": 60, "long": 600, "factor": 10,
+             "severity": "page"}
+        ]
+        (slo,) = parse_slo_config([entry])
+        assert slo.windows[0].label == "quick"
+        assert slo.windows[0].factor == 10.0
+
+    def test_rejections(self):
+        with pytest.raises(ValidationError, match="top-level 'slo'"):
+            parse_slo_config({"wrong": []})
+        with pytest.raises(ValidationError, match="at least one"):
+            parse_slo_config([])
+        with pytest.raises(ValidationError, match="unknown keys"):
+            parse_slo_config([{"name": "x", "type": "metric", "target": 0.9,
+                              "series": "m", "typo": 1}])
+        with pytest.raises(ValidationError, match="missing required"):
+            parse_slo_config([{"name": "x", "type": "metric"}])
+        with pytest.raises(ValidationError, match="non-numeric"):
+            parse_slo_config([{"name": "x", "type": "metric", "target": "lots",
+                              "series": "m"}])
+        with pytest.raises(ValidationError, match="duplicate"):
+            parse_slo_config([
+                {"name": "x", "type": "availability", "target": 0.9},
+                {"name": "x", "type": "availability", "target": 0.99},
+            ])
+        with pytest.raises(ValidationError, match="bad window pair"):
+            parse_slo_config([{"name": "x", "type": "availability",
+                              "target": 0.9, "windows": [{"short": 60}]}])
+
+
+class TestLoadFile:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(SAMPLE_CONFIG))
+        assert [s.name for s in load_slo_file(str(path))] == ["drift", "avail"]
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            load_slo_file(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_slo_file(str(tmp_path / "absent.json"))
+
+    def test_toml_when_available(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            '[[slo]]\nname = "drift"\ntype = "metric"\ntarget = 0.99\n'
+            'series = "nakamoto"\nop = ">="\nvalue = 3\n'
+        )
+        (slo,) = load_slo_file(str(path))
+        assert slo.name == "drift"
+        assert slo.op == ">="
+
+    def test_invalid_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "slo.toml"
+        path.write_text("= broken")
+        with pytest.raises(ValidationError, match="invalid TOML"):
+            load_slo_file(str(path))

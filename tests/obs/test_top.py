@@ -146,21 +146,65 @@ class TestRunTop:
         assert code == 0
         assert len(frames) == 2
 
-    def test_first_poll_failure_exits_1(self):
+    def test_first_poll_failure_exits_1_and_names_url(self):
         code, frames = self._drive(
             [ObservabilityError("cannot reach it")], iterations=1
         )
         assert code == 1
         assert frames and frames[0].startswith("error:")
+        assert "http://x/status" in frames[0]
 
-    def test_transient_failure_after_first_frame_retries(self):
+    def test_bounded_run_fails_fast_on_any_poll_failure(self):
+        # With --iterations set (scripted/CI usage) a dead server after
+        # the first frame must exit 1 and name the target URL, not retry
+        # forever past the iteration budget.
         code, frames = self._drive(
             [dict(FULL_STATUS), ObservabilityError("hiccup"), dict(FULL_STATUS)],
             iterations=2,
         )
+        assert code == 1
+        assert len(frames) == 2  # frame, then the fatal error line
+        assert frames[1].startswith("error:")
+        assert "http://x/status" in frames[1]
+
+    def test_unbounded_run_retries_transient_failure_after_first_frame(self):
+        # Interactive mode (no --iterations) keeps polling through
+        # transient failures once a frame has rendered.
+        frames: list[str] = []
+        feed = iter(
+            [dict(FULL_STATUS), ObservabilityError("hiccup"), dict(FULL_STATUS)]
+        )
+
+        def fake_fetch(url, timeout=2.0):
+            item = next(feed)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        stop_after = {"polls": 0}
+
+        def sleepy(_):
+            stop_after["polls"] += 1
+            if stop_after["polls"] >= 3:
+                raise KeyboardInterrupt
+
+        import repro.obs.top as top_mod
+
+        original = top_mod.fetch_status
+        top_mod.fetch_status = fake_fetch
+        try:
+            code = run_top(
+                "http://x/status",
+                interval=0.1,
+                print_fn=frames.append,
+                clear=False,
+                sleep_fn=sleepy,
+            )
+        finally:
+            top_mod.fetch_status = original
         assert code == 0
-        assert len(frames) == 3  # frame, retry note, frame
-        assert "retrying" in frames[1]
+        assert sum("retrying" in f for f in frames) == 1
+        assert sum("repro top" in f for f in frames) == 2
 
     def test_keyboard_interrupt_during_sleep_exits_0(self):
         def sleepy(_):

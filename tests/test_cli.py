@@ -638,3 +638,120 @@ class TestTopCommand:
         out = capsys.readouterr().out
         assert "repro top — chain=bitcoin" in out
         assert "[ready]" in out
+
+
+class TestMonitorAlertingFlags:
+    def test_lag_alert_fires_and_resolves_via_jsonl_log(self, tmp_path, capsys):
+        log = tmp_path / "alerts.jsonl"
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--window", "144",
+             "--blocks", "500", "--alert-above", "lag_blocks=100",
+             "--alert-log", str(log)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 fired/1 resolved" in out
+        assert "FIRING   lag_blocks-above-100" in out
+        events = [json.loads(l) for l in log.read_text().splitlines()]
+        assert [e["state"] for e in events] == ["firing", "resolved"]
+
+    def test_slo_file_drives_burn_rate_rules(self, tmp_path, capsys):
+        slo_file = tmp_path / "slo.json"
+        slo_file.write_text(json.dumps({
+            "slo": [{"name": "drift", "type": "metric", "target": 0.99,
+                     "series": "monitor.latest.nakamoto", "op": ">=",
+                     "value": 1.0}]
+        }))
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--window", "144",
+             "--blocks", "500", "--slo", str(slo_file)]
+        )
+        assert code == 0
+        assert "monitored 500 blocks" in capsys.readouterr().out
+
+    def test_bad_slo_file_exits_2(self, tmp_path, capsys):
+        slo_file = tmp_path / "slo.json"
+        slo_file.write_text("{broken")
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--blocks", "500",
+             "--slo", str(slo_file)]
+        )
+        assert code == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_missing_slo_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--blocks", "500",
+             "--slo", str(tmp_path / "absent.toml")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_anomaly_metric_exits_2(self, capsys):
+        code = main(
+            ["monitor", "--chain", "bitcoin", "--blocks", "500",
+             "--anomaly", "bogus"]
+        )
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestAlertsCommand:
+    def _write_log(self, path):
+        events = [
+            {"ts": 10.0, "rule": "lag-high", "state": "firing",
+             "value": 42.0, "severity": "warning",
+             "message": "lag_blocks=42.0000 (above 5)", "labels": {}},
+            {"ts": 20.0, "rule": "lag-high", "state": "resolved",
+             "value": 0.0, "severity": "warning",
+             "message": "lag_blocks=0.0000 (above 5)", "labels": {}},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+    def test_tails_existing_log(self, tmp_path, capsys):
+        log = tmp_path / "alerts.jsonl"
+        self._write_log(log)
+        code = main(["alerts", str(log)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIRING   lag-high" in out
+        assert "RESOLVED lag-high" in out
+
+    def test_lines_limits_initial_batch(self, tmp_path, capsys):
+        log = tmp_path / "alerts.jsonl"
+        self._write_log(log)
+        code = main(["alerts", str(log), "--lines", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIRING" not in out
+        assert "RESOLVED lag-high" in out
+
+    def test_missing_file_exits_1(self, tmp_path, capsys):
+        code = main(["alerts", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_negative_lines_exits_2(self, tmp_path, capsys):
+        log = tmp_path / "alerts.jsonl"
+        self._write_log(log)
+        code = main(["alerts", str(log), "--lines", "-1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_nonpositive_interval_exits_2(self, tmp_path, capsys):
+        log = tmp_path / "alerts.jsonl"
+        self._write_log(log)
+        code = main(["alerts", str(log), "--interval", "0"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_lines_are_skipped_with_a_note(self, tmp_path, capsys):
+        log = tmp_path / "alerts.jsonl"
+        self._write_log(log)
+        with log.open("a") as fh:
+            fh.write("not json\n")
+        code = main(["alerts", str(log)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "RESOLVED lag-high" in captured.out
+        assert "skipped 1 malformed" in captured.err

@@ -6,8 +6,12 @@ import pytest
 
 import repro.chain.tags
 import repro.metrics.entropy
+import repro.obs.alerts
 import repro.obs.metrics
 import repro.obs.prometheus
+import repro.obs.slo
+import repro.obs.timeseries
+import repro.obs.top
 import repro.metrics.gini
 import repro.metrics.hhi
 import repro.metrics.nakamoto
@@ -20,8 +24,12 @@ import repro.windows.sliding
 MODULES = [
     repro.chain.tags,
     repro.metrics.entropy,
+    repro.obs.alerts,
     repro.obs.metrics,
     repro.obs.prometheus,
+    repro.obs.slo,
+    repro.obs.timeseries,
+    repro.obs.top,
     repro.metrics.gini,
     repro.metrics.hhi,
     repro.metrics.nakamoto,

@@ -416,3 +416,218 @@ class TestSigtermFlushesTrace:
         summary = validate_trace_file(str(trace_path))
         assert summary["format"] == "jsonl"
         assert summary["n_spans"] >= 1
+
+
+class TestSeriesAndAlertEndpoints:
+    def _server(self):
+        from repro.obs.alerts import AlertManager, AlertRule
+        from repro.obs.timeseries import TimeSeriesStore
+
+        store = TimeSeriesStore(clock=lambda: 1000.0)
+        for i in range(10):
+            store.record("gini", 0.5 + i * 0.01, ts=900.0 + i * 10)
+        manager = AlertManager(clock=lambda: 1000.0, registry=MetricsRegistry())
+        manager.add_rule(AlertRule("gini-high", metric="gini", above=0.5))
+        manager.evaluate({"gini": 0.9})
+        return TelemetryServer(
+            MetricsRegistry(), store=store, alert_manager=manager
+        )
+
+    def test_series_index_lists_names(self):
+        with self._server() as server:
+            status, ctype, body = http_get(server.port, "/api/v1/series")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        assert json.loads(body)["series"] == ["gini"]
+
+    def test_series_query_with_window_and_step(self):
+        with self._server() as server:
+            status, _, body = http_get(
+                server.port, "/api/v1/series/gini?start=920&end=950&step=1"
+            )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["name"] == "gini"
+        assert [p["ts"] for p in payload["points"]] == [920.0, 930.0, 940.0, 950.0]
+
+    def test_series_rollup_step_selects_level(self):
+        with self._server() as server:
+            status, _, body = http_get(server.port, "/api/v1/series/gini?step=60")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["step"] == 60.0
+        assert sum(p["count"] for p in payload["points"]) == 10
+
+    def test_unknown_series_is_404(self):
+        with self._server() as server:
+            status, _, body = http_get(server.port, "/api/v1/series/nope")
+        assert status == 404
+        assert "unknown series" in body
+
+    def test_bad_query_param_is_400(self):
+        with self._server() as server:
+            status, _, body = http_get(
+                server.port, "/api/v1/series/gini?start=banana"
+            )
+        assert status == 400
+        assert "banana" in body
+
+    def test_alerts_endpoint_reports_active_and_history(self):
+        with self._server() as server:
+            status, ctype, body = http_get(server.port, "/api/v1/alerts")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["firing"] == 1
+        assert payload["active"][0]["rule"] == "gini-high"
+        assert [e["state"] for e in payload["history"]] == ["firing"]
+
+    def test_endpoints_404_when_not_enabled(self):
+        with TelemetryServer(MetricsRegistry()) as server:
+            series_status, _, series_body = http_get(
+                server.port, "/api/v1/series"
+            )
+            alerts_status, _, alerts_body = http_get(
+                server.port, "/api/v1/alerts"
+            )
+        assert series_status == 404 and "not enabled" in series_body
+        assert alerts_status == 404 and "not enabled" in alerts_body
+
+
+class TestConcurrentScrapesDuringAlertTransition:
+    def test_status_and_metrics_stay_consistent_while_alert_resolves(
+        self, tmp_path
+    ):
+        """Satellite (d): hammer /status and /metrics from several threads
+        while a lag alert goes firing -> resolved; every scrape must be a
+        well-formed 200 and the final alert history must show exactly one
+        firing and one resolved transition."""
+        from repro.obs.alerts import AlertRule
+
+        total = 60
+        gate = threading.Event()
+        stop = threading.Event()
+        port_file = tmp_path / "port"
+        results = []
+
+        def gated_feed():
+            for i in range(30):
+                yield [f"pool-{i % 4}"]
+            assert gate.wait(timeout=30.0)
+            for i in range(30):
+                yield [f"pool-{i % 4}"]
+
+        def run():
+            results.append(
+                run_monitor(
+                    gated_feed(),
+                    window_size=10,
+                    stride=5,
+                    chain="transition",
+                    total_blocks=total,
+                    serve_port=0,
+                    linger=-1.0,
+                    port_file=str(port_file),
+                    stop_event=stop,
+                    extra_alert_rules=[
+                        AlertRule("lag-high", metric="lag_blocks", above=5.0)
+                    ],
+                    print_fn=lambda _line: None,
+                )
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        scrape_errors: list[str] = []
+        scrapers_stop = threading.Event()
+
+        def scraper(path):
+            while not scrapers_stop.is_set():
+                status, _, body = http_get(port, path, timeout=5.0)
+                if status != 200:
+                    scrape_errors.append(f"{path} -> {status}")
+                elif path == "/status":
+                    try:
+                        json.loads(body)
+                    except json.JSONDecodeError as exc:
+                        scrape_errors.append(f"{path} bad json: {exc}")
+                elif "repro_build_info" not in body:
+                    scrape_errors.append(f"{path} truncated body")
+
+        scrapers = []
+        try:
+            assert wait_until(port_file.exists), "port file never appeared"
+            port = int(port_file.read_text().strip())
+            # The first half of the feed leaves lag at 30 > 5: firing.
+            assert wait_until(
+                lambda: json.loads(http_get(port, "/api/v1/alerts")[2])[
+                    "firing"
+                ] == 1
+            )
+            for path in ("/status", "/metrics", "/status", "/metrics"):
+                t = threading.Thread(target=scraper, args=(path,), daemon=True)
+                t.start()
+                scrapers.append(t)
+            gate.set()  # drain the feed; the settled pass resolves the alert
+            assert wait_until(
+                lambda: json.loads(http_get(port, "/api/v1/alerts")[2])[
+                    "resolved_total"
+                ] == 1
+            )
+            payload = json.loads(http_get(port, "/api/v1/alerts")[2])
+        finally:
+            scrapers_stop.set()
+            for t in scrapers:
+                t.join(timeout=10.0)
+            gate.set()
+            stop.set()
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert scrape_errors == []
+        (result,) = results
+        assert result.blocks == total
+        assert result.alerts_fired == 1
+        assert result.alerts_resolved == 1
+        states = [e["state"] for e in payload["history"] if e["rule"] == "lag-high"]
+        assert states == ["firing", "resolved"]
+        assert payload["active"] == []
+
+    def test_monitor_status_exposes_sparklines_and_slo(self):
+        from repro.obs.slo import SLO
+
+        result = run_monitor(
+            synthetic_feed(60),
+            window_size=10,
+            stride=5,
+            chain="synthetic",
+            total_blocks=60,
+            serve_port=0,
+            linger=0.0,
+            slos=[SLO("drift", "metric", 0.99, series="monitor.latest.nakamoto",
+                      op=">=", value=1.0)],
+            print_fn=lambda _line: None,
+        )
+        assert result.blocks == 60
+
+    def test_slos_without_history_rejected(self):
+        from repro.obs.slo import SLO
+
+        with pytest.raises(ResilienceError, match="history"):
+            run_monitor(
+                synthetic_feed(20),
+                window_size=10,
+                stride=5,
+                history=False,
+                slos=[SLO("a", "availability", 0.99)],
+                print_fn=lambda _line: None,
+            )
+
+    def test_history_disabled_leaves_registry_free(self):
+        run_monitor(
+            synthetic_feed(20),
+            window_size=10,
+            stride=5,
+            history=False,
+            print_fn=lambda _line: None,
+        )
+        assert obs.get_tracer().metrics.history is None
