@@ -12,7 +12,7 @@ bench:
 bench-perf:
 	pytest benchmarks/bench_perf_pipeline.py benchmarks/bench_perf_parallel.py \
 		benchmarks/bench_perf_sql.py benchmarks/bench_perf_profile.py \
-		benchmarks/bench_perf_timeseries.py \
+		benchmarks/bench_perf_timeseries.py benchmarks/bench_perf_serve.py \
 		--benchmark-only --benchmark-json=BENCH_pipeline.json
 
 bench-parallel:

@@ -79,6 +79,10 @@ class ParallelError(ReproError):
     """The sharded execution layer was misconfigured or a worker failed."""
 
 
+class ServeError(ReproError):
+    """The telemetry server was misused (double start, serve after close)."""
+
+
 class ResilienceError(ReproError):
     """Base class for errors raised by the resilience subsystem."""
 

@@ -23,6 +23,7 @@ call — the disabled path costs one ``is None`` check (budgeted in
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
@@ -156,9 +157,16 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive failures open the circuit; while
     open, :meth:`allow` returns False until ``reset_timeout`` seconds pass
-    on the injected clock, after which one probe call is let through
-    (half-open).  A probe success closes the circuit, a probe failure
-    re-opens it and restarts the cool-down.
+    on the injected clock, after which exactly one probe call is let
+    through (half-open).  A probe success closes the circuit, a probe
+    failure re-opens it and restarts the cool-down.
+
+    All state transitions take an internal lock: the breaker was built
+    for the single-threaded ingest path but is now shared across
+    ``ThreadingHTTPServer`` handler threads (the overload layer in
+    :mod:`repro.serve.overload` uses one as its degrade trigger), so
+    concurrent ``record_failure``/``record_success``/``allow`` calls must
+    neither corrupt the failure run nor admit two half-open probes.
     """
 
     CLOSED = "closed"
@@ -184,48 +192,88 @@ class CircuitBreaker:
         self.reset_timeout = reset_timeout
         self.name = name
         self._clock = clock or _REAL_CLOCK
+        self._lock = threading.RLock()
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._probe_started = 0.0
         self.open_count = 0
 
-    @property
-    def state(self) -> str:
-        """Current state, resolving an elapsed cool-down to half-open."""
+    def _resolve_state(self) -> str:
+        """Transition an elapsed cool-down to half-open (lock held)."""
         if (
             self._state == self.OPEN
             and self._clock.monotonic() - self._opened_at >= self.reset_timeout
         ):
             self._state = self.HALF_OPEN
+            self._probe_in_flight = False
         return self._state
 
+    @property
+    def state(self) -> str:
+        """Current state, resolving an elapsed cool-down to half-open."""
+        with self._lock:
+            return self._resolve_state()
+
+    @property
+    def failure_count(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        with self._lock:
+            return self._consecutive_failures
+
     def allow(self) -> bool:
-        """Whether a call may proceed right now."""
-        return self.state != self.OPEN
+        """Whether a call may proceed right now.
+
+        In half-open, only the first caller is admitted (the probe);
+        concurrent callers see ``False`` until the probe resolves via
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._resolve_state()
+            if state == self.OPEN:
+                return False
+            if state == self.HALF_OPEN:
+                stale_probe = (
+                    self._clock.monotonic() - self._probe_started
+                    >= self.reset_timeout
+                )
+                if self._probe_in_flight and not stale_probe:
+                    return False
+                # Claim the probe slot (reclaiming one whose caller never
+                # reported back after a full cool-down).
+                self._probe_in_flight = True
+                self._probe_started = self._clock.monotonic()
+            return True
 
     def record_success(self) -> None:
         """A call succeeded: close the circuit and clear the failure run."""
-        self._consecutive_failures = 0
-        self._state = self.CLOSED
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = self.CLOSED
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
         """A call failed: trip the circuit at the threshold (or on a probe)."""
-        self._consecutive_failures += 1
-        if (
-            self._state == self.HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            if self._state != self.OPEN:
-                self.open_count += 1
-                obs.get_tracer().metrics.counter(
-                    "resilience.breaker.open_total"
-                ).inc()
-                logger.warning(
-                    "circuit %r opened after %d consecutive failures",
-                    self.name, self._consecutive_failures,
-                )
-            self._state = self.OPEN
-            self._opened_at = self._clock.monotonic()
+        with self._lock:
+            self._resolve_state()
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if (
+                self._state == self.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != self.OPEN:
+                    self.open_count += 1
+                    obs.get_tracer().metrics.counter(
+                        "resilience.breaker.open_total"
+                    ).inc()
+                    logger.warning(
+                        "circuit %r opened after %d consecutive failures",
+                        self.name, self._consecutive_failures,
+                    )
+                self._state = self.OPEN
+                self._opened_at = self._clock.monotonic()
 
 
 def retry_call(

@@ -1,0 +1,336 @@
+"""Drive a streaming monitor over a block feed while serving telemetry.
+
+:func:`run_monitor` is the operational entry point behind
+``repro monitor``: it replays a feed through a
+:class:`~repro.core.streaming.StreamingMonitor`, optionally behind a
+bounded :class:`~repro.serve.ingest.IngestQueue` (backpressure between
+the feed and the monitor), while a :class:`~repro.serve.http.TelemetryServer`
+— optionally wrapped in an :class:`~repro.serve.overload.OverloadGuard`
+— answers scrapes concurrently.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro import obs
+from repro.core.streaming import StreamingMonitor, ThresholdRule
+from repro.errors import ResilienceError
+from repro.obs.alerts import (
+    AlertManager,
+    AlertSink,
+    LogSink,
+    anomaly_rule,
+    format_alert_event,
+    rules_from_thresholds,
+)
+from repro.obs.slo import SLO, SLOEngine
+from repro.obs.timeseries import TimeSeriesStore
+from repro.resilience.faults import FaultInjector
+from repro.resilience.supervisor import MonitorSupervisor
+from repro.serve.http import TelemetryServer
+from repro.serve.ingest import IngestQueue
+from repro.serve.overload import OverloadConfig, OverloadGuard
+from repro.serve.state import MonitorState
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class MonitorRun:
+    """What :func:`run_monitor` did, for the CLI summary."""
+
+    blocks: int
+    evaluations: int
+    alerts: int
+    latest: dict[str, float] = field(default_factory=dict)
+    port: int | None = None
+    restarts: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    ingest_dropped: int = 0
+
+
+def run_monitor(
+    feed: Iterable[Sequence[str]],
+    window_size: int,
+    stride: int | None = None,
+    *,
+    chain: str = "unknown",
+    rules: Sequence[ThresholdRule] = (),
+    metrics: Sequence[str] = ("gini", "entropy", "nakamoto"),
+    total_blocks: int | None = None,
+    serve_port: int | None = None,
+    throttle: float = 0.0,
+    linger: float = 0.0,
+    port_file: str | None = None,
+    stop_event: threading.Event | None = None,
+    print_fn: Callable[[str], None] = print,
+    max_restarts: int | None = None,
+    restart_backoff: float = 0.05,
+    injector: FaultInjector | None = None,
+    quality: dict | None = None,
+    history: bool = True,
+    slos: Sequence[SLO] = (),
+    alert_sinks: Sequence[AlertSink] = (),
+    anomaly_metrics: Sequence[str] = (),
+    extra_alert_rules: Sequence = (),
+    alert_for: float = 0.0,
+    alert_keep_for: float = 0.0,
+    overload: OverloadGuard | OverloadConfig | None = None,
+    ingest_queue: int | None = None,
+    ingest_policy: str = "block",
+) -> MonitorRun:
+    """Replay ``feed`` through a streaming monitor, optionally serving scrapes.
+
+    ``feed`` yields one block's producer names at a time.  With
+    ``serve_port`` (0 = ephemeral) a :class:`TelemetryServer` answers
+    ``/metrics``, ``/healthz``, ``/readyz`` and ``/status`` concurrently;
+    ``port_file`` gets the bound port written to it for scripted scrapers.
+    ``throttle`` sleeps that many seconds between blocks, ``linger`` keeps
+    the server up that long after the feed ends (interrupted by
+    ``stop_event``), and ``stop_event`` aborts ingestion between blocks —
+    the CLI sets it from SIGINT/SIGTERM.
+
+    With ``max_restarts`` the ingest loop runs under a
+    :class:`~repro.resilience.supervisor.MonitorSupervisor`: a crash
+    (e.g. a malformed block with no producers) flips ``/readyz`` to 503,
+    the loop restarts after ``restart_backoff`` seconds on the *shared*
+    feed iterator (the poison block is not replayed), and the next
+    completed evaluation flips readiness back to 200.  Exhausting the
+    restart budget raises :class:`~repro.errors.ResilienceError` after
+    the server is torn down.  ``injector`` mangles the feed
+    (:meth:`~repro.resilience.faults.FaultInjector.mangle_feed`) and
+    surfaces its fired-fault counts in ``/status``; ``quality`` attaches
+    an upstream ingest data-quality report there too.
+
+    With ``history`` (the default) a :class:`~repro.obs.timeseries.TimeSeriesStore`
+    is attached to the registry for the duration of the run — every
+    instrument plus each streaming metric (as
+    ``monitor.metric.<chain>.<name>``) records history — and a stateful
+    :class:`~repro.obs.alerts.AlertManager` runs alongside the legacy
+    stateless rules: the same ``rules`` compile into lifecycle rules,
+    ``slos`` add burn-rate rules (:meth:`~repro.obs.slo.SLOEngine.rules`),
+    ``anomaly_metrics`` add EWMA z-score rules, ``extra_alert_rules``
+    attach pre-built :class:`~repro.obs.alerts.AlertRule` objects (the
+    CLI uses this for progress specs like ``lag_blocks``), and
+    ``alert_sinks`` receive every pending/firing/resolved transition (a
+    structured-log sink is always present).  ``alert_for``/``alert_keep_for`` set the
+    compiled threshold rules' fire/resolve dwell times.  The manager
+    evaluates once per window evaluation (plus once at feed end, with
+    lag settled) over the latest metric values extended with
+    ``lag_blocks`` and ``blocks_ingested``.
+
+    ``overload`` attaches the admission/rate-limit/shedding layer to the
+    telemetry server (an :class:`~repro.serve.overload.OverloadConfig` is
+    wired to the monitor's degraded state automatically).  With
+    ``ingest_queue`` the feed is decoupled from the monitor by a bounded
+    :class:`~repro.serve.ingest.IngestQueue` of that depth: a feeder
+    thread pumps blocks in under ``ingest_policy`` (``block`` |
+    ``drop-oldest`` | ``shed``) while the ingest loop consumes — queue
+    depth and drop counts surface in ``/metrics`` and ``/status``.
+    """
+    monitor = StreamingMonitor(window_size, stride, metrics=metrics)
+    for rule in rules:
+        monitor.add_rule(rule)
+    state = MonitorState(chain, monitor.window_size, monitor.stride, total_blocks)
+    state.max_restarts = max_restarts
+    if quality is not None:
+        state.set_quality(quality)
+    if injector is not None:
+        feed = injector.mangle_feed(feed)
+        state.faults_fn = lambda: dict(injector.fired)
+    feed_iter = iter(feed)
+    stop_event = stop_event or threading.Event()
+    registry = obs.get_tracer().metrics
+    alerts_total = 0
+    supervisor: MonitorSupervisor | None = None
+    server: TelemetryServer | None = None
+    store: TimeSeriesStore | None = None
+    manager: AlertManager | None = None
+    engine: SLOEngine | None = None
+    previous_history = registry.history
+    if history:
+        store = TimeSeriesStore()
+        registry.set_history(store)
+        manager = AlertManager(sinks=[LogSink(), *alert_sinks], registry=registry)
+        for alert_rule in rules_from_thresholds(
+            below=[(r.metric, r.below) for r in rules if r.below is not None],
+            above=[(r.metric, r.above) for r in rules if r.above is not None],
+            for_duration=alert_for,
+            keep_for=alert_keep_for,
+        ):
+            manager.add_rule(alert_rule)
+        for metric in anomaly_metrics:
+            manager.add_rule(anomaly_rule(f"anomaly:{metric}", metric))
+        for alert_rule in extra_alert_rules:
+            manager.add_rule(alert_rule)
+        if slos:
+            engine = SLOEngine(slos, store)
+            for alert_rule in engine.rules():
+                manager.add_rule(alert_rule)
+        state.alerts_fn = manager.summary
+        state.timeseries_fn = store.stats
+        state.sparklines_fn = lambda: {
+            name: store.tail_values(f"monitor.latest.{name}", 40)
+            for name in metrics
+        }
+        if engine is not None:
+            state.slo_fn = engine.summary
+    elif slos:
+        raise ResilienceError("SLO evaluation requires history=True")
+
+    if isinstance(overload, OverloadConfig):
+        overload = OverloadGuard(
+            overload, registry=registry, degraded_fn=state.is_degraded
+        )
+    if overload is not None:
+        state.overload_fn = overload.snapshot
+
+    queue: IngestQueue | None = None
+    feeder: threading.Thread | None = None
+    if ingest_queue is not None:
+        queue = IngestQueue(
+            ingest_queue,
+            policy=ingest_policy,
+            registry=registry,
+            should_abort=stop_event.is_set,
+        )
+        state.ingest_fn = queue.stats
+
+    def manager_values() -> dict[str, float]:
+        """Latest metrics extended with ingest progress, for alert rules."""
+        values = dict(monitor.latest())
+        values["blocks_ingested"] = float(monitor.blocks_seen)
+        if total_blocks is not None:
+            values["lag_blocks"] = float(total_blocks - monitor.blocks_seen)
+        return values
+
+    def run_alert_engine() -> None:
+        if manager is None:
+            return
+        for event in manager.evaluate(manager_values()):
+            print_fn(format_alert_event(event.as_dict()))
+
+    if serve_port is not None:
+        server = TelemetryServer(
+            registry, status_fn=state.snapshot, ready_fn=state.is_ready,
+            port=serve_port, store=store, alert_manager=manager,
+            overload=overload,
+        )
+        port = server.start()
+        print_fn(f"serving telemetry on http://127.0.0.1:{port}")
+        if port_file:
+            with open(port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{port}\n")
+    blocks_gauge = registry.gauge("monitor.blocks_ingested")
+    lag_gauge = registry.gauge("monitor.lag_blocks")
+    push_timing = registry.timing("monitor.push_seconds")
+
+    #: The ingest loop's source: the queue when backpressure is on (the
+    #: feeder thread pumps into it), else the shared feed iterator.  Both
+    #: survive supervisor restarts — iteration resumes, never replays.
+    source: Iterable = queue if queue is not None else feed_iter
+
+    def feed_pump() -> None:
+        """Producer side of the backpressure queue (its own thread).
+
+        ``throttle`` simulates a live feed, so with a queue it paces the
+        *producer* — the consumer drains at full speed and the queue
+        absorbs (or sheds) the mismatch.
+        """
+        assert queue is not None
+        try:
+            for item in feed_iter:
+                if stop_event.is_set():
+                    break
+                queue.put(item)
+                if throttle > 0.0:
+                    stop_event.wait(throttle)
+        finally:
+            queue.close()
+
+    def ingest() -> None:
+        """One incarnation of the ingest loop over the shared source."""
+        nonlocal alerts_total
+        for producers in source:
+            if stop_event.is_set():
+                logger.info("monitor stopping early at block %d", monitor.blocks_seen)
+                return
+            start = time.perf_counter()
+            alerts = monitor.push(producers)
+            push_timing.observe(time.perf_counter() - start)
+            blocks_gauge.set(monitor.blocks_seen)
+            state.record_push(monitor.blocks_seen)
+            if total_blocks is not None:
+                lag_gauge.set(total_blocks - monitor.blocks_seen)
+            if monitor.evaluations > state.evaluations:
+                latest = monitor.latest()
+                for name, value in latest.items():
+                    registry.gauge(f"monitor.latest.{name}").set(value)
+                    if store is not None:
+                        store.record(
+                            f"monitor.metric.{chain}.{name}", value, kind="metric"
+                        )
+                state.record_evaluation(latest, len(alerts))
+                run_alert_engine()
+            if alerts:
+                alerts_total += len(alerts)
+                registry.counter("monitor.alerts_total").inc(len(alerts))
+                for alert in alerts:
+                    print_fn(f"ALERT {alert}")
+            if throttle > 0.0 and queue is None:
+                stop_event.wait(throttle)
+
+    try:
+        if queue is not None:
+            feeder = threading.Thread(
+                target=feed_pump, name="repro-ingest-feeder", daemon=True
+            )
+            feeder.start()
+        if max_restarts is None:
+            ingest()
+        else:
+            supervisor = MonitorSupervisor(
+                ingest,
+                max_restarts=max_restarts,
+                restart_backoff=restart_backoff,
+                on_crash=state.record_crash,
+                on_recover=state.record_restart,
+                name=f"monitor:{chain}",
+            )
+            supervisor.run()
+        state.mark_finished()
+        # One settled pass so progress-based rules (e.g. lag_blocks) can
+        # resolve before the server lingers for its final scrapes.
+        run_alert_engine()
+        if server is not None and linger != 0.0 and not stop_event.is_set():
+            stop_event.wait(None if linger < 0 else linger)
+    finally:
+        if queue is not None:
+            queue.close()
+        if feeder is not None:
+            feeder.join(timeout=5.0)
+        if server is not None:
+            server.stop()
+        registry.set_history(previous_history)
+    if supervisor is not None and supervisor.exhausted:
+        raise ResilienceError(
+            f"monitor ingest crashed {supervisor.crashes} time(s); "
+            f"restart budget ({supervisor.max_restarts}) exhausted"
+        ) from supervisor.last_error
+    return MonitorRun(
+        blocks=monitor.blocks_seen,
+        evaluations=monitor.evaluations,
+        alerts=alerts_total,
+        latest=monitor.latest(),
+        port=server.port if server is not None else None,
+        restarts=supervisor.restarts if supervisor is not None else 0,
+        alerts_fired=manager.fired_total if manager is not None else 0,
+        alerts_resolved=manager.resolved_total if manager is not None else 0,
+        ingest_dropped=queue.dropped_total if queue is not None else 0,
+    )

@@ -1,0 +1,533 @@
+"""Overload protection for the telemetry/read API.
+
+Four cooperating pieces, all dependency-free and clock-injectable:
+
+:class:`AdmissionController`
+    Bounds concurrent in-flight requests.  Up to ``max_inflight``
+    requests execute at once; up to ``max_queue`` more wait (bounded, at
+    most ``queue_timeout`` seconds) for a slot; everyone else is turned
+    away immediately — the caller answers 503 with ``Retry-After``.
+
+:class:`TokenBucketLimiter`
+    Per-client token buckets (keyed by ``X-Client-Id`` or the socket
+    peer address).  A client over its rate gets 429 with the standard
+    ``RateLimit-*`` headers; the tracked-client table is bounded with
+    least-recently-seen eviction so hostile key churn cannot grow memory.
+
+:class:`ResponseCache`
+    Byte-stable snapshots of recent 200 responses with strong ETags.
+    Within ``ttl`` a cached body is served as-is (cheap reads under
+    fan-in); when the server is shedding, the *stale* copy is served
+    byte-identical with ``X-Repro-Degraded: stale`` so readers keep
+    getting answers while the monitor recovers.
+
+:class:`LoadShedder`
+    The degrade trigger: a :class:`~repro.resilience.retry.CircuitBreaker`
+    fed by admission saturation.  ``shed_threshold`` consecutive
+    saturated admissions open the breaker, and while it is open
+    cacheable endpoints skip admission entirely and serve stale — the
+    fastest possible path exactly when the server is drowning.  A
+    degraded monitor (crashed ingest loop, see
+    :class:`~repro.resilience.supervisor.MonitorSupervisor`) sheds too.
+
+:class:`OverloadConfig` carries the knobs; :class:`OverloadGuard` wires
+the four pieces to a metrics registry and exposes the ``/status``
+``overload`` section.  With no guard configured the handler pays a single
+``is None`` check (budgeted in ``benchmarks/bench_perf_serve.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.retry import CircuitBreaker, Clock, _REAL_CLOCK
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs for the overload-protection layer (all optional).
+
+    ``max_inflight`` bounds concurrently executing requests (``None``
+    disables admission control); ``max_queue``/``queue_timeout`` size the
+    bounded wait queue in front of it.  ``rate_limit`` is requests per
+    second per client with ``burst`` extra headroom (``None`` disables
+    rate limiting; ``burst`` defaults to ``2 * rate_limit``).
+    ``cache_ttl`` is how long a cached 200 body serves as *fresh*;
+    ``retry_after`` is the hint sent with every 503.  ``shed_threshold``
+    consecutive saturated admissions open the shed breaker for
+    ``shed_reset`` seconds.
+    """
+
+    max_inflight: int | None = None
+    max_queue: int = 16
+    queue_timeout: float = 0.25
+    rate_limit: float | None = None
+    burst: float | None = None
+    cache_ttl: float = 1.0
+    retry_after: float = 1.0
+    shed_threshold: int = 5
+    shed_reset: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue < 0:
+            raise ValidationError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.queue_timeout < 0:
+            raise ValidationError(
+                f"queue_timeout must be >= 0, got {self.queue_timeout}"
+            )
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValidationError(
+                f"rate_limit must be positive, got {self.rate_limit}"
+            )
+        if self.burst is not None and self.burst < 1:
+            raise ValidationError(f"burst must be >= 1, got {self.burst}")
+        if self.cache_ttl < 0:
+            raise ValidationError(f"cache_ttl must be >= 0, got {self.cache_ttl}")
+        if self.retry_after <= 0:
+            raise ValidationError(
+                f"retry_after must be positive, got {self.retry_after}"
+            )
+        if self.shed_threshold < 1:
+            raise ValidationError(
+                f"shed_threshold must be >= 1, got {self.shed_threshold}"
+            )
+        if self.shed_reset < 0:
+            raise ValidationError(
+                f"shed_reset must be >= 0, got {self.shed_reset}"
+            )
+
+
+def parse_rate_limit(text: str) -> tuple[float, float | None]:
+    """Parse the CLI's ``RPS[:BURST]`` spell into ``(rate, burst)``.
+
+    >>> parse_rate_limit("100")
+    (100.0, None)
+    >>> parse_rate_limit("50:200")
+    (50.0, 200.0)
+    """
+    rate_text, sep, burst_text = text.partition(":")
+    try:
+        rate = float(rate_text)
+        burst = float(burst_text) if sep else None
+    except ValueError:
+        raise ValidationError(
+            f"bad rate limit spec {text!r} (expected RPS[:BURST])"
+        ) from None
+    if rate <= 0 or (burst is not None and burst < 1):
+        raise ValidationError(
+            f"bad rate limit spec {text!r}: RPS must be > 0 and BURST >= 1"
+        )
+    return rate, burst
+
+
+class AdmissionController:
+    """Bounded concurrency with a small bounded wait queue.
+
+    ``acquire`` admits immediately while fewer than ``max_inflight``
+    requests are executing; otherwise the caller joins a wait queue of
+    at most ``max_queue`` and blocks up to ``queue_timeout`` seconds for
+    a slot.  A full queue or an elapsed wait is a rejection — the HTTP
+    layer turns it into 503 + ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int = 16,
+        queue_timeout: float = 0.25,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self.admitted_total = 0
+        self.queued_total = 0
+        self.rejected_total = 0
+        self._registry = registry
+
+    def acquire(self) -> bool:
+        """Try to enter; True = admitted (caller must :meth:`release`)."""
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self.admitted_total += 1
+                self._observe()
+                return True
+            if self._waiting >= self.max_queue:
+                self.rejected_total += 1
+                self._count("serve.admission.rejected_total")
+                return False
+            self._waiting += 1
+            self.queued_total += 1
+            deadline = time.monotonic() + self.queue_timeout
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.rejected_total += 1
+                        self._count("serve.admission.rejected_total")
+                        return False
+                    self._cond.wait(remaining)
+            finally:
+                self._waiting -= 1
+            self._inflight += 1
+            self.admitted_total += 1
+            self._observe()
+            return True
+
+    def release(self) -> None:
+        """Leave; wakes one queued waiter."""
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+            self._observe()
+
+    def saturated(self) -> bool:
+        """Whether a new arrival would be rejected outright."""
+        with self._cond:
+            return (
+                self._inflight >= self.max_inflight
+                and self._waiting >= self.max_queue
+            )
+
+    def _observe(self) -> None:
+        if self._registry is not None:
+            self._registry.gauge(
+                "serve.admission.inflight",
+                help="Concurrently executing telemetry requests.",
+            ).set(self._inflight)
+
+    def _count(self, name: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                name, help="Requests rejected by admission control."
+            ).inc()
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for the ``/status`` overload section."""
+        with self._cond:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "admitted_total": self.admitted_total,
+                "queued_total": self.queued_total,
+                "rejected_total": self.rejected_total,
+            }
+
+
+@dataclass(frozen=True)
+class RateLimitDecision:
+    """One :meth:`TokenBucketLimiter.allow` verdict plus header material."""
+
+    allowed: bool
+    limit: float
+    remaining: int
+    retry_after: float
+
+    def headers(self) -> list[tuple[str, str]]:
+        """The standard draft ``RateLimit-*`` header set."""
+        out = [
+            ("RateLimit-Limit", f"{self.limit:g}"),
+            ("RateLimit-Remaining", str(self.remaining)),
+            ("RateLimit-Reset", f"{self.retry_after:.3f}"),
+        ]
+        if not self.allowed:
+            out.append(("Retry-After", str(max(1, round(self.retry_after)))))
+        return out
+
+
+class TokenBucketLimiter:
+    """Per-client token buckets with bounded, least-recently-seen keys.
+
+    Each key accrues ``rate`` tokens per second up to ``burst``; a
+    request spends one token.  At most ``max_clients`` buckets are kept —
+    beyond that the least recently *seen* client is evicted (it simply
+    starts over with a full bucket on its next request, which errs in
+    the client's favour, never the server's memory).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        max_clients: int = 1024,
+        clock: Clock | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValidationError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(2.0 * rate, 1.0)
+        if self.burst < 1:
+            raise ValidationError(f"burst must be >= 1, got {self.burst}")
+        self.max_clients = max_clients
+        self._clock = clock or _REAL_CLOCK
+        self._lock = threading.Lock()
+        #: key -> (tokens, last_refill); ordered by last-seen for eviction.
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self.allowed_total = 0
+        self.throttled_total = 0
+        self.evicted_total = 0
+        self._registry = registry
+
+    def allow(self, key: str) -> RateLimitDecision:
+        """Spend one token for ``key``; the decision carries the headers."""
+        now = self._clock.monotonic()
+        with self._lock:
+            tokens, last = self._buckets.get(key, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            allowed = tokens >= 1.0
+            if allowed:
+                tokens -= 1.0
+                self.allowed_total += 1
+            else:
+                self.throttled_total += 1
+                if self._registry is not None:
+                    self._registry.counter(
+                        "serve.ratelimit.throttled_total",
+                        help="Requests refused with 429 by the rate limiter.",
+                    ).inc()
+            self._buckets[key] = (tokens, now)
+            self._buckets.move_to_end(key)
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+                self.evicted_total += 1
+            retry_after = 0.0 if allowed else (1.0 - tokens) / self.rate
+            return RateLimitDecision(
+                allowed=allowed,
+                limit=self.rate,
+                remaining=int(tokens),
+                retry_after=retry_after,
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for the ``/status`` overload section."""
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "allowed_total": self.allowed_total,
+                "throttled_total": self.throttled_total,
+                "evicted_total": self.evicted_total,
+            }
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """One cached 200 body: exact bytes, strong ETag, creation time."""
+
+    body: bytes
+    content_type: str
+    etag: str
+    created: float
+
+    def age(self, now: float) -> float:
+        return max(now - self.created, 0.0)
+
+
+class ResponseCache:
+    """ETag/TTL cache of recent 200 responses, keyed by path + query.
+
+    Entries never expire on their own — a stale entry is exactly what
+    load shedding serves (byte-identical to the last fresh snapshot);
+    ``ttl`` only decides whether :meth:`get` counts a hit as *fresh*.
+    The entry table is bounded with least-recently-written eviction.
+    """
+
+    def __init__(
+        self,
+        ttl: float = 1.0,
+        max_entries: int = 256,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if ttl < 0:
+            raise ValidationError(f"ttl must be >= 0, got {ttl}")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CachedResponse] = OrderedDict()
+        self.hits = 0
+        self.stale_hits = 0
+        self.misses = 0
+
+    def put(self, key: str, body: bytes, content_type: str) -> CachedResponse:
+        """Cache a fresh 200 body; returns the entry (with its ETag)."""
+        entry = CachedResponse(
+            body=body,
+            content_type=content_type,
+            etag='"' + hashlib.sha256(body).hexdigest()[:16] + '"',
+            created=self._clock(),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return entry
+
+    def get(self, key: str, fresh_only: bool = False) -> tuple[CachedResponse, bool] | None:
+        """Look up ``key``; returns ``(entry, is_fresh)`` or ``None``.
+
+        With ``fresh_only`` a stale entry counts as a miss (the normal
+        read path); without it the stale entry is returned for shedding.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            fresh = self.ttl > 0 and entry.age(now) < self.ttl
+            if fresh:
+                self.hits += 1
+                return entry, True
+            if fresh_only:
+                self.misses += 1
+                return None
+            self.stale_hits += 1
+            return entry, False
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for the ``/status`` overload section."""
+        with self._lock:
+            return {
+                "ttl": self.ttl,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "stale_hits": self.stale_hits,
+                "misses": self.misses,
+            }
+
+
+class LoadShedder:
+    """Breaker-driven degrade trigger for the serving layer.
+
+    Admission saturation feeds the breaker's failure run; once
+    ``shed_threshold`` consecutive arrivals found the server saturated
+    the breaker opens and :meth:`shedding` turns True for ``shed_reset``
+    seconds — cacheable endpoints then serve stale without touching the
+    admission queue at all.  The first non-saturated admission after the
+    cool-down (the breaker's half-open probe) closes it again.  A
+    degraded monitor sheds regardless of the breaker.
+    """
+
+    def __init__(
+        self,
+        breaker: CircuitBreaker | None = None,
+        degraded_fn: Callable[[], bool] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=5, reset_timeout=2.0, name="serve-shed"
+        )
+        self.degraded_fn = degraded_fn
+        self.shed_total = 0
+        self._registry = registry
+
+    def shedding(self) -> bool:
+        """Whether cacheable endpoints should serve stale right now."""
+        if self.degraded_fn is not None and self.degraded_fn():
+            return True
+        return self.breaker.state == CircuitBreaker.OPEN
+
+    def note_saturated(self) -> None:
+        """An arrival found admission saturated."""
+        self.breaker.record_failure()
+
+    def note_admitted(self) -> None:
+        """An arrival was admitted normally; the failure run resets."""
+        self.breaker.record_success()
+
+    def note_shed(self) -> None:
+        """One response was actually degraded to a stale/shed answer."""
+        self.shed_total += 1
+        if self._registry is not None:
+            self._registry.counter(
+                "serve.shed_total",
+                help="Responses degraded to stale snapshots or 503 sheds.",
+            ).inc()
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for the ``/status`` overload section."""
+        return {
+            "state": self.breaker.state,
+            "open_count": self.breaker.open_count,
+            "shed_total": self.shed_total,
+            "degraded": bool(self.degraded_fn()) if self.degraded_fn else False,
+        }
+
+
+class OverloadGuard:
+    """The wired-together overload layer one server instance consults.
+
+    Built from an :class:`OverloadConfig`; pieces whose knob is unset
+    stay ``None`` and their check short-circuits.  The HTTP handler
+    consults the guard in order: rate limit -> shed check -> admission;
+    see :meth:`repro.serve.http._TelemetryHandler._handle`.
+    """
+
+    def __init__(
+        self,
+        config: OverloadConfig,
+        registry: MetricsRegistry | None = None,
+        degraded_fn: Callable[[], bool] | None = None,
+    ) -> None:
+        self.config = config
+        self.admission = (
+            AdmissionController(
+                config.max_inflight,
+                max_queue=config.max_queue,
+                queue_timeout=config.queue_timeout,
+                registry=registry,
+            )
+            if config.max_inflight is not None
+            else None
+        )
+        self.limiter = (
+            TokenBucketLimiter(
+                config.rate_limit, burst=config.burst, registry=registry
+            )
+            if config.rate_limit is not None
+            else None
+        )
+        self.cache = ResponseCache(ttl=config.cache_ttl)
+        self.shedder = LoadShedder(
+            breaker=CircuitBreaker(
+                failure_threshold=config.shed_threshold,
+                reset_timeout=config.shed_reset,
+                name="serve-shed",
+            ),
+            degraded_fn=degraded_fn,
+            registry=registry,
+        )
+
+    def snapshot(self) -> dict:
+        """The ``/status`` ``overload`` section."""
+        return {
+            "admission": self.admission.snapshot() if self.admission else None,
+            "ratelimit": self.limiter.snapshot() if self.limiter else None,
+            "cache": self.cache.snapshot(),
+            "shedder": self.shedder.snapshot(),
+        }

@@ -1,5 +1,7 @@
 """Retry policy, backoff timing (fake clock) and circuit breaker transitions."""
 
+import threading
+
 import pytest
 
 from repro.errors import (
@@ -174,3 +176,89 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValidationError):
             CircuitBreaker(reset_timeout=-1.0)
+
+
+class TestCircuitBreakerThreadSafety:
+    def test_concurrent_hammer_never_corrupts_state(self):
+        """Many threads racing allow/record_failure/record_success must
+        never corrupt the breaker: the state stays one of the three
+        legal values and the counters stay consistent."""
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout=0.01)
+        legal = {
+            CircuitBreaker.CLOSED,
+            CircuitBreaker.OPEN,
+            CircuitBreaker.HALF_OPEN,
+        }
+        errors = []
+
+        def hammer(seed: int) -> None:
+            rng = derive_rng(seed, "breaker-hammer")
+            try:
+                for _ in range(400):
+                    if breaker.allow():
+                        if rng.random() < 0.5:
+                            breaker.record_failure()
+                        else:
+                            breaker.record_success()
+                    if breaker.state not in legal:
+                        errors.append(f"illegal state {breaker.state!r}")
+                    if breaker.failure_count < 0:
+                        errors.append("negative failure count")
+            except Exception as exc:  # noqa: BLE001 - any crash is a failure
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+        assert breaker.state in legal
+        assert 0 <= breaker.failure_count <= 5
+
+    def test_half_open_admits_exactly_one_probe(self):
+        """After the cool-down only the first caller wins the half-open
+        probe slot; everyone else is refused until the probe resolves."""
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(10.0)
+
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe() -> None:
+            barrier.wait(timeout=5.0)
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(admitted) == 1
+        # The probe succeeds: the breaker closes for everyone.
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_stale_probe_slot_is_reclaimed(self):
+        """If the half-open probe dies without reporting, the slot frees
+        up after another cool-down instead of wedging the breaker open."""
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # probe admitted, then silently lost
+        assert not breaker.allow()  # probe outstanding: refused
+        clock.advance(10.0)
+        assert breaker.allow()  # stale probe reclaimed

@@ -1,0 +1,235 @@
+"""Tests for the bounded backpressure ingest queue.
+
+The acceptance property from the issue: **queue depth never exceeds the
+configured bound**, for all three ``--ingest-policy`` modes, over random
+burst schedules — plus item conservation (every offered block is
+consumed, still buffered, or counted dropped; nothing vanishes and
+nothing is duplicated).
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.ingest import INGEST_POLICIES, IngestQueue
+
+#: A burst schedule: rounds of (puts, gets) arrivals — gets are clamped
+#: to what is actually buffered, so schedules never deadlock.
+burst_schedules = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestValidation:
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValidationError):
+            IngestQueue(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValidationError, match="unknown ingest policy"):
+            IngestQueue(4, policy="explode")
+
+
+class TestShedPolicy:
+    def test_full_queue_refuses_new_items(self):
+        queue = IngestQueue(2, policy="shed")
+        assert queue.put("a")
+        assert queue.put("b")
+        assert not queue.put("c")  # full: the incoming block is shed
+        assert queue.depth() == 2
+        assert queue.dropped_total == 1
+        assert queue.get() == "a"  # FIFO order, oldest survives
+
+    def test_space_freed_by_get_admits_again(self):
+        queue = IngestQueue(1, policy="shed")
+        queue.put("a")
+        assert not queue.put("b")
+        queue.get()
+        assert queue.put("c")
+        assert queue.get() == "c"
+
+
+class TestDropOldestPolicy:
+    def test_full_queue_evicts_the_head(self):
+        queue = IngestQueue(2, policy="drop-oldest")
+        assert queue.put("a")
+        assert queue.put("b")
+        assert queue.put("c")  # evicts a
+        assert queue.depth() == 2
+        assert queue.dropped_total == 1
+        assert queue.get() == "b"
+        assert queue.get() == "c"
+
+
+class TestBlockPolicy:
+    def test_producer_waits_for_consumer(self):
+        queue = IngestQueue(1, policy="block")
+        queue.put("a")
+        produced = threading.Event()
+
+        def producer():
+            queue.put("b")  # blocks until the consumer drains "a"
+            produced.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert not produced.wait(0.05)  # still parked: queue is full
+        assert queue.get() == "a"
+        assert produced.wait(5.0)
+        thread.join(timeout=5.0)
+        assert queue.get() == "b"
+        assert queue.dropped_total == 0
+
+    def test_abort_hook_unwedges_a_blocked_producer(self):
+        stop = threading.Event()
+        queue = IngestQueue(1, policy="block", should_abort=stop.is_set)
+        queue.put("a")
+        outcomes = []
+        thread = threading.Thread(
+            target=lambda: outcomes.append(queue.put("b", poll=0.01))
+        )
+        thread.start()
+        stop.set()
+        thread.join(timeout=5.0)
+        assert outcomes == [False]
+
+
+class TestCloseAndIteration:
+    def test_iteration_drains_then_stops(self):
+        queue = IngestQueue(8)
+        for item in ("a", "b", "c"):
+            queue.put(item)
+        queue.close()
+        assert list(queue) == ["a", "b", "c"]
+        assert queue.closed
+
+    def test_put_after_close_is_refused(self):
+        queue = IngestQueue(4)
+        queue.close()
+        assert not queue.put("late")
+        assert queue.depth() == 0
+
+    def test_close_wakes_a_blocked_consumer(self):
+        queue = IngestQueue(4)
+        done = threading.Event()
+
+        def consumer():
+            for _ in queue:
+                pass
+            done.set()
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.close()
+        assert done.wait(5.0)
+        thread.join(timeout=5.0)
+
+
+class TestMetrics:
+    def test_depth_and_totals_reach_the_registry(self):
+        registry = MetricsRegistry()
+        queue = IngestQueue(2, policy="drop-oldest", registry=registry)
+        queue.put("a")
+        queue.put("b")
+        queue.put("c")
+        snap = registry.snapshot()
+        assert snap["gauges"]["monitor.ingest.queue_depth"] == 2.0
+        assert snap["counters"]["monitor.ingest.enqueued_total"] == 3
+        assert snap["counters"]["monitor.ingest.dropped_total"] == 1
+        queue.get()
+        snap = registry.snapshot()
+        assert snap["gauges"]["monitor.ingest.queue_depth"] == 1.0
+
+
+class TestBurstScheduleProperties:
+    """The acceptance property: depth <= bound, items conserved."""
+
+    @given(
+        maxsize=st.integers(1, 6),
+        policy=st.sampled_from(INGEST_POLICIES),
+        schedule=burst_schedules,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_depth_never_exceeds_bound_and_items_are_conserved(
+        self, maxsize, policy, schedule
+    ):
+        # Under "block" a put on a full queue would wait for a consumer;
+        # this single-threaded harness sheds instead of waiting, which
+        # exercises the same bound (the threaded test below covers real
+        # blocking).  Offered counts stay exact either way.
+        queue = IngestQueue(maxsize, policy=policy)
+        offered = 0
+        consumed = []
+        next_item = 0
+        for puts, gets in schedule:
+            for _ in range(puts):
+                if policy == "block" and queue.depth() >= maxsize:
+                    continue  # a real producer would park here
+                queue.put(next_item)
+                offered += 1
+                next_item += 1
+                assert queue.depth() <= maxsize
+                assert queue.peak_depth <= maxsize
+            for _ in range(gets):
+                if queue.depth() == 0:
+                    break
+                consumed.append(queue.get())
+                assert queue.depth() <= maxsize
+        # Conservation: every offered item was consumed, is still
+        # buffered, or was counted dropped — no loss, no duplication.
+        assert queue.enqueued_total + (
+            queue.dropped_total if policy == "shed" else 0
+        ) == offered
+        assert queue.consumed_total == len(consumed)
+        assert (
+            queue.enqueued_total
+            == queue.consumed_total + queue.depth() + (
+                queue.dropped_total if policy == "drop-oldest" else 0
+            )
+        )
+        assert len(consumed) == len(set(consumed))  # nothing duplicated
+        assert consumed == sorted(consumed)  # FIFO order preserved
+        if policy == "block":
+            assert queue.dropped_total == 0
+
+    @given(
+        maxsize=st.integers(1, 4),
+        policy=st.sampled_from(INGEST_POLICIES),
+        n_items=st.integers(1, 60),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_threaded_producer_consumer_respects_the_bound(
+        self, maxsize, policy, n_items
+    ):
+        queue = IngestQueue(maxsize, policy=policy)
+        consumed = []
+
+        def consumer():
+            for item in queue:
+                consumed.append(item)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        accepted = 0
+        for i in range(n_items):
+            if queue.put(i, poll=0.001):
+                accepted += 1
+        queue.close()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert queue.peak_depth <= maxsize
+        if policy == "block":
+            # Backpressure never drops: everything offered arrives, in order.
+            assert accepted == n_items
+            assert consumed == list(range(n_items))
+        else:
+            # Whatever survived arrives exactly once, in order.
+            assert len(consumed) == len(set(consumed))
+            assert consumed == sorted(consumed)
+            assert accepted + queue.dropped_total >= n_items

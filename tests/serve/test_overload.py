@@ -1,0 +1,278 @@
+"""Unit tests for the overload-protection building blocks.
+
+Admission, rate limiting and caching are tested as plain objects here
+(clock-injected, no sockets); the HTTP integration lives in
+``tests/serve/test_lifecycle.py`` and the end-to-end overload behaviour
+in ``tests/serve/test_degraded.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.retry import CircuitBreaker, ManualClock
+from repro.serve.overload import (
+    AdmissionController,
+    LoadShedder,
+    OverloadConfig,
+    OverloadGuard,
+    ResponseCache,
+    TokenBucketLimiter,
+    parse_rate_limit,
+)
+
+
+class TestOverloadConfig:
+    def test_defaults_are_valid(self):
+        config = OverloadConfig()
+        assert config.max_inflight is None
+        assert config.rate_limit is None
+        assert config.cache_ttl == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_queue": -1},
+            {"queue_timeout": -0.1},
+            {"rate_limit": 0.0},
+            {"rate_limit": -5.0},
+            {"burst": 0.5},
+            {"cache_ttl": -1.0},
+            {"retry_after": 0.0},
+            {"shed_threshold": 0},
+            {"shed_reset": -1.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            OverloadConfig(**kwargs)
+
+
+class TestParseRateLimit:
+    def test_rate_only(self):
+        assert parse_rate_limit("100") == (100.0, None)
+
+    def test_rate_and_burst(self):
+        assert parse_rate_limit("50:200") == (50.0, 200.0)
+
+    @pytest.mark.parametrize("text", ["", "fast", "10:many", "0", "-1", "5:0"])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ValidationError):
+            parse_rate_limit(text)
+
+
+class TestAdmissionController:
+    def test_admits_up_to_max_inflight(self):
+        admission = AdmissionController(2, max_queue=0, queue_timeout=0.0)
+        assert admission.acquire()
+        assert admission.acquire()
+        assert not admission.acquire()  # full, no queue
+        admission.release()
+        assert admission.acquire()
+
+    def test_release_wakes_a_queued_waiter(self):
+        admission = AdmissionController(1, max_queue=1, queue_timeout=5.0)
+        assert admission.acquire()
+        outcomes = []
+        waiter = threading.Thread(
+            target=lambda: outcomes.append(admission.acquire())
+        )
+        waiter.start()
+        # The waiter parks in the queue, then gets the released slot.
+        for _ in range(1000):
+            if admission.snapshot()["waiting"] == 1:
+                break
+            threading.Event().wait(0.001)
+        admission.release()
+        waiter.join(timeout=5.0)
+        assert outcomes == [True]
+
+    def test_queue_timeout_rejects(self):
+        admission = AdmissionController(1, max_queue=4, queue_timeout=0.02)
+        assert admission.acquire()
+        assert not admission.acquire()  # waits 0.02s, then rejected
+        assert admission.snapshot()["rejected_total"] == 1
+        assert admission.snapshot()["queued_total"] == 1
+
+    def test_full_queue_rejects_immediately(self):
+        admission = AdmissionController(1, max_queue=0, queue_timeout=10.0)
+        assert admission.acquire()
+        assert admission.saturated()
+        assert not admission.acquire()  # no wait: the queue is size 0
+
+    def test_metrics_reach_the_registry(self):
+        registry = MetricsRegistry()
+        admission = AdmissionController(
+            1, max_queue=0, queue_timeout=0.0, registry=registry
+        )
+        admission.acquire()
+        admission.acquire()
+        snap = registry.snapshot()
+        assert snap["gauges"]["serve.admission.inflight"] == 1.0
+        assert snap["counters"]["serve.admission.rejected_total"] == 1
+
+
+class TestTokenBucketLimiter:
+    def test_burst_then_throttle(self):
+        clock = ManualClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=3, clock=clock)
+        verdicts = [limiter.allow("c").allowed for _ in range(4)]
+        assert verdicts == [True, True, True, False]
+
+    def test_tokens_refill_at_rate(self):
+        clock = ManualClock()
+        limiter = TokenBucketLimiter(rate=2.0, burst=1, clock=clock)
+        assert limiter.allow("c").allowed
+        assert not limiter.allow("c").allowed
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert limiter.allow("c").allowed
+
+    def test_clients_are_independent(self):
+        clock = ManualClock()
+        limiter = TokenBucketLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.allow("a").allowed
+        assert not limiter.allow("a").allowed
+        assert limiter.allow("b").allowed
+
+    def test_denied_decision_carries_retry_after_and_headers(self):
+        clock = ManualClock()
+        limiter = TokenBucketLimiter(rate=2.0, burst=1, clock=clock)
+        limiter.allow("c")
+        decision = limiter.allow("c")
+        assert not decision.allowed
+        assert decision.retry_after == pytest.approx(0.5)
+        headers = dict(decision.headers())
+        assert headers["RateLimit-Limit"] == "2"
+        assert headers["RateLimit-Remaining"] == "0"
+        assert "Retry-After" in headers
+
+    def test_allowed_decision_has_no_retry_after(self):
+        limiter = TokenBucketLimiter(rate=10.0, clock=ManualClock())
+        headers = dict(limiter.allow("c").headers())
+        assert "Retry-After" not in headers
+
+    def test_client_table_is_bounded_lru(self):
+        clock = ManualClock()
+        limiter = TokenBucketLimiter(
+            rate=1.0, burst=1, max_clients=2, clock=clock
+        )
+        limiter.allow("a")
+        limiter.allow("b")
+        limiter.allow("c")  # evicts a, the least recently seen
+        assert limiter.evicted_total == 1
+        # a starts over with a full bucket: eviction favours the client.
+        assert limiter.allow("a").allowed
+
+    def test_default_burst_is_twice_rate(self):
+        limiter = TokenBucketLimiter(rate=5.0, clock=ManualClock())
+        assert limiter.burst == 10.0
+
+    def test_throttle_counter_reaches_registry(self):
+        registry = MetricsRegistry()
+        limiter = TokenBucketLimiter(
+            rate=1.0, burst=1, clock=ManualClock(), registry=registry
+        )
+        limiter.allow("c")
+        limiter.allow("c")
+        snap = registry.snapshot()
+        assert snap["counters"]["serve.ratelimit.throttled_total"] == 1
+
+
+class TestResponseCache:
+    def test_fresh_hit_within_ttl(self):
+        now = [0.0]
+        cache = ResponseCache(ttl=1.0, clock=lambda: now[0])
+        cache.put("/status", b'{"a": 1}', "application/json")
+        entry, fresh = cache.get("/status")
+        assert fresh and entry.body == b'{"a": 1}'
+
+    def test_stale_after_ttl_still_served_byte_identical(self):
+        now = [0.0]
+        cache = ResponseCache(ttl=1.0, clock=lambda: now[0])
+        put_entry = cache.put("/status", b'{"a": 1}', "application/json")
+        now[0] = 5.0
+        assert cache.get("/status", fresh_only=True) is None
+        entry, fresh = cache.get("/status")
+        assert not fresh
+        assert entry.body == put_entry.body
+        assert entry.etag == put_entry.etag
+        assert cache.snapshot()["stale_hits"] == 1
+
+    def test_etag_is_stable_for_identical_bytes(self):
+        cache = ResponseCache()
+        first = cache.put("/a", b"same", "text/plain")
+        second = cache.put("/b", b"same", "text/plain")
+        assert first.etag == second.etag
+        assert first.etag.startswith('"') and first.etag.endswith('"')
+
+    def test_entry_table_is_bounded(self):
+        cache = ResponseCache(max_entries=2, clock=lambda: 0.0)
+        for i in range(5):
+            cache.put(f"/k{i}", b"x", "text/plain")
+        assert cache.snapshot()["entries"] == 2
+        assert cache.get("/k0") is None
+
+
+class TestLoadShedder:
+    def test_consecutive_saturation_opens_the_breaker(self):
+        clock = ManualClock()
+        shedder = LoadShedder(
+            breaker=CircuitBreaker(
+                failure_threshold=3, reset_timeout=10.0, clock=clock
+            )
+        )
+        assert not shedder.shedding()
+        for _ in range(3):
+            shedder.note_saturated()
+        assert shedder.shedding()
+        clock.advance(10.0)  # cool-down: half-open, no longer shedding
+        assert not shedder.shedding()
+        shedder.note_admitted()
+        assert not shedder.shedding()
+
+    def test_admission_resets_the_failure_run(self):
+        shedder = LoadShedder(
+            breaker=CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                   clock=ManualClock())
+        )
+        shedder.note_saturated()
+        shedder.note_saturated()
+        shedder.note_admitted()  # run broken: stays closed
+        shedder.note_saturated()
+        shedder.note_saturated()
+        assert not shedder.shedding()
+
+    def test_degraded_monitor_sheds_regardless_of_breaker(self):
+        degraded = [False]
+        shedder = LoadShedder(degraded_fn=lambda: degraded[0])
+        assert not shedder.shedding()
+        degraded[0] = True
+        assert shedder.shedding()
+        assert shedder.snapshot()["degraded"] is True
+
+
+class TestOverloadGuard:
+    def test_unset_knobs_leave_pieces_disabled(self):
+        guard = OverloadGuard(OverloadConfig())
+        assert guard.admission is None
+        assert guard.limiter is None
+        assert guard.cache is not None
+        snap = guard.snapshot()
+        assert snap["admission"] is None
+        assert snap["ratelimit"] is None
+        assert snap["cache"]["entries"] == 0
+        assert snap["shedder"]["state"] == "closed"
+
+    def test_configured_guard_wires_everything(self):
+        guard = OverloadGuard(
+            OverloadConfig(max_inflight=4, rate_limit=10.0, burst=20)
+        )
+        assert guard.admission.max_inflight == 4
+        assert guard.limiter.rate == 10.0
+        assert guard.limiter.burst == 20.0
+        snap = guard.snapshot()
+        assert snap["admission"]["max_inflight"] == 4
+        assert snap["ratelimit"]["rate"] == 10.0
